@@ -1,0 +1,173 @@
+// Command insightnotes is an interactive shell over the InsightNotes+
+// engine. It can start empty or preload the synthetic ornithological
+// workload, and accepts the engine's SQL dialect plus a few meta
+// commands:
+//
+//	\help               show help
+//	\tables             list tables
+//	\explain <query>    show the optimized plan without running it
+//	\stats <table>      show maintained summary statistics
+//	\load <birds> <avg> load/replace the bird workload
+//	\quit               exit
+//
+// Everything else is executed as a statement: SELECT (results and
+// propagated summaries are printed), ALTER TABLE ... ADD [INDEXABLE],
+// and ZOOM IN ON ...
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	birds := flag.Int("birds", 100, "preloaded bird count (0 = start empty)")
+	anns := flag.Int("anns", 10, "average annotations per bird")
+	flag.Parse()
+
+	var db *engine.DB
+	load := func(nBirds, avg int) error {
+		if nBirds == 0 {
+			db = engine.New(engine.Config{})
+			fmt.Println("started with an empty database")
+			return nil
+		}
+		ds, err := workload.Build(workload.Config{
+			Seed: 1, Birds: nBirds, AvgAnnotationsPerBird: avg,
+		})
+		if err != nil {
+			return err
+		}
+		db = ds.DB
+		if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d birds, %d synonyms, %d annotations; Summary-BTree on ClassBird1\n",
+			nBirds, len(ds.Syns), db.AnnotationCount())
+		return nil
+	}
+	if err := load(*birds, *anns); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(`InsightNotes+ shell — \help for help, \quit to exit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("insightnotes> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, `\`) {
+			if !meta(db, line, load) {
+				return
+			}
+			continue
+		}
+		start := time.Now()
+		res, err := db.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if len(res.Columns) > 0 {
+			fmt.Print(res.String())
+		}
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// meta handles backslash commands; it returns false to exit.
+func meta(db *engine.DB, line string, load func(int, int) error) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\help`:
+		fmt.Println(`statements:
+  SELECT ... FROM ... [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n] [WITHOUT SUMMARIES]
+    summary expressions: r.$.getSummaryObject('Inst').getLabelValue('Label'),
+    $.getSize(), obj.containsUnion('kw', ...), obj.getSnippet(i), obj.getGroupSize(i)
+  ALTER TABLE t ADD [INDEXABLE] instance | ALTER TABLE t DROP instance
+  ZOOM IN ON table.instance [LABEL 'label'] [WHERE expr]
+meta: \tables  \stats <table>  \explain <query>  \load <birds> <avg>  \quit`)
+	case `\tables`:
+		for _, name := range db.Catalog().TableNames() {
+			t, _ := db.Table(name)
+			insts := make([]string, 0, len(t.Instances))
+			for _, si := range t.Instances {
+				label := si.Name
+				if db.SummaryIndex(name, si.Name) != nil {
+					label += " [indexed]"
+				}
+				insts = append(insts, label)
+			}
+			fmt.Printf("  %-12s %6d tuples  instances: %s\n", name, t.Len(), strings.Join(insts, ", "))
+		}
+	case `\stats`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\stats <table>")
+			return true
+		}
+		t, err := db.Table(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, si := range t.Instances {
+			fmt.Printf("  %s: %s\n", si.Name, t.Stats(si.Name))
+		}
+	case `\explain`:
+		q := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+		plan, err := db.Explain(q, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(plan)
+	case `\load`:
+		n, avg := 100, 10
+		if len(fields) > 1 {
+			n, _ = strconv.Atoi(fields[1])
+		}
+		if len(fields) > 2 {
+			avg, _ = strconv.Atoi(fields[2])
+		}
+		if err := load(n, avg); err != nil {
+			fmt.Println("error:", err)
+		}
+	case `\save`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\save <path>")
+			return true
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if err := db.Save(f); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("snapshot written to", fields[1])
+		}
+		f.Close()
+	default:
+		fmt.Printf("unknown command %s (\\help for help)\n", fields[0])
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+// Command birds runs the paper's usability case study queries (Figures
+// 2 and 16) on a generated ornithological workload:
+//
+//	Q1 — report the data tuples sorted by the number of attached
+//	     disease-related annotations (summary-based sort O),
+//	Q2 — group by family and report behavior-related counts per group
+//	     (aggregation with summary merge),
+//	Q3 — select the birds with more than N question/disease annotations
+//	     (summary-based selection S through the Summary-BTree),
+//
+// followed by a zoom-in from a summary to its raw annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	nBirds := flag.Int("birds", 100, "number of bird tuples")
+	avgAnns := flag.Int("anns", 12, "average annotations per bird")
+	flag.Parse()
+
+	fmt.Printf("Building workload: %d birds, ~%d annotations each ...\n", *nBirds, *avgAnns)
+	ds, err := workload.Build(workload.Config{
+		Seed: 42, Birds: *nBirds, AvgAnnotationsPerBird: *avgAnns, SkipSynonyms: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := ds.DB
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d annotations stored\n\n", db.AnnotationCount())
+
+	run := func(title, q string) {
+		fmt.Println(title)
+		fmt.Println("  " + q)
+		start := time.Now()
+		res, err := db.Query(q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %d rows in %v\n", len(res.Rows), time.Since(start))
+		for i := 0; i < len(res.Rows) && i < 5; i++ {
+			fmt.Printf("     %v\n", res.ValueStrings(i))
+		}
+		if len(res.Rows) > 5 {
+			fmt.Printf("     ... (%d more)\n", len(res.Rows)-5)
+		}
+		fmt.Println()
+	}
+
+	// Q1 of Figure 16: summary-based sorting, fully automated by the O
+	// operator (the basic InsightNotes needed manual post-processing).
+	run("Q1: birds sorted by disease-related annotation count",
+		`SELECT id, common_name FROM Birds r
+		 ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC
+		 LIMIT 100`)
+
+	// Q2 of Figure 2: aggregation; each group's summaries are merged
+	// from its members without double counting.
+	fmt.Println("Q2: behavior-related annotation counts per family")
+	res, err := db.Query(`SELECT family, count(*) FROM Birds GROUP BY family`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range res.Rows {
+		row := res.Rows[i]
+		behavior := 0
+		if obj := row.Tuple.Summaries.Get("ClassBird1"); obj != nil {
+			behavior, _ = obj.GetLabelValue("Behavior")
+		}
+		fmt.Printf("  %-12s %3s birds, %4d behavior annotations\n",
+			row.Tuple.Values[0].Text, row.Tuple.Values[1].String(), behavior)
+	}
+	fmt.Println()
+
+	// Q3 of Figure 16: summary-based selection through the index.
+	run("Q3: birds with more than 3 disease-related annotations",
+		`SELECT id, common_name FROM Birds r
+		 WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3`)
+
+	// Q1's follow-up in the case study: zoom in on the raw annotations.
+	zooms, err := db.ZoomIn("Birds", "ClassBird1", "Disease",
+		`r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Zoom-in: disease annotations behind the Q3 answer (%d tuples)\n", len(zooms))
+	for i, z := range zooms {
+		if i >= 2 {
+			fmt.Printf("  ... (%d more tuples)\n", len(zooms)-2)
+			break
+		}
+		fmt.Printf("  tuple %d: %d raw annotations, e.g. %q\n",
+			z.TupleOID, len(z.Annotations), clip(z.Annotations[0].Text, 70))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,128 @@
+// Command hierarchy demonstrates multi-level (hierarchical)
+// summarization — the paper's stated future work, implemented here as
+// classifier label trees: annotations are classified to leaf labels,
+// ancestor labels carry the exact union of their subtrees, every level
+// is queryable and indexable, and zoom-in drills level by level from a
+// parent label to its raw annotations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insightnotes "repro"
+)
+
+func main() {
+	db := insightnotes.Open(insightnotes.Config{})
+
+	if _, err := db.CreateTable("Patients", insightnotes.NewSchema("",
+		insightnotes.Column{Name: "id", Kind: insightnotes.KindInt},
+		insightnotes.Column{Name: "name", Kind: insightnotes.KindText},
+	)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A two-level label tree over clinical notes:
+	//
+	//	Condition
+	//	├── Infection
+	//	└── Chronic
+	//	Administrative
+	training := map[string][]string{
+		"Infection": {
+			"acute bacterial infection treated with antibiotics",
+			"viral infection with fever and inflammation",
+		},
+		"Chronic": {
+			"chronic hypertension managed with medication",
+			"long term diabetes follow up scheduled",
+		},
+		"Administrative": {
+			"insurance form uploaded to the record",
+			"appointment rescheduled by the front desk",
+		},
+	}
+	if err := db.DefineHierarchicalClassifier("NoteTree",
+		[]string{"Condition", "Infection", "Chronic", "Administrative"},
+		map[string]string{"Infection": "Condition", "Chronic": "Condition"},
+		training); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Exec("ALTER TABLE Patients ADD INDEXABLE NoteTree"); err != nil {
+		log.Fatal(err)
+	}
+
+	patients := map[string][]string{
+		"Ada": {
+			"bacterial infection treated with antibiotics last week",
+			"chronic hypertension check, medication adjusted",
+			"viral infection suspected, fever reported",
+		},
+		"Grace": {
+			"insurance form uploaded",
+			"appointment rescheduled twice",
+		},
+		"Edsger": {
+			"long term diabetes follow up, stable",
+		},
+	}
+	id := int64(1)
+	for name, notes := range patients {
+		oid, err := db.Insert("Patients", insightnotes.Int(id), insightnotes.Text(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		id++
+		for _, note := range notes {
+			if _, err := db.AddAnnotation("Patients", oid, note, nil, "clinic"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Query at the PARENT level: patients with 2+ condition-related
+	// notes of any kind — answered by the Summary-BTree on the parent
+	// label.
+	q := `SELECT name FROM Patients p
+	      WHERE p.$.getSummaryObject('NoteTree').getLabelValue('Condition') >= 2`
+	res, err := db.Query(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Patients with 2+ condition-related notes (any subtype):")
+	for i := range res.Rows {
+		obj := res.Rows[i].Tuple.Summaries.Get("NoteTree")
+		cond, _ := obj.GetLabelValue("Condition")
+		inf, _ := obj.GetLabelValue("Infection")
+		chr, _ := obj.GetLabelValue("Chronic")
+		fmt.Printf("  %-8s Condition=%d (Infection=%d, Chronic=%d)\n",
+			res.Rows[i].Tuple.Values[0].Text, cond, inf, chr)
+	}
+
+	expl, _ := db.Explain(q, nil)
+	fmt.Println("\nPlan (parent label answered by the index):")
+	fmt.Print(expl)
+
+	// Zoom level by level: parent first, then one leaf.
+	fmt.Println("\nZoom on Ada / Condition (whole subtree):")
+	zooms, err := db.ZoomIn("Patients", "NoteTree", "Condition", "name = 'Ada'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, z := range zooms {
+		for _, a := range z.Annotations {
+			fmt.Printf("  - %s\n", a.Text)
+		}
+	}
+	fmt.Println("\nZoom on Ada / Infection (one leaf):")
+	zooms, err = db.ZoomIn("Patients", "NoteTree", "Infection", "name = 'Ada'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, z := range zooms {
+		for _, a := range z.Annotations {
+			fmt.Printf("  - %s\n", a.Text)
+		}
+	}
+}

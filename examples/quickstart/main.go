@@ -1,0 +1,103 @@
+// Command quickstart is the smallest useful InsightNotes+ session:
+// create a table, define and link a classifier summary instance, insert
+// and annotate tuples, run a summary-based query, and zoom in to the raw
+// annotations behind a summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insightnotes "repro"
+)
+
+func main() {
+	db := insightnotes.Open(insightnotes.Config{})
+
+	// 1. A plain relational table.
+	if _, err := db.CreateTable("Birds", insightnotes.NewSchema("",
+		insightnotes.Column{Name: "id", Kind: insightnotes.KindInt},
+		insightnotes.Column{Name: "name", Kind: insightnotes.KindText},
+	)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A classifier summary instance: each raw annotation is assigned
+	// to one label by a Naive Bayes model trained on these examples.
+	training := map[string][]string{
+		"Disease": {
+			"the bird shows infection symptoms and parasites",
+			"sick individuals with spreading disease and lesions",
+		},
+		"Behavior": {
+			"observed eating stonewort near the lake at dawn",
+			"migration and nesting behavior recorded",
+		},
+		"Other": {
+			"photo uploaded from the field trip",
+			"duplicate record of the same sighting",
+		},
+	}
+	if err := db.DefineClassifier("ClassBird1",
+		[]string{"Disease", "Behavior", "Other"}, training); err != nil {
+		log.Fatal(err)
+	}
+	// Link it to Birds and build the Summary-BTree in one statement —
+	// the paper's extended ALTER TABLE command.
+	if _, err := db.Exec("ALTER TABLE Birds ADD INDEXABLE ClassBird1"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Data + annotations.
+	swan, _ := db.Insert("Birds", insightnotes.Int(1), insightnotes.Text("Swan Goose"))
+	crow, _ := db.Insert("Birds", insightnotes.Int(2), insightnotes.Text("Carrion Crow"))
+	annotate := func(oid int64, texts ...string) {
+		for _, tx := range texts {
+			if _, err := db.AddAnnotation("Birds", oid, tx, nil, "quickstart"); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	annotate(swan,
+		"found a sick individual, infection suspected",
+		"another disease case with visible lesions",
+		"seen eating stonewort in the shallows",
+	)
+	annotate(crow,
+		"photo uploaded, see attachment",
+		"observed foraging at dawn",
+	)
+
+	// 4. A summary-based selection: which birds have disease reports?
+	res, err := db.Query(`SELECT name FROM Birds r
+		WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Birds with disease-related annotations:")
+	for i := range res.Rows {
+		row := res.Rows[i]
+		obj := row.Tuple.Summaries.Get("ClassBird1")
+		n, _ := obj.GetLabelValue("Disease")
+		fmt.Printf("  %-14s %d disease annotation(s); summary: %s\n",
+			row.Tuple.Values[0].Text, n, obj)
+	}
+
+	// 5. Zoom in: the raw annotations behind the Disease label.
+	zooms, err := db.ZoomIn("Birds", "ClassBird1", "Disease", "name = 'Swan Goose'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nZoom-in on Swan Goose / Disease:")
+	for _, z := range zooms {
+		for _, a := range z.Annotations {
+			fmt.Printf("  [%s] %s\n", a.Author, a.Text)
+		}
+	}
+
+	// 6. The plan that answered the query (uses the Summary-BTree).
+	expl, _ := db.Explain(`SELECT name FROM Birds r
+		WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0`, nil)
+	fmt.Println("\nQuery plan:")
+	fmt.Print(expl)
+}

@@ -1,0 +1,119 @@
+// Package insightnotes is the public API of a from-scratch Go
+// reproduction of InsightNotes+ — "Elevating Annotation Summaries To
+// First-Class Citizens In InsightNotes" (EDBT 2015). It is a
+// summary-based annotation management engine embedded in a small
+// relational database: raw annotations attached to tuples are mined into
+// concise summary objects (classifier, snippet, and cluster summaries),
+// which propagate through queries and — the paper's contribution — can
+// themselves be selected, filtered, joined, and sorted on, accelerated
+// by a dedicated Summary-BTree index and an extended query optimizer.
+//
+// A minimal session:
+//
+//	db := insightnotes.Open(insightnotes.Config{})
+//	db.CreateTable("Birds", insightnotes.NewSchema("",
+//		insightnotes.Column{Name: "id", Kind: insightnotes.KindInt},
+//		insightnotes.Column{Name: "name", Kind: insightnotes.KindText}))
+//	db.DefineClassifier("ClassBird1",
+//		[]string{"Disease", "Other"}, training)
+//	db.Exec("ALTER TABLE Birds ADD INDEXABLE ClassBird1")
+//	oid, _ := db.Insert("Birds", insightnotes.Int(1), insightnotes.Text("Swan Goose"))
+//	db.AddAnnotation("Birds", oid, "shows infection symptoms", nil, "alice")
+//	res, _ := db.Query(`SELECT name FROM Birds r
+//	    WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 0`, nil)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured reproduction results.
+package insightnotes
+
+import (
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+)
+
+// DB is an InsightNotes+ database instance. See the engine methods:
+// CreateTable, Insert, AddAnnotation, DefineClassifier / DefineSnippet /
+// DefineCluster, Query, Exec (SELECT / ALTER TABLE / ZOOM IN), Explain,
+// and ZoomIn.
+type DB = engine.DB
+
+// Config tunes a database instance.
+type Config = engine.Config
+
+// Open creates an empty in-memory database.
+func Open(cfg Config) *DB { return engine.New(cfg) }
+
+// Load reconstructs a database from a snapshot written by DB.Save. The
+// snapshot is a logical dump (schemas, instances, trained models,
+// tuples, annotations, index declarations); loading replays it through
+// the normal engine paths, re-deriving summaries, statistics, and
+// indexes deterministically.
+func Load(r io.Reader) (*DB, error) { return engine.Load(r) }
+
+// Options steers the optimizer per query; the zero value enables all
+// optimizations. The knobs mirror the paper's ablations: Disable (no
+// rewrites), NoSummaryIndex, UseBaseline, BaselineReconstruct,
+// ConventionalPointers, ForceJoin ("nl"/"index"), ForceSort
+// ("mem"/"disk").
+type Options = optimizer.Options
+
+// Result is a query result; Rows carry data values and the propagated
+// summary sets.
+type Result = engine.Result
+
+// ZoomResult is one tuple's zoom-in answer.
+type ZoomResult = engine.ZoomResult
+
+// Value is a dynamically typed relational value.
+type Value = model.Value
+
+// Schema describes a relation's columns.
+type Schema = model.Schema
+
+// Column is one attribute definition.
+type Column = model.Column
+
+// Kind enumerates value types.
+type Kind = model.Kind
+
+// Value kinds.
+const (
+	KindNull  = model.KindNull
+	KindInt   = model.KindInt
+	KindFloat = model.KindFloat
+	KindText  = model.KindText
+	KindBool  = model.KindBool
+)
+
+// NewSchema builds a schema whose columns share one qualifier.
+func NewSchema(qualifier string, cols ...Column) *Schema {
+	return model.NewSchema(qualifier, cols...)
+}
+
+// Int builds an INT value.
+func Int(i int64) Value { return model.NewInt(i) }
+
+// Float builds a FLOAT value.
+func Float(f float64) Value { return model.NewFloat(f) }
+
+// Text builds a TEXT value.
+func Text(s string) Value { return model.NewText(s) }
+
+// Bool builds a BOOL value.
+func Bool(b bool) Value { return model.NewBool(b) }
+
+// Null builds the NULL value.
+func Null() Value { return model.Null() }
+
+// Annotation is a raw annotation record.
+type Annotation = model.Annotation
+
+// SummarySet is the set of summary objects attached to a tuple (the $
+// variable).
+type SummarySet = model.SummarySet
+
+// SummaryObject is one summary object (classifier, snippet, or cluster).
+type SummaryObject = model.SummaryObject

@@ -1,0 +1,101 @@
+package insightnotes_test
+
+import (
+	"strings"
+	"testing"
+
+	insightnotes "repro"
+)
+
+// TestPublicAPIQuickstart exercises the full public surface the README
+// advertises: open, DDL, summary instances, annotation, SQL (selection,
+// sort, zoom), EXPLAIN, and the ablation options.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := insightnotes.Open(insightnotes.Config{PageCap: 32})
+
+	if _, err := db.CreateTable("Birds", insightnotes.NewSchema("",
+		insightnotes.Column{Name: "id", Kind: insightnotes.KindInt},
+		insightnotes.Column{Name: "name", Kind: insightnotes.KindText},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	training := map[string][]string{
+		"Disease": {"sick bird with infection and lesions"},
+		"Other":   {"photo uploaded, general comment"},
+	}
+	if err := db.DefineClassifier("C1", []string{"Disease", "Other"}, training); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("ALTER TABLE Birds ADD INDEXABLE C1"); err != nil {
+		t.Fatal(err)
+	}
+
+	swan, err := db.Insert("Birds", insightnotes.Int(1), insightnotes.Text("Swan Goose"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crow, _ := db.Insert("Birds", insightnotes.Int(2), insightnotes.Text("Crow"))
+	for _, tx := range []string{"found a sick bird, infection likely", "second disease report"} {
+		if _, err := db.AddAnnotation("Birds", swan, tx, nil, "api-test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.AddAnnotation("Birds", crow, "photo uploaded", nil, "api-test"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query(`SELECT name FROM Birds r
+		WHERE r.$.getSummaryObject('C1').getLabelValue('Disease') > 0`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Tuple.Values[0].Text != "Swan Goose" {
+		t.Fatalf("query result: %s", res)
+	}
+	obj := res.Rows[0].Tuple.Summaries.Get("C1")
+	if n, _ := obj.GetLabelValue("Disease"); n != 2 {
+		t.Errorf("Disease = %d", n)
+	}
+
+	zooms, err := db.ZoomIn("Birds", "C1", "Disease", "id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zooms) != 1 || len(zooms[0].Annotations) != 2 {
+		t.Fatalf("zoom: %+v", zooms)
+	}
+
+	expl, err := db.Explain(`SELECT name FROM Birds r
+		WHERE r.$.getSummaryObject('C1').getLabelValue('Disease') > 0`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, "SummaryBTreeScan") {
+		t.Errorf("plan does not use the index:\n%s", expl)
+	}
+
+	// Ablation options are part of the public contract.
+	res2, err := db.Query(`SELECT name FROM Birds r
+		WHERE r.$.getSummaryObject('C1').getLabelValue('Disease') > 0`,
+		&insightnotes.Options{NoSummaryIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res.Rows) {
+		t.Error("ablation changed results")
+	}
+}
+
+func TestPublicValueHelpers(t *testing.T) {
+	if insightnotes.Int(3).Int != 3 ||
+		insightnotes.Float(1.5).Float != 1.5 ||
+		insightnotes.Text("x").Text != "x" ||
+		!insightnotes.Bool(true).Bool ||
+		!insightnotes.Null().IsNull() {
+		t.Error("value constructors broken")
+	}
+	s := insightnotes.NewSchema("t", insightnotes.Column{Name: "a", Kind: insightnotes.KindInt})
+	if s.Len() != 1 {
+		t.Error("NewSchema")
+	}
+}

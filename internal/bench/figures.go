@@ -1,0 +1,669 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/heap"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Harness caches built datasets per annotations-per-bird grid point.
+type Harness struct {
+	Scale Scale
+	cache map[int]*entry
+}
+
+type entry struct {
+	ds           *workload.Dataset
+	buildTime    time.Duration
+	sbtreeTime   time.Duration
+	baselineTime time.Duration
+	indexed      bool
+}
+
+// NewHarness builds an empty harness.
+func NewHarness(s Scale) *Harness {
+	return &Harness{Scale: s, cache: map[int]*entry{}}
+}
+
+// dataset returns the (cached) dataset for one grid point, without
+// indexes.
+func (h *Harness) dataset(avg int) (*entry, error) {
+	if e, ok := h.cache[avg]; ok {
+		return e, nil
+	}
+	var ds *workload.Dataset
+	buildTime, err := timeIt(func() error {
+		var err error
+		ds, err = workload.Build(workload.Config{
+			Seed:                   h.Scale.Seed,
+			Birds:                  h.Scale.Birds,
+			AvgAnnotationsPerBird:  avg,
+			SynonymsPerBird:        h.Scale.SynonymsPerBird,
+			LongAnnotationFraction: 0.01,
+		})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{ds: ds, buildTime: buildTime}
+	h.cache[avg] = e
+	return e, nil
+}
+
+// indexed returns the dataset with both index schemes built (timed on
+// first use).
+func (h *Harness) indexed(avg int) (*entry, error) {
+	e, err := h.dataset(avg)
+	if err != nil {
+		return nil, err
+	}
+	if e.indexed {
+		return e, nil
+	}
+	e.sbtreeTime, err = timeIt(func() error {
+		return e.ds.DB.CreateSummaryIndex("Birds", "ClassBird1")
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.baselineTime, err = timeIt(func() error {
+		return e.ds.DB.CreateBaselineIndex("Birds", "ClassBird1")
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.indexed = true
+	return e, nil
+}
+
+// pickConstant returns the count value of a classifier label whose
+// equality selectivity is closest to target.
+func pickConstant(t *catalog.Table, instance, label string, target float64) int {
+	ls := t.Stats(instance).Label(label)
+	n := ls.N()
+	if n == 0 {
+		return 0
+	}
+	best, bestDiff := 0, 2.0
+	for v, c := range ls.Values() {
+		sel := float64(c) / float64(n)
+		diff := sel - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff || (diff == bestDiff && v < best) {
+			best, bestDiff = v, diff
+		}
+	}
+	return best
+}
+
+// pickGreaterConstant returns the smallest constant c such that the
+// fraction of objects with count > c is at most target — the paper's
+// "classLabel > constant" predicates at a chosen selectivity.
+func pickGreaterConstant(t *catalog.Table, instance, label string, target float64) int {
+	ls := t.Stats(instance).Label(label)
+	n := ls.N()
+	if n == 0 {
+		return 0
+	}
+	values := ls.Values()
+	var counts []int
+	for v := range values {
+		counts = append(counts, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	above := 0
+	for _, v := range counts {
+		next := above + values[v]
+		if float64(next)/float64(n) > target {
+			return v
+		}
+		above = next
+	}
+	return 0
+}
+
+// queryTime runs a query several times, returning the best time, the
+// row count, and the page reads of one run.
+func queryTime(db *engine.DB, q string, opts *optimizer.Options, reps int) (time.Duration, int, int64, error) {
+	rows := 0
+	acct := db.Accountant()
+	var reads int64
+	d, err := timeBest(reps, func() error {
+		before := acct.Stats()
+		res, err := db.Query(q, opts)
+		if err != nil {
+			return err
+		}
+		reads = acct.Stats().Sub(before).PageReads
+		rows = len(res.Rows)
+		return nil
+	})
+	return d, rows, reads, err
+}
+
+// --- Figure 7: storage overhead ---------------------------------------------
+
+// Fig07Storage compares the storage footprint of the Baseline scheme
+// (replicated normalized table + indexes) against the Summary-BTree
+// scheme (de-normalized objects + index only).
+func Fig07Storage(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 7",
+		Title:   "Storage overhead: Baseline vs Summary-BTree scheme",
+		Headers: []string{"annotations", "objects KB", "baseline KB", "sbtree KB", "saving"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		db := e.ds.DB
+		birds, _ := db.Table("Birds")
+		objects := summaryStorageBytes(birds)
+		base := db.BaselineIndex("Birds", "ClassBird1").SizeBytes()
+		sb := db.SummaryIndex("Birds", "ClassBird1").SizeBytes()
+		saving := 1 - float64(objects+sb)/float64(objects+objects/2+base)
+		t.AddRow(h.Scale.PaperAnnotations(avg), kb(objects), kb(base), kb(sb),
+			fmt.Sprintf("%.0f%%", 100*(1-float64(sb)/float64(base))))
+		_ = saving
+	}
+	t.AddNote("paper: index sizes comparable; Summary-BTree scheme avoids replicating the objects (~65%% total saving)")
+	t.AddNote("overhead flat in annotation volume: classifier objects have fixed size once every tuple is annotated")
+	return t, nil
+}
+
+func summaryStorageBytes(t *catalog.Table) int {
+	total := 0
+	t.SummaryStorage.Scan(func(_ heap.RID, _ int64, set model.SummarySet) bool {
+		total += catalog.EstimateSetSize(set)
+		return true
+	})
+	return total
+}
+
+// --- Figure 8: bulk index creation -------------------------------------------
+
+// Fig08Bulk reports index-creation time relative to data-loading time
+// for both schemes.
+func Fig08Bulk(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 8",
+		Title:   "Bulk index creation (% of data-loading time)",
+		Headers: []string{"annotations", "load ms", "sbtree ms", "sbtree %", "baseline ms", "baseline %"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), ms(e.buildTime),
+			ms(e.sbtreeTime), pct(e.sbtreeTime, e.buildTime),
+			ms(e.baselineTime), pct(e.baselineTime, e.buildTime))
+	}
+	t.AddNote("paper: both within ~12%% of loading; Summary-BTree up to 35%% cheaper than baseline (no normalization pass)")
+	return t, nil
+}
+
+// --- Figure 9: incremental indexing ------------------------------------------
+
+// Fig09Incremental measures the per-annotation insertion time with no
+// indexes, with the Summary-BTree, and with the baseline index.
+func Fig09Incremental(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure: "Figure 9",
+		Title:  "Incremental maintenance: avg insert time per annotation (100-insert batches)",
+		Headers: []string{"annotations", "no-index ms", "sbtree ms", "overhead",
+			"baseline ms", "overhead", "pages/insert n/s/b"},
+	}
+	const batch = 100
+	for _, avg := range h.Scale.AnnGrid {
+		ds, err := workload.Build(workload.Config{
+			Seed:                  h.Scale.Seed + 100,
+			Birds:                 h.Scale.Birds / 2,
+			AvgAnnotationsPerBird: avg,
+			SkipSynonyms:          true,
+			// No LSA-long annotations: a single long annotation's
+			// summarization would dominate a 100-insert batch and mask
+			// the index-maintenance overhead being measured.
+			LongAnnotationFraction: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(99))
+		acct := ds.DB.Accountant()
+		// Minimum over three 100-insert batches per configuration, to
+		// suppress allocator/GC noise at microsecond batch times; page
+		// accesses (deterministic) carry the maintenance-cost signal.
+		insertBatch := func() (time.Duration, int64, error) {
+			before := acct.Stats()
+			d, err := timeBest(3, func() error {
+				for i := 0; i < batch; i++ {
+					if err := ds.AddAnnotations(rng, rng.Intn(len(ds.Birds)), 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			pages := acct.Stats().Sub(before).Total() / (3 * batch)
+			return d, pages, err
+		}
+		none, pagesNone, err := insertBatch()
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.DB.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+			return nil, err
+		}
+		withSB, pagesSB, err := insertBatch()
+		if err != nil {
+			return nil, err
+		}
+		ds.DB.DropSummaryIndex("Birds", "ClassBird1")
+		if err := ds.DB.CreateBaselineIndex("Birds", "ClassBird1"); err != nil {
+			return nil, err
+		}
+		withBase, pagesBase, err := insertBatch()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg),
+			ms(none/batch), ms(withSB/batch), pct(withSB-none, none),
+			ms(withBase/batch), pct(withBase-none, none),
+			fmt.Sprintf("%d/%d/%d", pagesNone, pagesSB, pagesBase))
+	}
+	t.AddNote("paper: Summary-BTree adds 10–15%% per insert, baseline 20–37%% (extra de-normalization writes)")
+	t.AddNote("here mining dominates the insert path, so wall-clock overheads sit inside noise at small sizes;")
+	t.AddNote("the page column isolates maintenance I/O: none < Summary-BTree < baseline")
+	return t, nil
+}
+
+// --- Figure 10: summary-based selection --------------------------------------
+
+// Fig10Selection runs the SP query with a classifier equality predicate
+// (~1%% selectivity) under NoIndex / Baseline / Summary-BTree.
+func Fig10Selection(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 10",
+		Title:   "Summary-based selection (classifier), ~1% selectivity, time in ms (log-scale plot in paper)",
+		Headers: []string{"annotations", "noindex ms", "baseline ms", "sbtree ms", "base/sbtree", "noidx/sbtree", "pages n/b/s"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		db := e.ds.DB
+		birds, _ := db.Table("Birds")
+		c := pickConstant(birds, "ClassBird1", "Disease", 0.01)
+		q := fmt.Sprintf(`SELECT * FROM Birds r
+			WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = %d`, c)
+		noIdx, n1, r1, err := queryTime(db, q, &optimizer.Options{NoSummaryIndex: true}, 7)
+		if err != nil {
+			return nil, err
+		}
+		base, n2, r2, err := queryTime(db, q, &optimizer.Options{UseBaseline: true}, 7)
+		if err != nil {
+			return nil, err
+		}
+		sb, n3, r3, err := queryTime(db, q, nil, 7)
+		if err != nil {
+			return nil, err
+		}
+		if n1 != n2 || n2 != n3 {
+			return nil, fmt.Errorf("fig10: result mismatch %d/%d/%d", n1, n2, n3)
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), ms(noIdx), ms(base), ms(sb),
+			ratio(base, sb), ratio(noIdx, sb), fmt.Sprintf("%d/%d/%d", r1, r2, r3))
+	}
+	t.AddNote("paper: both indexes ~2 orders of magnitude over NoIndex; Summary-BTree ~3x over baseline (fewer indirections)")
+	return t, nil
+}
+
+// --- Figure 11: two-predicate query -------------------------------------------
+
+// Fig11TwoPredicates combines an anatomy-count range predicate with a
+// snippet keyword-search predicate.
+func Fig11TwoPredicates(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 11",
+		Title:   "Two-predicate selection (classifier range + snippet keyword search)",
+		Headers: []string{"annotations", "noindex ms", "baseline ms", "sbtree ms", "base/sbtree"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		db := e.ds.DB
+		birds, _ := db.Table("Birds")
+		lo := pickConstant(birds, "ClassBird1", "Anatomy", 0.05)
+		q := fmt.Sprintf(`SELECT * FROM Birds r
+			WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Anatomy') >= %d
+			AND r.$.getSummaryObject('ClassBird1').getLabelValue('Anatomy') <= %d
+			AND r.$.getSummaryObject('TextSummary1').containsUnion('stonewort')`, lo, lo+2)
+		noIdx, _, _, err := queryTime(db, q, &optimizer.Options{NoSummaryIndex: true}, 5)
+		if err != nil {
+			return nil, err
+		}
+		base, _, _, err := queryTime(db, q, &optimizer.Options{UseBaseline: true}, 5)
+		if err != nil {
+			return nil, err
+		}
+		sb, _, _, err := queryTime(db, q, nil, 5)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), ms(noIdx), ms(base), ms(sb), ratio(base, sb))
+	}
+	t.AddNote("paper: Summary-BTree ~2x over baseline; index answers the range, S applies the keyword predicate on top")
+	return t, nil
+}
+
+// --- Figure 12: de-normalized propagation --------------------------------------
+
+// Fig12DenormalizedPropagation compares summary propagation read from
+// the de-normalized storage (Summary-BTree scheme) against rebuilding
+// the objects from the baseline's normalized rows.
+func Fig12DenormalizedPropagation(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 12",
+		Title:   "Propagation source: baseline normalized rebuild vs de-normalized storage",
+		Headers: []string{"annotations", "baseline-rebuild ms", "sbtree ms", "ratio", "pages b/s"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		db := e.ds.DB
+		birds, _ := db.Table("Birds")
+		lo := pickConstant(birds, "ClassBird1", "Anatomy", 0.1)
+		q := fmt.Sprintf(`SELECT * FROM Birds r
+			WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Anatomy') >= %d
+			AND r.$.getSummaryObject('ClassBird1').getLabelValue('Anatomy') <= %d`, lo, lo+3)
+		base, _, rb, err := queryTime(db, q,
+			&optimizer.Options{UseBaseline: true, BaselineReconstruct: true}, 5)
+		if err != nil {
+			return nil, err
+		}
+		sb, _, rs, err := queryTime(db, q, nil, 5)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), ms(base), ms(sb), ratio(base, sb),
+			fmt.Sprintf("%d/%d", rb, rs))
+	}
+	t.AddNote("paper: rebuilding summaries from normalized primitives is ~7x slower than reading the de-normalized storage")
+	return t, nil
+}
+
+// --- Figure 13: backward pointers ----------------------------------------------
+
+// Fig13BackwardPointers ablates the backward-referencing mechanism:
+// {backward, conventional} × {propagation, no propagation}.
+func Fig13BackwardPointers(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 13",
+		Title:   "Backward vs conventional index pointers",
+		Headers: []string{"annotations", "bwd+prop ms", "bwd ms", "conv+prop ms", "conv ms", "conv/bwd (noprop)", "pages conv/bwd"},
+	}
+	for _, avg := range h.Scale.AnnGrid {
+		e, err := h.indexed(avg)
+		if err != nil {
+			return nil, err
+		}
+		db := e.ds.DB
+		birds, _ := db.Table("Birds")
+		c := pickConstant(birds, "ClassBird1", "Disease", 0.05)
+		withProp := fmt.Sprintf(`SELECT * FROM Birds r
+			WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = %d`, c)
+		noProp := withProp + " WITHOUT SUMMARIES"
+		run := func(q string, conventional bool) (time.Duration, int64, error) {
+			d, _, reads, err := queryTime(db, q, &optimizer.Options{ConventionalPointers: conventional}, 15)
+			return d, reads, err
+		}
+		bwdProp, _, err := run(withProp, false)
+		if err != nil {
+			return nil, err
+		}
+		bwd, bwdReads, err := run(noProp, false)
+		if err != nil {
+			return nil, err
+		}
+		convProp, _, err := run(withProp, true)
+		if err != nil {
+			return nil, err
+		}
+		conv, convReads, err := run(noProp, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), ms(bwdProp), ms(bwd), ms(convProp), ms(conv),
+			ratio(conv, bwd), fmt.Sprintf("%d/%d", convReads, bwdReads))
+	}
+	t.AddNote("paper: with propagation both are similar (1-1 storage join); without it, backward pointers save the join (~4x)")
+	return t, nil
+}
+
+// --- Figure 14: rules 2 and 5 ---------------------------------------------------
+
+// Fig14Rules25 runs Example 4's query — Birds ⋈ Synonyms, a classifier
+// selection, and a summary-based sort — with the rules disabled/enabled
+// across {NLoop, Index} × {Mem, Disk}.
+func Fig14Rules25(h *Harness) (*Table, error) {
+	avg := h.Scale.AnnGrid[len(h.Scale.AnnGrid)-1] // largest point, as in the paper
+	e, err := h.indexed(avg)
+	if err != nil {
+		return nil, err
+	}
+	db := e.ds.DB
+	if err := db.CreateDataIndex("Synonyms", "bird_id"); err != nil {
+		return nil, err
+	}
+	birds, _ := db.Table("Birds")
+	c := pickGreaterConstant(birds, "ClassBird1", "Disease", 0.10)
+	q := fmt.Sprintf(`SELECT r.id FROM Birds r, Synonyms s
+		WHERE r.id = s.bird_id
+		AND r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > %d
+		ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease')`, c)
+
+	t := &Table{
+		Figure:  "Figure 14",
+		Title:   fmt.Sprintf("Rules {2,5}: push S below ⋈ + index order eliminates sort (%s annotations)", h.Scale.PaperAnnotations(avg)),
+		Headers: []string{"join/sort", "disabled ms", "enabled ms", "speedup"},
+	}
+	for _, jc := range []struct{ join, sort string }{
+		{"nl", "mem"}, {"nl", "disk"}, {"index", "mem"}, {"index", "disk"},
+	} {
+		disabled, n1, _, err := queryTime(db, q, &optimizer.Options{
+			DisableRules: true, ForceJoin: jc.join, ForceSort: jc.sort, SortRunLen: 256,
+		}, 3)
+		if err != nil {
+			return nil, err
+		}
+		enabled, n2, _, err := queryTime(db, q, &optimizer.Options{ForceJoin: jc.join}, 3)
+		if err != nil {
+			return nil, err
+		}
+		if n1 != n2 {
+			return nil, fmt.Errorf("fig14 %v: result mismatch %d vs %d", jc, n1, n2)
+		}
+		t.AddRow(fmt.Sprintf("%s/%s", jc.join, jc.sort), ms(disabled), ms(enabled), ratio(disabled, enabled))
+	}
+	t.AddNote("paper: ~15x across all four join/sort combinations")
+	return t, nil
+}
+
+// --- Figure 15: rule 11 ----------------------------------------------------------
+
+// Fig15Rule11 switches the order of a data join and a summary join: the
+// default plan runs J(Birds, Synonyms) — a keyword search over the
+// COMBINED TextSummary1 objects of both sides — first with a nested
+// loop, then block-NL-joins the (large) intermediate with the replica T;
+// the optimized plan applies rule 11 and joins Birds with T through T's
+// id index first. The keyword is the workload's rare marker phrase, so
+// the summary join is selective but non-empty.
+func Fig15Rule11(h *Harness) (*Table, error) {
+	t := &Table{
+		Figure:  "Figure 15",
+		Title:   "Rule {11}: switching data- and summary-join order",
+		Headers: []string{"annotations", "rows", "disabled ms", "enabled ms", "speedup"},
+	}
+	// The summary join is evaluated |R|×|S| times in both plans; its
+	// cost grows with annotation volume, so this figure runs a reduced
+	// grid on a half-size Birds table (documented in EXPERIMENTS.md).
+	grid := h.Scale.SortedGrid()
+	if len(grid) > 2 {
+		grid = grid[:2]
+	}
+	for _, avg := range grid {
+		ds, err := workload.Build(workload.Config{
+			Seed:                     h.Scale.Seed + 200,
+			Birds:                    h.Scale.Birds / 2,
+			AvgAnnotationsPerBird:    avg,
+			SynonymsPerBird:          h.Scale.SynonymsPerBird,
+			AnnotateSynonymsFraction: 0.15,
+			LongAnnotationFraction:   -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db := ds.DB
+		// T: a 1-1 replica of Birds joined through an indexed id column.
+		if _, err := db.CreateTable("BirdsT", workload.BirdsSchema()); err != nil {
+			return nil, err
+		}
+		birds, _ := db.Table("Birds")
+		birds.Scan(func(_ heap.RID, tu *model.Tuple) bool {
+			db.Insert("BirdsT", tu.Values...)
+			return true
+		})
+		if err := db.CreateDataIndex("BirdsT", "id"); err != nil {
+			return nil, err
+		}
+		if err := db.CreateDataIndex("Birds", "id"); err != nil {
+			return nil, err
+		}
+		q := `SELECT r.id FROM Birds r, Synonyms s, BirdsT t
+		      WHERE t.id = r.id
+		      AND (r.$.getSummaryObject('TextSummary1').containsUnion('ringed')
+		        OR s.$.getSummaryObject('TextSummary1').containsUnion('ringed'))`
+		disabled, n1, _, err := queryTime(db, q, &optimizer.Options{DisableRules: true}, 1)
+		if err != nil {
+			return nil, err
+		}
+		enabled, n2, _, err := queryTime(db, q, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		if n1 != n2 {
+			return nil, fmt.Errorf("fig15: result mismatch %d vs %d", n1, n2)
+		}
+		t.AddRow(h.Scale.PaperAnnotations(avg), fmt.Sprint(n1),
+			ms(disabled), ms(enabled), ratio(disabled, enabled))
+	}
+	t.AddNote("paper: ~3.5x from performing the indexed data join first (rule 11)")
+	return t, nil
+}
+
+// --- Figures 2 and 16: usability case study ---------------------------------------
+
+// Fig16CaseStudy reproduces the case-study comparison. Human time for
+// the manual group cannot be measured here: the paper's reported values
+// are shown as "modeled" context, while the InsightNotes+ column is the
+// measured automated time on this engine.
+func Fig16CaseStudy(h *Harness) (*Table, error) {
+	avg := h.Scale.AnnGrid[0]
+	e, err := h.indexed(avg)
+	if err != nil {
+		return nil, err
+	}
+	db := e.ds.DB
+	if _, err := db.Table("BirdsV2"); err != nil {
+		diff := map[int]bool{}
+		for i := 0; i < 5 && i < len(e.ds.Birds); i++ {
+			diff[i*7%len(e.ds.Birds)] = true
+		}
+		if err := e.ds.BuildVersionTable("BirdsV2", diff); err != nil {
+			return nil, err
+		}
+		if err := db.CreateDataIndex("BirdsV2", "id"); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		Figure:  "Figure 16 (and 2)",
+		Title:   "Usability case study: InsightNotes (manual post-processing, paper-reported) vs InsightNotes+ (measured)",
+		Headers: []string{"query", "rows", "basic InsightNotes (paper)", "InsightNotes+ measured"},
+	}
+
+	q1 := `SELECT id FROM Birds r
+	       ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC LIMIT 100`
+	d1, n1, _, err := queryTime(db, q1, nil, 3)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Q1 summary-based sort", fmt.Sprint(n1), "5.2 min (manual sort of 100 tuples)", ms(d1)+" ms")
+
+	q2 := `SELECT v1.id FROM Birds v1, BirdsV2 v2
+	       WHERE v1.id = v2.id
+	       AND v1.$.getSummaryObject('ClassBird1').getLabelValue('Disease')
+	        <> v2.$.getSummaryObject('ClassBird1').getLabelValue('Disease')`
+	d2, n2, _, err := queryTime(db, q2, nil, 3)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Q2 version-diff summary join", fmt.Sprint(n2), "8.1 min (manual check of joined tuples)", ms(d2)+" ms")
+
+	birds, _ := db.Table("Birds")
+	c := pickConstant(birds, "ClassBird1", "Disease", 0.02)
+	q3 := fmt.Sprintf(`SELECT id FROM Birds r
+	       WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > %d`, c)
+	d3, n3, _, err := queryTime(db, q3, nil, 3)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("Q3 summary-based selection", fmt.Sprint(n3), "infeasible (45K tuples to inspect)", ms(d3)+" ms")
+
+	t.AddNote("the 'basic InsightNotes' column is the paper's reported human time (modeled context, not measured here);")
+	t.AddNote("the structural claim — these queries run automatically in sub-second time instead of manual minutes — is measured")
+	return t, nil
+}
+
+// AllFigures runs every experiment in paper order.
+func AllFigures(h *Harness) ([]*Table, error) {
+	runners := []func(*Harness) (*Table, error){
+		Fig07Storage, Fig08Bulk, Fig09Incremental, Fig10Selection,
+		Fig11TwoPredicates, Fig12DenormalizedPropagation,
+		Fig13BackwardPointers, Fig14Rules25, Fig15Rule11, Fig16CaseStudy,
+	}
+	var out []*Table
+	for _, run := range runners {
+		tbl, err := run(h)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// SortedGrid returns the grid ascending (defensive copy).
+func (s Scale) SortedGrid() []int {
+	g := append([]int(nil), s.AnnGrid...)
+	sort.Ints(g)
+	return g
+}

@@ -1,0 +1,458 @@
+// Package btree implements an in-memory B+Tree with string keys, int64
+// payloads, duplicate-key support, and leaf-chained range scans. It is
+// the standard index of the engine and the substrate the Summary-BTree
+// (internal/index) builds on: the Summary-BTree keeps the same structure
+// and maintenance algorithms and differs only in what its leaf payloads
+// point at (backward pointers to the data heap).
+//
+// Node accesses are charged to a pager.Accountant, one read per node
+// visited and one write per node modified, so logarithmic access-path
+// claims are testable.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pager"
+)
+
+// DefaultOrder is the default maximum number of entries per node.
+const DefaultOrder = 64
+
+// Tree is a B+Tree. Not safe for concurrent mutation.
+type Tree struct {
+	acct  *pager.Accountant
+	order int // max entries per node
+	root  *node
+	size  int
+	nodes int
+}
+
+type node struct {
+	leaf     bool
+	keys     []string
+	vals     []int64 // leaf only; len == len(keys)
+	children []*node // internal only; len == len(keys)+1
+	next     *node   // leaf chain
+}
+
+// New builds a tree of the given order (maximum entries per node); order
+// < 4 is raised to 4.
+func New(acct *pager.Accountant, order int) *Tree {
+	if order < 4 {
+		order = 4
+	}
+	t := &Tree{acct: acct, order: order}
+	t.root = &node{leaf: true}
+	t.nodes = 1
+	return t
+}
+
+// NewLike builds an empty tree sharing t's order and accountant — used
+// when an index must be rebuilt (e.g. Summary-BTree width extension).
+func NewLike(t *Tree) *Tree { return New(t.acct, t.order) }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Order returns the tree's order.
+func (t *Tree) Order() int { return t.order }
+
+// Nodes returns the number of allocated nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+func (t *Tree) minEntries() int { return t.order / 2 }
+
+// --- search ---------------------------------------------------------------
+
+// lowerBound returns the index of the first key in n >= key.
+func lowerBound(n *node, key string) int {
+	return sort.SearchStrings(n.keys, key)
+}
+
+// upperBound returns the index of the first key in n > key.
+func upperBound(n *node, key string) int {
+	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+}
+
+// descend walks from the root to the leaf that may contain key, using
+// lower-bound routing (leftmost occurrence for duplicates); each visited
+// node is one page read.
+func (t *Tree) descendLower(key string) *node {
+	n := t.root
+	t.acct.Read(1)
+	for !n.leaf {
+		// Separator keys[i] is the minimum key of children[i+1]: route to
+		// children[i] where i = first separator > key... for leftmost
+		// duplicates we must go left of equal separators.
+		i := lowerBound(n, key)
+		// keys[i] == key means children[i+1] starts at key; the leftmost
+		// duplicate may still live at the end of children[i]'s subtree, so
+		// descend into children[i].
+		n = n.children[i]
+		t.acct.Read(1)
+	}
+	return n
+}
+
+// SearchEq returns the payloads of every entry with exactly key.
+func (t *Tree) SearchEq(key string) []int64 {
+	var out []int64
+	t.ScanRange(key, key, func(k string, v int64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key string) bool {
+	found := false
+	t.ScanRange(key, key, func(string, int64) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ScanRange visits every entry with from <= key <= to in key order,
+// stopping early when fn returns false. An empty `to` of "\xff..." is not
+// required: use ScanFrom for open-ended scans.
+func (t *Tree) ScanRange(from, to string, fn func(key string, val int64) bool) {
+	n := t.descendLower(from)
+	for n != nil {
+		i := lowerBound(n, from)
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > to {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		if n != nil {
+			t.acct.Read(1)
+		}
+		from = "" // subsequent leaves start at position 0
+	}
+}
+
+// ScanFrom visits every entry with key >= from in key order.
+func (t *Tree) ScanFrom(from string, fn func(key string, val int64) bool) {
+	n := t.descendLower(from)
+	for n != nil {
+		i := lowerBound(n, from)
+		for ; i < len(n.keys); i++ {
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		if n != nil {
+			t.acct.Read(1)
+		}
+		from = ""
+	}
+}
+
+// ScanAll visits every entry in key order.
+func (t *Tree) ScanAll(fn func(key string, val int64) bool) { t.ScanFrom("", fn) }
+
+// --- insert ---------------------------------------------------------------
+
+// Insert adds (key, val). Duplicate keys are allowed; duplicate
+// (key, val) pairs are stored as distinct entries.
+func (t *Tree) Insert(key string, val int64) {
+	sep, right := t.insert(t.root, key, val)
+	if right != nil {
+		newRoot := &node{
+			keys:     []string{sep},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+		t.nodes++
+		t.acct.Write(1)
+	}
+	t.size++
+}
+
+// insert descends into n; on child split it absorbs the new separator.
+// Returns a (separator, right sibling) pair when n itself splits.
+func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
+	t.acct.Read(1)
+	if n.leaf {
+		i := upperBound(n, key)
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		t.acct.Write(1)
+		if len(n.keys) > t.order {
+			return t.splitLeaf(n)
+		}
+		return "", nil
+	}
+	ci := upperBound(n, key)
+	sep, right := t.insert(n.children[ci], key, val)
+	if right == nil {
+		return "", nil
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	t.acct.Write(1)
+	if len(n.keys) > t.order {
+		return t.splitInternal(n)
+	}
+	return "", nil
+}
+
+func (t *Tree) splitLeaf(n *node) (string, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([]string(nil), n.keys[mid:]...),
+		vals: append([]int64(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	t.nodes++
+	t.acct.Write(2)
+	return right.keys[0], right
+}
+
+func (t *Tree) splitInternal(n *node) (string, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([]string(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	t.nodes++
+	t.acct.Write(2)
+	return sep, right
+}
+
+// --- delete ---------------------------------------------------------------
+
+// Delete removes one entry matching (key, val), returning whether an
+// entry was removed. With duplicates, the leftmost match is removed.
+func (t *Tree) Delete(key string, val int64) bool {
+	deleted := t.delete(t.root, key, val)
+	if !deleted {
+		return false
+	}
+	t.size--
+	// Collapse a root that lost its last separator.
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+		t.nodes--
+	}
+	return true
+}
+
+// delete removes (key, val) from the subtree under n and rebalances its
+// children; it reports whether a removal happened. The caller handles
+// n's own underflow.
+func (t *Tree) delete(n *node, key string, val int64) bool {
+	t.acct.Read(1)
+	if n.leaf {
+		for i := lowerBound(n, key); i < len(n.keys) && n.keys[i] == key; i++ {
+			if n.vals[i] == val {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				t.acct.Write(1)
+				return true
+			}
+		}
+		return false
+	}
+	// Duplicates equal to a separator can live in either adjacent child;
+	// try the lower-bound child first, then subsequent children while the
+	// separator still equals key.
+	ci := lowerBound(n, key)
+	for {
+		if t.delete(n.children[ci], key, val) {
+			t.fixChild(n, ci)
+			return true
+		}
+		if ci >= len(n.keys) || n.keys[ci] != key {
+			return false
+		}
+		ci++
+	}
+}
+
+// fixChild rebalances n.children[ci] if it underflowed, by borrowing
+// from a sibling or merging with one.
+func (t *Tree) fixChild(n *node, ci int) {
+	child := n.children[ci]
+	min := t.minEntries()
+	if len(child.keys) >= min {
+		return
+	}
+	// Try borrowing from the left sibling.
+	if ci > 0 && len(n.children[ci-1].keys) > min {
+		left := n.children[ci-1]
+		if child.leaf {
+			lk, lv := left.keys[len(left.keys)-1], left.vals[len(left.vals)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			left.vals = left.vals[:len(left.vals)-1]
+			child.keys = append([]string{lk}, child.keys...)
+			child.vals = append([]int64{lv}, child.vals...)
+			n.keys[ci-1] = child.keys[0]
+		} else {
+			// Rotate through the separator.
+			child.keys = append([]string{n.keys[ci-1]}, child.keys...)
+			n.keys[ci-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		t.acct.Write(3)
+		return
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(n.children)-1 && len(n.children[ci+1].keys) > min {
+		right := n.children[ci+1]
+		if child.leaf {
+			rk, rv := right.keys[0], right.vals[0]
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			child.keys = append(child.keys, rk)
+			child.vals = append(child.vals, rv)
+			n.keys[ci] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[ci])
+			n.keys[ci] = right.keys[0]
+			right.keys = right.keys[1:]
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		t.acct.Write(3)
+		return
+	}
+	// Merge with a sibling.
+	if ci > 0 {
+		t.mergeChildren(n, ci-1)
+	} else {
+		t.mergeChildren(n, ci)
+	}
+}
+
+// mergeChildren merges n.children[i+1] into n.children[i] and removes
+// separator n.keys[i].
+func (t *Tree) mergeChildren(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	t.nodes--
+	t.acct.Write(2)
+}
+
+// --- validation -----------------------------------------------------------
+
+// Validate checks the structural invariants: key order within and across
+// nodes, separator correctness, uniform leaf depth, occupancy bounds for
+// non-root nodes, and leaf-chain consistency. It returns the first
+// violation found.
+func (t *Tree) Validate() error {
+	depth := -1
+	var prevLeaf *node
+	count := 0
+	var walk func(n *node, d int, lo, hi string, hasLo, hasHi bool) error
+	walk = func(n *node, d int, lo, hi string, hasLo, hasHi bool) error {
+		if n != t.root && len(n.keys) < t.minEntries() {
+			return fmt.Errorf("btree: underfull node at depth %d: %d < %d", d, len(n.keys), t.minEntries())
+		}
+		if len(n.keys) > t.order {
+			return fmt.Errorf("btree: overfull node at depth %d: %d > %d", d, len(n.keys), t.order)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] > n.keys[i] {
+				return fmt.Errorf("btree: unsorted keys at depth %d: %q > %q", d, n.keys[i-1], n.keys[i])
+			}
+		}
+		for _, k := range n.keys {
+			if hasLo && k < lo {
+				return fmt.Errorf("btree: key %q below bound %q", k, lo)
+			}
+			if hasHi && k > hi {
+				return fmt.Errorf("btree: key %q above bound %q", k, hi)
+			}
+		}
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("btree: leaf vals/keys mismatch: %d/%d", len(n.vals), len(n.keys))
+			}
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
+			}
+			if prevLeaf != nil && prevLeaf.next != n {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			prevLeaf = n
+			count += len(n.keys)
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: internal children/keys mismatch: %d/%d", len(n.children), len(n.keys))
+		}
+		for i, c := range n.children {
+			clo, chasLo := lo, hasLo
+			chi, chasHi := hi, hasHi
+			if i > 0 {
+				clo, chasLo = n.keys[i-1], true
+			}
+			if i < len(n.keys) {
+				chi, chasHi = n.keys[i], true
+			}
+			if err := walk(c, d+1, clo, chi, chasLo, chasHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, "", "", false, false); err != nil {
+		return err
+	}
+	if prevLeaf != nil && prevLeaf.next != nil {
+		return fmt.Errorf("btree: leaf chain extends past last leaf")
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d entries found", t.size, count)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package catalog
+
+import (
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+// AnnotationStore is the raw-annotation heap shared by all relations,
+// with B-Tree access paths by annotation ID (zoom-in) and by annotated
+// tuple OID (summarization and re-election).
+type AnnotationStore struct {
+	file    *heap.File[*model.Annotation]
+	byID    *btree.Tree // annotation-ID sort-key -> RID
+	byTuple *btree.Tree // tuple-OID sort-key    -> RID
+	nextID  int64
+	nextSeq int64
+}
+
+// NewAnnotationStore builds an empty store charged to acct.
+func NewAnnotationStore(acct *pager.Accountant, pageCap int) *AnnotationStore {
+	return &AnnotationStore{
+		file:    heap.NewFile[*model.Annotation](acct, pageCap),
+		byID:    btree.New(acct, btree.DefaultOrder),
+		byTuple: btree.New(acct, btree.DefaultOrder),
+	}
+}
+
+// Add stores an annotation, assigning its ID and logical timestamp.
+// The Columns slice is retained; callers must not mutate it afterwards.
+func (s *AnnotationStore) Add(tupleOID int64, text string, columns []string, author string) *model.Annotation {
+	s.nextID++
+	s.nextSeq++
+	a := &model.Annotation{
+		ID:       s.nextID,
+		Text:     text,
+		TupleOID: tupleOID,
+		Columns:  columns,
+		Author:   author,
+		Seq:      s.nextSeq,
+	}
+	rid := s.file.Insert(a.ID, a)
+	s.byID.Insert(oidKey(a.ID), rid.Encode())
+	s.byTuple.Insert(oidKey(tupleOID), rid.Encode())
+	return a
+}
+
+// AttachTo additionally attaches an existing annotation to another
+// tuple — annotations may target arbitrary combinations of tuples, and
+// a shared annotation must not be double counted when the tuples join.
+func (s *AnnotationStore) AttachTo(annID, tupleOID int64) bool {
+	vals := s.byID.SearchEq(oidKey(annID))
+	if len(vals) == 0 {
+		return false
+	}
+	s.byTuple.Insert(oidKey(tupleOID), vals[0])
+	return true
+}
+
+// Get fetches an annotation by ID.
+func (s *AnnotationStore) Get(id int64) (*model.Annotation, bool) {
+	vals := s.byID.SearchEq(oidKey(id))
+	if len(vals) == 0 {
+		return nil, false
+	}
+	_, a, ok := s.file.Get(heap.DecodeRID(vals[0]))
+	return a, ok
+}
+
+// ForTuple returns all annotations attached to a tuple, in ID order.
+func (s *AnnotationStore) ForTuple(tupleOID int64) []*model.Annotation {
+	var out []*model.Annotation
+	for _, v := range s.byTuple.SearchEq(oidKey(tupleOID)) {
+		if _, a, ok := s.file.Get(heap.DecodeRID(v)); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Delete removes an annotation.
+func (s *AnnotationStore) Delete(id int64) bool {
+	vals := s.byID.SearchEq(oidKey(id))
+	if len(vals) == 0 {
+		return false
+	}
+	rid := heap.DecodeRID(vals[0])
+	_, a, ok := s.file.Get(rid)
+	if !ok {
+		return false
+	}
+	s.file.Delete(rid)
+	s.byID.Delete(oidKey(id), vals[0])
+	s.byTuple.Delete(oidKey(a.TupleOID), vals[0])
+	return true
+}
+
+// Len returns the number of stored annotations.
+func (s *AnnotationStore) Len() int { return s.file.Len() }
+
+// All iterates every stored annotation in physical order.
+func (s *AnnotationStore) All(fn func(*model.Annotation) bool) {
+	s.file.Scan(func(_ heap.RID, _ int64, a *model.Annotation) bool {
+		return fn(a)
+	})
+}
+
+// Lookup returns a model.AnnotationLookup over this store, used for
+// representative re-election and raw-text keyword search.
+func (s *AnnotationStore) Lookup() model.AnnotationLookup {
+	return func(id int64) (*model.Annotation, bool) { return s.Get(id) }
+}

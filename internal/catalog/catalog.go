@@ -1,0 +1,130 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+// Catalog is the database's metadata root: tables, the shared annotation
+// store, and the shared I/O accountant.
+type Catalog struct {
+	tables  map[string]*Table
+	Anns    *AnnotationStore
+	acct    *pager.Accountant
+	pageCap int
+	nextOID int64
+}
+
+// New builds an empty catalog. pageCap is the records-per-page parameter
+// B used by every heap file; <= 0 selects the default.
+func New(acct *pager.Accountant, pageCap int) *Catalog {
+	if acct == nil {
+		acct = &pager.Accountant{}
+	}
+	if pageCap <= 0 {
+		pageCap = 64
+	}
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		Anns:    NewAnnotationStore(acct, pageCap),
+		acct:    acct,
+		pageCap: pageCap,
+	}
+}
+
+// Accountant returns the shared I/O accountant.
+func (c *Catalog) Accountant() *pager.Accountant { return c.acct }
+
+// CreateTable registers a new relation.
+func (c *Catalog) CreateTable(name string, schema *model.Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{
+		Name:           name,
+		Schema:         schema,
+		Data:           heap.NewFile[[]model.Value](c.acct, c.pageCap),
+		oidIndex:       btree.New(c.acct, btree.DefaultOrder),
+		SummaryStorage: heap.NewFile[model.SummarySet](c.acct, c.pageCap),
+		sumIndex:       btree.New(c.acct, btree.DefaultOrder),
+		InstStats:      make(map[string]*InstanceStats),
+		ColStats:       make([]*ColumnStats, schema.Len()),
+		acct:           c.acct,
+		nextOID:        &c.nextOID,
+	}
+	for i := range t.ColStats {
+		t.ColStats[i] = NewColumnStats()
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table resolves a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// DropTable removes a relation from the catalog.
+func (c *Catalog) DropTable(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// TableNames lists the registered tables, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkInstance attaches a summary instance to a table — the catalog half
+// of "ALTER TABLE t ADD [INDEXABLE] inst".
+func (c *Catalog) LinkInstance(table string, si *SummaryInstance) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := si.Validate(); err != nil {
+		return err
+	}
+	if t.Instance(si.Name) != nil {
+		return fmt.Errorf("catalog: table %q already has instance %q", table, si.Name)
+	}
+	t.Instances = append(t.Instances, si)
+	t.InstStats[strings.ToLower(si.Name)] = NewInstanceStats(si.Labels)
+	return nil
+}
+
+// UnlinkInstance detaches a summary instance — "ALTER TABLE t DROP inst".
+func (c *Catalog) UnlinkInstance(table, instance string) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	for i, si := range t.Instances {
+		if strings.EqualFold(si.Name, instance) {
+			t.Instances = append(t.Instances[:i], t.Instances[i+1:]...)
+			delete(t.InstStats, strings.ToLower(instance))
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: table %q has no instance %q", table, instance)
+}

@@ -1,0 +1,256 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func testCatalog(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New(nil, 8)
+	schema := model.NewSchema("",
+		model.Column{Name: "name", Kind: model.KindText},
+		model.Column{Name: "family", Kind: model.KindText},
+	)
+	tbl, err := c.CreateTable("Birds", schema)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return c, tbl
+}
+
+func TestCreateAndResolveTables(t *testing.T) {
+	c, _ := testCatalog(t)
+	if _, err := c.Table("birds"); err != nil {
+		t.Errorf("case-insensitive lookup: %v", err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := c.CreateTable("BIRDS", model.NewSchema("")); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	names := c.TableNames()
+	if len(names) != 1 || names[0] != "Birds" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if err := c.DropTable("Birds"); err != nil {
+		t.Errorf("DropTable: %v", err)
+	}
+	if err := c.DropTable("Birds"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestInsertGetUpdateDeleteTuples(t *testing.T) {
+	_, tbl := testCatalog(t)
+	oid, err := tbl.Insert([]model.Value{model.NewText("Swan Goose"), model.NewText("Anatidae")})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := tbl.Insert([]model.Value{model.NewText("short")}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	tu, ok := tbl.Get(oid)
+	if !ok || tu.Values[0].Text != "Swan Goose" {
+		t.Fatalf("Get: %+v %v", tu, ok)
+	}
+	rid, ok := tbl.DiskTupleLoc(oid)
+	if !ok {
+		t.Fatal("DiskTupleLoc failed")
+	}
+	if tu2, ok := tbl.GetAt(rid); !ok || tu2.OID != oid {
+		t.Error("GetAt via heap location failed")
+	}
+	if err := tbl.Update(oid, []model.Value{model.NewText("Swan"), model.NewText("Anatidae")}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if tu, _ := tbl.Get(oid); tu.Values[0].Text != "Swan" {
+		t.Error("Update not visible")
+	}
+	if err := tbl.Update(999, nil); err == nil {
+		t.Error("update of missing OID should fail")
+	}
+	if !tbl.Delete(oid) || tbl.Delete(oid) {
+		t.Error("Delete semantics")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestColumnStatsMaintained(t *testing.T) {
+	_, tbl := testCatalog(t)
+	for _, name := range []string{"a", "b", "a"} {
+		if _, err := tbl.Insert([]model.Value{model.NewText(name), model.NewText("F")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.ColStats[0].NumDistinct() != 2 || tbl.ColStats[1].NumDistinct() != 1 {
+		t.Errorf("col stats: %d, %d", tbl.ColStats[0].NumDistinct(), tbl.ColStats[1].NumDistinct())
+	}
+}
+
+func TestSummaryStorageLifecycle(t *testing.T) {
+	_, tbl := testCatalog(t)
+	oid, _ := tbl.Insert([]model.Value{model.NewText("x"), model.NewText("y")})
+	if tbl.GetSummaries(oid) != nil {
+		t.Error("fresh tuple should have no summaries")
+	}
+	set := model.SummarySet{{
+		InstanceID: "C1", TupleOID: oid, Type: model.SummaryClassifier,
+		Reps: []model.Rep{{Label: "Disease", Count: 1, Elements: []int64{1}}},
+	}}
+	if created := tbl.PutSummaries(oid, set); !created {
+		t.Error("first Put should create")
+	}
+	if created := tbl.PutSummaries(oid, set); created {
+		t.Error("second Put should update")
+	}
+	got := tbl.GetSummaries(oid)
+	if got == nil || got.Get("C1") == nil {
+		t.Fatal("GetSummaries failed")
+	}
+	tbl.Delete(oid)
+	if tbl.GetSummaries(oid) != nil {
+		t.Error("summaries must vanish with the tuple")
+	}
+	if tbl.SummaryStorage.Len() != 0 {
+		t.Error("summary storage row leaked")
+	}
+}
+
+func TestInstanceLinking(t *testing.T) {
+	c, tbl := testCatalog(t)
+	si := &SummaryInstance{Name: "ClassBird1", Type: model.SummaryClassifier,
+		Labels: []string{"Disease", "Anatomy", "Behavior", "Other"}}
+	if err := c.LinkInstance("Birds", si); err != nil {
+		t.Fatalf("LinkInstance: %v", err)
+	}
+	if err := c.LinkInstance("Birds", si); err == nil {
+		t.Error("duplicate link should fail")
+	}
+	if err := c.LinkInstance("missing", si); err == nil {
+		t.Error("link to missing table should fail")
+	}
+	if !tbl.HasInstance("classbird1") {
+		t.Error("HasInstance case-insensitivity")
+	}
+	if tbl.Instance("nope") != nil {
+		t.Error("missing instance should be nil")
+	}
+	if err := c.UnlinkInstance("Birds", "ClassBird1"); err != nil {
+		t.Errorf("UnlinkInstance: %v", err)
+	}
+	if err := c.UnlinkInstance("Birds", "ClassBird1"); err == nil {
+		t.Error("double unlink should fail")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	cases := []struct {
+		si  SummaryInstance
+		bad bool
+	}{
+		{SummaryInstance{Name: "", Type: model.SummaryClassifier, Labels: []string{"A"}}, true},
+		{SummaryInstance{Name: "C", Type: model.SummaryClassifier}, true},
+		{SummaryInstance{Name: "C", Type: model.SummaryClassifier, Labels: []string{"A", "A"}}, true},
+		{SummaryInstance{Name: "C", Type: model.SummaryClassifier, Labels: []string{"A", "B"}}, false},
+		{SummaryInstance{Name: "S", Type: model.SummarySnippet, SnippetMinChars: -1}, true},
+		{SummaryInstance{Name: "S", Type: model.SummarySnippet}, false},
+		{SummaryInstance{Name: "K", Type: model.SummaryCluster}, false},
+		{SummaryInstance{Name: "X", Type: model.SummaryType(9)}, true},
+	}
+	for i, c := range cases {
+		err := c.si.Validate()
+		if (err != nil) != c.bad {
+			t.Errorf("case %d: err=%v bad=%v", i, err, c.bad)
+		}
+	}
+	// Defaults applied by Validate.
+	s := SummaryInstance{Name: "S", Type: model.SummarySnippet}
+	s.Validate()
+	if s.SnippetMaxChars != 400 {
+		t.Errorf("snippet default = %d", s.SnippetMaxChars)
+	}
+	k := SummaryInstance{Name: "K", Type: model.SummaryCluster}
+	k.Validate()
+	if k.ClusterMaxGroups != 8 {
+		t.Errorf("cluster default = %d", k.ClusterMaxGroups)
+	}
+}
+
+func TestObserveForgetSummaryStats(t *testing.T) {
+	c, tbl := testCatalog(t)
+	c.LinkInstance("Birds", &SummaryInstance{Name: "C1", Type: model.SummaryClassifier,
+		Labels: []string{"Disease", "Other"}})
+	obj := &model.SummaryObject{InstanceID: "C1", Type: model.SummaryClassifier,
+		Reps: []model.Rep{
+			{Label: "Disease", Count: 8, Elements: []int64{1, 2, 3, 4, 5, 6, 7, 8}},
+			{Label: "Other", Count: 2, Elements: []int64{9, 10}},
+		}}
+	tbl.ObserveSummary(obj)
+	st := tbl.Stats("C1")
+	if st.Label("Disease").Max() != 8 || st.Label("Other").N() != 1 {
+		t.Errorf("stats not observed: %s", st)
+	}
+	if st.AvgObjectSize() <= 0 {
+		t.Error("AvgObjectSize not observed")
+	}
+	tbl.ForgetSummary(obj)
+	if st.Label("Disease").N() != 0 || st.AvgObjectSize() != 0 {
+		t.Errorf("stats not forgotten: %s", st)
+	}
+}
+
+func TestAnnotationStore(t *testing.T) {
+	c, _ := testCatalog(t)
+	a1 := c.Anns.Add(10, "first annotation", []string{"name"}, "alice")
+	a2 := c.Anns.Add(10, "second annotation", nil, "bob")
+	a3 := c.Anns.Add(20, "other tuple", nil, "carol")
+	if a1.ID == a2.ID || a2.Seq <= a1.Seq {
+		t.Error("IDs/Seqs not monotonic")
+	}
+	if got, ok := c.Anns.Get(a2.ID); !ok || got.Author != "bob" {
+		t.Errorf("Get: %+v %v", got, ok)
+	}
+	if _, ok := c.Anns.Get(9999); ok {
+		t.Error("missing annotation should fail")
+	}
+	anns := c.Anns.ForTuple(10)
+	if len(anns) != 2 {
+		t.Fatalf("ForTuple = %d", len(anns))
+	}
+	lookup := c.Anns.Lookup()
+	if got, ok := lookup(a3.ID); !ok || !strings.Contains(got.Text, "other") {
+		t.Error("Lookup closure broken")
+	}
+	if !c.Anns.Delete(a1.ID) || c.Anns.Delete(a1.ID) {
+		t.Error("Delete semantics")
+	}
+	if len(c.Anns.ForTuple(10)) != 1 {
+		t.Error("byTuple index not maintained on delete")
+	}
+	if c.Anns.Len() != 2 {
+		t.Errorf("Len = %d", c.Anns.Len())
+	}
+}
+
+func TestEstimateSizes(t *testing.T) {
+	obj := &model.SummaryObject{InstanceID: "C1", Type: model.SummaryClassifier,
+		Reps: []model.Rep{{Label: "Disease", Count: 2, Elements: []int64{1, 2}}}}
+	s1 := EstimateObjectSize(obj)
+	if s1 <= 0 {
+		t.Fatalf("size = %d", s1)
+	}
+	obj2 := obj.Clone()
+	obj2.Reps[0].Elements = append(obj2.Reps[0].Elements, 3, 4)
+	if EstimateObjectSize(obj2) <= s1 {
+		t.Error("more elements should cost more bytes")
+	}
+	if EstimateSetSize(model.SummarySet{obj, obj2}) != s1+EstimateObjectSize(obj2) {
+		t.Error("set size must sum object sizes")
+	}
+}

@@ -1,0 +1,120 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SummaryInstance is the catalog entry for one summary instance linked
+// to a relation (Section 2.1): a customization of one of the three
+// summarization families. Instances are created by DB admins and drive
+// the summarization pipeline; the Indexable flag — set by
+// "ALTER TABLE t ADD INDEXABLE inst" — requests a Summary-BTree.
+type SummaryInstance struct {
+	Name string
+	Type model.SummaryType
+
+	// Labels is the ordered class-label vocabulary (classifier only).
+	// The order is fixed at creation and defines getLabelName(i).
+	Labels []string
+
+	// Parents optionally arranges classifier labels into a hierarchy
+	// (child -> parent), the paper's multi-level summarization future
+	// work. The classifier assigns annotations to LEAF labels; every
+	// ancestor label's representative accumulates the union of its
+	// descendants' elements, so parent counts stay exact under merge and
+	// projection, parent labels are indexable like any other, and
+	// zooming on a parent label drills into the combined subtree.
+	Parents map[string]string
+
+	// SnippetMinChars / SnippetMaxChars configure snippet instances: only
+	// annotations longer than SnippetMinChars are summarized, into at
+	// most SnippetMaxChars (paper defaults: 1000 / 400).
+	SnippetMinChars int
+	SnippetMaxChars int
+
+	// ClusterMaxGroups bounds the micro-cluster count (cluster only).
+	ClusterMaxGroups int
+
+	// Indexable marks the instance for Summary-BTree indexing.
+	Indexable bool
+}
+
+// Validate checks the instance definition for internal consistency.
+func (si *SummaryInstance) Validate() error {
+	if si.Name == "" {
+		return fmt.Errorf("catalog: summary instance needs a name")
+	}
+	switch si.Type {
+	case model.SummaryClassifier:
+		if len(si.Labels) == 0 {
+			return fmt.Errorf("catalog: classifier instance %q needs labels", si.Name)
+		}
+		seen := map[string]bool{}
+		for _, l := range si.Labels {
+			if seen[l] {
+				return fmt.Errorf("catalog: classifier instance %q has duplicate label %q", si.Name, l)
+			}
+			seen[l] = true
+		}
+		for child, parent := range si.Parents {
+			if !seen[child] || !seen[parent] {
+				return fmt.Errorf("catalog: instance %q hierarchy references unknown label (%s -> %s)",
+					si.Name, child, parent)
+			}
+		}
+		// Reject cycles: following parents from any label must terminate.
+		for l := range si.Parents {
+			steps := 0
+			for cur := l; cur != ""; cur = si.Parents[cur] {
+				steps++
+				if steps > len(si.Labels) {
+					return fmt.Errorf("catalog: instance %q has a label-hierarchy cycle at %q", si.Name, l)
+				}
+			}
+		}
+	case model.SummarySnippet:
+		if si.SnippetMaxChars <= 0 {
+			si.SnippetMaxChars = 400
+		}
+		if si.SnippetMinChars < 0 {
+			return fmt.Errorf("catalog: snippet instance %q has negative MinChars", si.Name)
+		}
+	case model.SummaryCluster:
+		if si.ClusterMaxGroups <= 0 {
+			si.ClusterMaxGroups = 8
+		}
+	default:
+		return fmt.Errorf("catalog: instance %q has unknown type %d", si.Name, si.Type)
+	}
+	return nil
+}
+
+// LeafLabels returns the labels with no children (classification
+// targets in a hierarchical instance; all labels when flat).
+func (si *SummaryInstance) LeafLabels() []string {
+	hasChild := map[string]bool{}
+	for _, parent := range si.Parents {
+		hasChild[parent] = true
+	}
+	var out []string
+	for _, l := range si.Labels {
+		if !hasChild[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the chain of ancestors of a label, nearest first.
+func (si *SummaryInstance) Ancestors(label string) []string {
+	var out []string
+	for cur := si.Parents[label]; cur != ""; cur = si.Parents[cur] {
+		out = append(out, cur)
+		if len(out) > len(si.Labels) {
+			break // defensive against unvalidated cycles
+		}
+	}
+	return out
+}

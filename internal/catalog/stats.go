@@ -1,0 +1,269 @@
+// Package catalog holds the engine's metadata and physical storage
+// wiring: tables (heap file + OID index + de-normalized summary storage),
+// summary instances, the raw-annotation store, and the statistics the
+// extended optimizer consumes (Section 5.2 of the paper).
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LabelStats maintains the paper's per-class-label statistics —
+// {Min, Max, NumDistinct, Equi-Width Histogram} over the count field —
+// incrementally, updated whenever a summary object changes. Internally
+// it keeps the exact frequency of every count value (counts are small
+// integers), from which the published statistics derive.
+type LabelStats struct {
+	freq map[int]int
+	n    int
+}
+
+// NewLabelStats returns empty statistics.
+func NewLabelStats() *LabelStats { return &LabelStats{freq: make(map[int]int)} }
+
+// Add records one summary object carrying count v for this label.
+func (s *LabelStats) Add(v int) {
+	s.freq[v]++
+	s.n++
+}
+
+// Remove forgets one observation of count v.
+func (s *LabelStats) Remove(v int) {
+	if s.freq[v] == 0 {
+		return
+	}
+	s.freq[v]--
+	if s.freq[v] == 0 {
+		delete(s.freq, v)
+	}
+	s.n--
+}
+
+// Replace atomically swaps an observation old -> new, the maintenance
+// path triggered by an annotation update.
+func (s *LabelStats) Replace(old, new int) {
+	s.Remove(old)
+	s.Add(new)
+}
+
+// N returns the number of observations (summary objects).
+func (s *LabelStats) N() int { return s.n }
+
+// Values returns a copy of the exact count-value frequencies (used by
+// the benchmark harness to pick predicate constants with a target
+// selectivity).
+func (s *LabelStats) Values() map[int]int {
+	out := make(map[int]int, len(s.freq))
+	for v, c := range s.freq {
+		out[v] = c
+	}
+	return out
+}
+
+// Min returns the smallest observed count (0 when empty).
+func (s *LabelStats) Min() int {
+	min, ok := 0, false
+	for v := range s.freq {
+		if !ok || v < min {
+			min, ok = v, true
+		}
+	}
+	return min
+}
+
+// Max returns the largest observed count (0 when empty).
+func (s *LabelStats) Max() int {
+	max := 0
+	for v := range s.freq {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// NumDistinct returns the number of distinct count values.
+func (s *LabelStats) NumDistinct() int { return len(s.freq) }
+
+// Histogram builds an equi-width histogram with the given number of
+// buckets over [Min, Max]. Bucket i covers counts in
+// [min + i·w, min + (i+1)·w).
+func (s *LabelStats) Histogram(buckets int) []int {
+	if buckets <= 0 || s.n == 0 {
+		return nil
+	}
+	min, max := s.Min(), s.Max()
+	width := float64(max-min+1) / float64(buckets)
+	h := make([]int, buckets)
+	for v, c := range s.freq {
+		b := int(float64(v-min) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h[b] += c
+	}
+	return h
+}
+
+// SelectivityEq estimates the fraction of objects whose count equals v,
+// using the equi-width histogram (uniformity within a bucket), matching
+// how the paper's extended optimizer estimates the S operator.
+func (s *LabelStats) SelectivityEq(v int) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	min, max := s.Min(), s.Max()
+	if v < min || v > max {
+		return 0
+	}
+	const buckets = 10
+	h := s.Histogram(buckets)
+	width := float64(max-min+1) / float64(buckets)
+	b := int(float64(v-min) / width)
+	if b >= buckets {
+		b = buckets - 1
+	}
+	perValue := float64(h[b]) / math.Max(width, 1)
+	return perValue / float64(s.n)
+}
+
+// SelectivityRange estimates the fraction of objects with lo <= count <=
+// hi via the histogram, with partial buckets interpolated.
+func (s *LabelStats) SelectivityRange(lo, hi int) float64 {
+	if s.n == 0 || hi < lo {
+		return 0
+	}
+	min, max := s.Min(), s.Max()
+	if hi < min || lo > max {
+		return 0
+	}
+	if lo < min {
+		lo = min
+	}
+	if hi > max {
+		hi = max
+	}
+	const buckets = 10
+	h := s.Histogram(buckets)
+	width := float64(max-min+1) / float64(buckets)
+	total := 0.0
+	for b, c := range h {
+		bLo := float64(min) + float64(b)*width
+		bHi := bLo + width // exclusive
+		overlap := math.Min(float64(hi+1), bHi) - math.Max(float64(lo), bLo)
+		if overlap <= 0 {
+			continue
+		}
+		total += float64(c) * overlap / width
+	}
+	return math.Min(1, total/float64(s.n))
+}
+
+// InstanceStats aggregates the statistics of one summary instance over a
+// relation: AvgObjectSize plus one LabelStats per classifier label.
+type InstanceStats struct {
+	// Labels maps class label -> statistics, for classifier instances.
+	Labels map[string]*LabelStats
+	// sizeSum/sizeN track the average object size in bytes.
+	sizeSum int64
+	sizeN   int64
+}
+
+// NewInstanceStats builds stats with LabelStats for the given labels.
+func NewInstanceStats(labels []string) *InstanceStats {
+	is := &InstanceStats{Labels: make(map[string]*LabelStats, len(labels))}
+	for _, l := range labels {
+		is.Labels[l] = NewLabelStats()
+	}
+	return is
+}
+
+// ObserveSize records one object's size in bytes.
+func (is *InstanceStats) ObserveSize(bytes int) {
+	is.sizeSum += int64(bytes)
+	is.sizeN++
+}
+
+// ForgetSize removes a size observation.
+func (is *InstanceStats) ForgetSize(bytes int) {
+	is.sizeSum -= int64(bytes)
+	is.sizeN--
+}
+
+// AvgObjectSize returns the mean summary-object size in bytes.
+func (is *InstanceStats) AvgObjectSize() float64 {
+	if is.sizeN == 0 {
+		return 0
+	}
+	return float64(is.sizeSum) / float64(is.sizeN)
+}
+
+// Label returns (creating if needed) the LabelStats for a label.
+func (is *InstanceStats) Label(name string) *LabelStats {
+	ls, ok := is.Labels[name]
+	if !ok {
+		ls = NewLabelStats()
+		is.Labels[name] = ls
+	}
+	return ls
+}
+
+// String renders the stats in the style of the paper's Figure 6.
+func (is *InstanceStats) String() string {
+	names := make([]string, 0, len(is.Labels))
+	for n := range is.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("AvgObjectSize=%.0f", is.AvgObjectSize())
+	for _, n := range names {
+		ls := is.Labels[n]
+		out += fmt.Sprintf(" %s{Min=%d,Max=%d,NumDistinct=%d}", n, ls.Min(), ls.Max(), ls.NumDistinct())
+	}
+	return out
+}
+
+// ColumnStats tracks per-data-column statistics for the standard
+// optimizer paths: distinct-value counts drive equality selectivity and
+// join cardinality (the |R|·|S| / max(V(a,R), V(a,S)) heuristic).
+type ColumnStats struct {
+	freq map[string]int
+	n    int
+}
+
+// NewColumnStats returns empty column statistics.
+func NewColumnStats() *ColumnStats { return &ColumnStats{freq: make(map[string]int)} }
+
+// Add records one value (by its canonical sort key).
+func (s *ColumnStats) Add(key string) {
+	s.freq[key]++
+	s.n++
+}
+
+// Remove forgets one value.
+func (s *ColumnStats) Remove(key string) {
+	if s.freq[key] == 0 {
+		return
+	}
+	s.freq[key]--
+	if s.freq[key] == 0 {
+		delete(s.freq, key)
+	}
+	s.n--
+}
+
+// N returns the number of observations.
+func (s *ColumnStats) N() int { return s.n }
+
+// NumDistinct returns the distinct-value count.
+func (s *ColumnStats) NumDistinct() int { return len(s.freq) }
+
+// SelectivityEq estimates equality selectivity as 1/NumDistinct.
+func (s *ColumnStats) SelectivityEq() float64 {
+	if len(s.freq) == 0 {
+		return 0
+	}
+	return 1 / float64(len(s.freq))
+}

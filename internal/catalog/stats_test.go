@@ -1,0 +1,153 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLabelStatsBasics(t *testing.T) {
+	s := NewLabelStats()
+	if s.N() != 0 || s.Min() != 0 || s.Max() != 0 || s.NumDistinct() != 0 {
+		t.Error("empty stats not zeroed")
+	}
+	for _, v := range []int{5, 3, 8, 3, 43, 27} {
+		s.Add(v)
+	}
+	if s.N() != 6 || s.Min() != 3 || s.Max() != 43 || s.NumDistinct() != 5 {
+		t.Errorf("N=%d Min=%d Max=%d D=%d", s.N(), s.Min(), s.Max(), s.NumDistinct())
+	}
+	s.Remove(43)
+	if s.Max() != 27 || s.N() != 5 {
+		t.Errorf("after Remove: Max=%d N=%d", s.Max(), s.N())
+	}
+	s.Remove(999) // absent: no-op
+	if s.N() != 5 {
+		t.Error("Remove of absent value changed N")
+	}
+	s.Replace(3, 10)
+	if s.NumDistinct() != 5 || s.N() != 5 {
+		t.Errorf("after Replace: D=%d N=%d", s.NumDistinct(), s.N())
+	}
+}
+
+func TestHistogramPartitionsAllObservations(t *testing.T) {
+	s := NewLabelStats()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s.Add(rng.Intn(100))
+	}
+	h := s.Histogram(10)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 500 {
+		t.Errorf("histogram total = %d", total)
+	}
+	if s.Histogram(0) != nil {
+		t.Error("0 buckets should be nil")
+	}
+	if NewLabelStats().Histogram(5) != nil {
+		t.Error("empty stats histogram should be nil")
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	s := NewLabelStats()
+	// Uniform counts 0..99, 10 each.
+	for v := 0; v < 100; v++ {
+		for i := 0; i < 10; i++ {
+			s.Add(v)
+		}
+	}
+	if got := s.SelectivityEq(50); math.Abs(got-0.01) > 0.005 {
+		t.Errorf("SelectivityEq(50) = %f, want ~0.01", got)
+	}
+	if got := s.SelectivityEq(-5); got != 0 {
+		t.Errorf("below-range eq = %f", got)
+	}
+	if got := s.SelectivityRange(0, 99); math.Abs(got-1) > 0.01 {
+		t.Errorf("full-range = %f, want ~1", got)
+	}
+	if got := s.SelectivityRange(25, 49); math.Abs(got-0.25) > 0.05 {
+		t.Errorf("quarter-range = %f, want ~0.25", got)
+	}
+	if got := s.SelectivityRange(500, 600); got != 0 {
+		t.Errorf("out-of-range = %f", got)
+	}
+	if got := s.SelectivityRange(10, 5); got != 0 {
+		t.Errorf("inverted range = %f", got)
+	}
+	if got := NewLabelStats().SelectivityEq(1); got != 0 {
+		t.Errorf("empty eq = %f", got)
+	}
+}
+
+// Property: range selectivity is monotone in the range width.
+func TestSelectivityMonotoneProperty(t *testing.T) {
+	s := NewLabelStats()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Intn(60))
+	}
+	prev := 0.0
+	for hi := 0; hi < 60; hi += 5 {
+		got := s.SelectivityRange(0, hi)
+		if got+1e-9 < prev {
+			t.Fatalf("selectivity decreased at hi=%d: %f < %f", hi, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestInstanceStats(t *testing.T) {
+	is := NewInstanceStats([]string{"Disease", "Anatomy"})
+	if is.AvgObjectSize() != 0 {
+		t.Error("empty AvgObjectSize")
+	}
+	is.ObserveSize(100)
+	is.ObserveSize(200)
+	if is.AvgObjectSize() != 150 {
+		t.Errorf("AvgObjectSize = %f", is.AvgObjectSize())
+	}
+	is.ForgetSize(100)
+	if is.AvgObjectSize() != 200 {
+		t.Errorf("after Forget: %f", is.AvgObjectSize())
+	}
+	is.Label("Disease").Add(8)
+	is.Label("NewLabel").Add(1) // auto-creates
+	if is.Label("NewLabel").N() != 1 {
+		t.Error("auto-created label stats lost")
+	}
+	str := is.String()
+	if !strings.Contains(str, "AvgObjectSize=200") || !strings.Contains(str, "Disease{Min=8,Max=8,NumDistinct=1}") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	cs := NewColumnStats()
+	if cs.SelectivityEq() != 0 {
+		t.Error("empty column selectivity")
+	}
+	for _, v := range []string{"a", "b", "a", "c"} {
+		cs.Add(v)
+	}
+	if cs.N() != 4 || cs.NumDistinct() != 3 {
+		t.Errorf("N=%d D=%d", cs.N(), cs.NumDistinct())
+	}
+	if got := cs.SelectivityEq(); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("SelectivityEq = %f", got)
+	}
+	cs.Remove("a")
+	cs.Remove("a")
+	if cs.NumDistinct() != 2 || cs.N() != 2 {
+		t.Errorf("after removes: N=%d D=%d", cs.N(), cs.NumDistinct())
+	}
+	cs.Remove("zzz") // absent
+	if cs.N() != 2 {
+		t.Error("absent Remove changed N")
+	}
+}

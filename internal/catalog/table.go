@@ -1,0 +1,337 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+// Table is one user relation together with its physical storage: the
+// data heap, a B-Tree on OID (backing the engine-internal diskTupleLoc()
+// function), the de-normalized R_SummaryStorage side heap with its own
+// OID index (Figure 4(b)), the linked summary instances, and statistics.
+type Table struct {
+	Name   string
+	Schema *model.Schema
+
+	// Data holds the base tuples' values, addressed by RID.
+	Data *heap.File[[]model.Value]
+
+	// oidIndex maps OID sort-key -> encoded RID in Data. It is the index
+	// diskTupleLoc() probes, costing O(log_B M) as in the Section 4.1.3
+	// theorem.
+	oidIndex *btree.Tree
+
+	// SummaryStorage is R_SummaryStorage: one de-normalized summary set
+	// per annotated tuple, linked 1-1 by OID.
+	SummaryStorage *heap.File[model.SummarySet]
+
+	// sumIndex maps data-tuple OID sort-key -> encoded RID in
+	// SummaryStorage.
+	sumIndex *btree.Tree
+
+	// Instances are the summary instances linked to this relation.
+	Instances []*SummaryInstance
+
+	// InstStats maps instance name -> maintained statistics (Figure 6).
+	InstStats map[string]*InstanceStats
+
+	// ColStats holds per-column statistics, parallel to Schema.Columns.
+	ColStats []*ColumnStats
+
+	// ColAttachedAnns counts annotations attached to specific columns of
+	// this relation (rather than whole rows). When zero, projection can
+	// never eliminate an annotation's effect, so the summary-effect
+	// projection is a no-op and the planner skips it — which in turn
+	// keeps index access paths and sort elimination applicable.
+	ColAttachedAnns int
+
+	// dataIndexes holds standard B-Trees over data columns (lower-case
+	// column name -> value-sort-key -> encoded RID), the access paths
+	// data-based index joins use.
+	dataIndexes map[string]*btree.Tree
+
+	acct    *pager.Accountant
+	nextOID *int64 // catalog-wide OID counter
+}
+
+// CreateDataIndex builds (or returns) a standard B-Tree index over a
+// data column, back-filling from existing tuples.
+func (t *Table) CreateDataIndex(col string) (*btree.Tree, error) {
+	key := strings.ToLower(col)
+	if idx, ok := t.dataIndexes[key]; ok {
+		return idx, nil
+	}
+	ci, err := t.Schema.ColIndex("", col)
+	if err != nil {
+		return nil, err
+	}
+	idx := btree.New(t.acct, btree.DefaultOrder)
+	t.Data.Scan(func(rid heap.RID, _ int64, values []model.Value) bool {
+		idx.Insert(values[ci].SortKey(), rid.Encode())
+		return true
+	})
+	if t.dataIndexes == nil {
+		t.dataIndexes = make(map[string]*btree.Tree)
+	}
+	t.dataIndexes[key] = idx
+	return idx, nil
+}
+
+// DataIndex returns the index over a data column, or nil.
+func (t *Table) DataIndex(col string) *btree.Tree {
+	return t.dataIndexes[strings.ToLower(col)]
+}
+
+// DataIndexedColumns lists the indexed column names, sorted.
+func (t *Table) DataIndexedColumns() []string {
+	out := make([]string, 0, len(t.dataIndexes))
+	for c := range t.dataIndexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *Table) dataIndexInsert(values []model.Value, rid heap.RID) {
+	for col, idx := range t.dataIndexes {
+		if ci, err := t.Schema.ColIndex("", col); err == nil {
+			idx.Insert(values[ci].SortKey(), rid.Encode())
+		}
+	}
+}
+
+func (t *Table) dataIndexDelete(values []model.Value, rid heap.RID) {
+	for col, idx := range t.dataIndexes {
+		if ci, err := t.Schema.ColIndex("", col); err == nil {
+			idx.Delete(values[ci].SortKey(), rid.Encode())
+		}
+	}
+}
+
+func oidKey(oid int64) string { return model.NewInt(oid).SortKey() }
+
+// Insert appends a tuple and returns its OID. No summary-storage entry
+// is created: that happens on first annotation.
+func (t *Table) Insert(values []model.Value) (int64, error) {
+	if len(values) != t.Schema.Len() {
+		return 0, fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, t.Schema.Len(), len(values))
+	}
+	*t.nextOID++
+	oid := *t.nextOID
+	rid := t.Data.Insert(oid, values)
+	t.oidIndex.Insert(oidKey(oid), rid.Encode())
+	t.dataIndexInsert(values, rid)
+	for i, v := range values {
+		t.ColStats[i].Add(v.SortKey())
+	}
+	return oid, nil
+}
+
+// DiskTupleLoc resolves an OID to its heap location — the paper's
+// internal diskTupleLoc() function used by the Summary-BTree to build
+// backward pointers.
+func (t *Table) DiskTupleLoc(oid int64) (heap.RID, bool) {
+	vals := t.oidIndex.SearchEq(oidKey(oid))
+	if len(vals) == 0 {
+		return heap.RID{}, false
+	}
+	return heap.DecodeRID(vals[0]), true
+}
+
+// Get fetches the tuple with the given OID (without summaries).
+func (t *Table) Get(oid int64) (*model.Tuple, bool) {
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return nil, false
+	}
+	return t.GetAt(rid)
+}
+
+// GetAt fetches the tuple at a known heap location — the backward-
+// pointer fast path that skips the OID index.
+func (t *Table) GetAt(rid heap.RID) (*model.Tuple, bool) {
+	oid, values, ok := t.Data.Get(rid)
+	if !ok {
+		return nil, false
+	}
+	return &model.Tuple{OID: oid, Values: values}, true
+}
+
+// Update replaces the tuple's values in place.
+func (t *Table) Update(oid int64, values []model.Value) error {
+	if len(values) != t.Schema.Len() {
+		return fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, t.Schema.Len(), len(values))
+	}
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return fmt.Errorf("catalog: %s has no tuple %d", t.Name, oid)
+	}
+	_, old, _ := t.Data.Get(rid)
+	for i, v := range old {
+		t.ColStats[i].Remove(v.SortKey())
+	}
+	t.dataIndexDelete(old, rid)
+	t.Data.Update(rid, values)
+	t.dataIndexInsert(values, rid)
+	for i, v := range values {
+		t.ColStats[i].Add(v.SortKey())
+	}
+	return nil
+}
+
+// Delete removes the tuple and its summary-storage entry. Index entries
+// for summary indexes are the engine's responsibility (it sees the
+// summary objects before deletion).
+func (t *Table) Delete(oid int64) bool {
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return false
+	}
+	_, old, _ := t.Data.Get(rid)
+	for i, v := range old {
+		t.ColStats[i].Remove(v.SortKey())
+	}
+	t.dataIndexDelete(old, rid)
+	t.Data.Delete(rid)
+	t.oidIndex.Delete(oidKey(oid), rid.Encode())
+	if srid, ok := t.summaryLoc(oid); ok {
+		t.SummaryStorage.Delete(srid)
+		t.sumIndex.Delete(oidKey(oid), srid.Encode())
+	}
+	return true
+}
+
+// Scan iterates all tuples in physical order (no summaries attached).
+func (t *Table) Scan(fn func(rid heap.RID, tuple *model.Tuple) bool) {
+	t.Data.Scan(func(rid heap.RID, oid int64, values []model.Value) bool {
+		return fn(rid, &model.Tuple{OID: oid, Values: values})
+	})
+}
+
+// Len returns the number of tuples (the paper's M).
+func (t *Table) Len() int { return t.Data.Len() }
+
+// SummaryLoc resolves a data tuple's OID to the heap location of its
+// R_SummaryStorage row.
+func (t *Table) SummaryLoc(oid int64) (heap.RID, bool) { return t.summaryLoc(oid) }
+
+func (t *Table) summaryLoc(oid int64) (heap.RID, bool) {
+	vals := t.sumIndex.SearchEq(oidKey(oid))
+	if len(vals) == 0 {
+		return heap.RID{}, false
+	}
+	return heap.DecodeRID(vals[0]), true
+}
+
+// GetSummaries fetches the summary set attached to a tuple; nil when the
+// tuple has never been annotated. The returned set is shared — callers
+// in the query pipeline must Clone before mutating.
+func (t *Table) GetSummaries(oid int64) model.SummarySet {
+	srid, ok := t.summaryLoc(oid)
+	if !ok {
+		return nil
+	}
+	_, set, ok := t.SummaryStorage.Get(srid)
+	if !ok {
+		return nil
+	}
+	return set
+}
+
+// PutSummaries stores the tuple's summary set, creating the
+// R_SummaryStorage row on first annotation ("Adding Annotation —
+// Insertion") or updating it in place ("Adding Annotation — Update").
+// It reports whether a new row was created.
+func (t *Table) PutSummaries(oid int64, set model.SummarySet) bool {
+	if srid, ok := t.summaryLoc(oid); ok {
+		t.SummaryStorage.Update(srid, set)
+		return false
+	}
+	srid := t.SummaryStorage.Insert(oid, set)
+	t.sumIndex.Insert(oidKey(oid), srid.Encode())
+	return true
+}
+
+// Instance returns the linked summary instance with the given name, or
+// nil.
+func (t *Table) Instance(name string) *SummaryInstance {
+	for _, si := range t.Instances {
+		if strings.EqualFold(si.Name, name) {
+			return si
+		}
+	}
+	return nil
+}
+
+// HasInstance reports whether the relation has the named instance — the
+// optimizer's precondition for rules 2, 5–7, 10, and 11 ("p is on
+// instances in R not in S").
+func (t *Table) HasInstance(name string) bool { return t.Instance(name) != nil }
+
+// Stats returns (creating if needed) the InstanceStats for an instance.
+func (t *Table) Stats(instance string) *InstanceStats {
+	is, ok := t.InstStats[strings.ToLower(instance)]
+	if !ok {
+		var labels []string
+		if si := t.Instance(instance); si != nil {
+			labels = si.Labels
+		}
+		is = NewInstanceStats(labels)
+		t.InstStats[strings.ToLower(instance)] = is
+	}
+	return is
+}
+
+// ObserveSummary folds a stored summary object into the maintained
+// statistics.
+func (t *Table) ObserveSummary(obj *model.SummaryObject) {
+	is := t.Stats(obj.InstanceID)
+	is.ObserveSize(EstimateObjectSize(obj))
+	if obj.Type == model.SummaryClassifier {
+		for _, r := range obj.Reps {
+			is.Label(r.Label).Add(r.Count)
+		}
+	}
+}
+
+// ForgetSummary removes a summary object's contribution from the
+// statistics (before it is replaced or deleted).
+func (t *Table) ForgetSummary(obj *model.SummaryObject) {
+	is := t.Stats(obj.InstanceID)
+	is.ForgetSize(EstimateObjectSize(obj))
+	if obj.Type == model.SummaryClassifier {
+		for _, r := range obj.Reps {
+			is.Label(r.Label).Remove(r.Count)
+		}
+	}
+}
+
+// Accountant exposes the table's I/O accountant.
+func (t *Table) Accountant() *pager.Accountant { return t.acct }
+
+// EstimateObjectSize approximates the on-disk size of a summary object
+// in bytes: representative payloads plus 8 bytes per element reference
+// plus a fixed header. It feeds the AvgObjectSize statistic and the
+// Figure 7 storage-overhead measurements.
+func EstimateObjectSize(o *model.SummaryObject) int {
+	size := 32 + len(o.InstanceID)
+	for _, r := range o.Reps {
+		size += len(r.Label) + len(r.Text) + 16 + 8*len(r.Elements)
+	}
+	return size
+}
+
+// EstimateSetSize sums EstimateObjectSize over a set.
+func EstimateSetSize(s model.SummarySet) int {
+	total := 0
+	for _, o := range s {
+		total += EstimateObjectSize(o)
+	}
+	return total
+}

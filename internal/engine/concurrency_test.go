@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestConcurrentQueriesAndWrites drives parallel readers (summary
+// queries, zooms, explains) against a writer adding annotations and
+// tuples. Run with -race to validate the locking discipline: queries
+// share the lock, mutations are exclusive.
+func TestConcurrentQueriesAndWrites(t *testing.T) {
+	db, oids := testDB(t, 20)
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+
+	// Readers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{
+				`SELECT id FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') >= 2`,
+				`SELECT family, count(*) FROM Birds GROUP BY family`,
+				`SELECT id FROM Birds r ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC LIMIT 5`,
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Query(queries[i%len(queries)], nil); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+				if i%7 == 0 {
+					if _, err := db.ZoomIn("Birds", "ClassBird1", "Disease", "id <= 5"); err != nil {
+						errs <- fmt.Errorf("reader %d zoom: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Writer: annotations, new tuples, deletions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 150; i++ {
+			if _, err := db.AddAnnotation("Birds", oids[i%len(oids)],
+				annText("Disease", i), nil, "writer"); err != nil {
+				errs <- fmt.Errorf("writer add: %w", err)
+				return
+			}
+			if i%25 == 0 {
+				if _, err := db.Insert("Birds", model.NewInt(int64(1000+i)),
+					model.NewText("new"), model.NewText("F")); err != nil {
+					errs <- fmt.Errorf("writer insert: %w", err)
+					return
+				}
+			}
+			if i%40 == 39 {
+				anns := db.Annotations(oids[0])
+				if len(anns) > 1 {
+					if err := db.DeleteAnnotation("Birds", anns[0].ID); err != nil {
+						errs <- fmt.Errorf("writer delete: %w", err)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

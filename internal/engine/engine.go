@@ -1,0 +1,173 @@
+// Package engine is the top of the InsightNotes+ stack: a database
+// facade that wires the catalog, the summarization pipeline (Naive
+// Bayes, CluStream, LSA), both indexing schemes, the planner/optimizer,
+// and the executor behind a small API — DDL, DML, annotation
+// management, SQL queries, and zoom-in.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/index"
+	"repro/internal/mining/bayes"
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+// Config tunes a database instance.
+type Config struct {
+	// PageCap is the records-per-page parameter B (default 64).
+	PageCap int
+}
+
+// DB is an InsightNotes+ database. Methods are safe for concurrent use:
+// queries (Query, Explain, ZoomIn, Exec with SELECT/ZOOM) take a shared
+// lock and may run in parallel; mutations (DDL, Insert, annotation
+// maintenance) are exclusive.
+type DB struct {
+	mu   sync.RWMutex
+	cat  *catalog.Catalog
+	acct *pager.Accountant
+
+	// instances is the global summary-instance registry (definitions are
+	// created once, then linked to relations with ALTER TABLE ... ADD).
+	instances map[string]*catalog.SummaryInstance
+
+	// classifiers holds the trained model per classifier instance.
+	classifiers map[string]*bayes.Classifier
+
+	// summaryIdx / baselineIdx: table -> instance -> index.
+	summaryIdx  map[string]map[string]*index.SummaryBTree
+	baselineIdx map[string]map[string]*index.Baseline
+}
+
+// New creates an empty database.
+func New(cfg Config) *DB {
+	acct := &pager.Accountant{}
+	return &DB{
+		cat:         catalog.New(acct, cfg.PageCap),
+		acct:        acct,
+		instances:   make(map[string]*catalog.SummaryInstance),
+		classifiers: make(map[string]*bayes.Classifier),
+		summaryIdx:  make(map[string]map[string]*index.SummaryBTree),
+		baselineIdx: make(map[string]map[string]*index.Baseline),
+	}
+}
+
+// Accountant exposes the shared I/O accountant (benchmarks reset and
+// read it around measured operations).
+func (db *DB) Accountant() *pager.Accountant { return db.acct }
+
+// Catalog exposes the metadata root (read-mostly; mutate through DB).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// CreateTable registers a relation.
+func (db *DB) CreateTable(name string, schema *model.Schema) (*catalog.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.CreateTable(name, schema)
+}
+
+// Table resolves a relation.
+func (db *DB) Table(name string) (*catalog.Table, error) { return db.cat.Table(name) }
+
+// Insert adds a tuple, returning its OID.
+func (db *DB) Insert(table string, values ...model.Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Insert(values)
+}
+
+// CreateDataIndex builds a standard B-Tree over a data column.
+func (db *DB) CreateDataIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	_, err = t.CreateDataIndex(column)
+	return err
+}
+
+// DeleteTuple removes a tuple, its summary objects, its index entries,
+// and its raw annotations.
+func (db *DB) DeleteTuple(table string, oid int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+	}
+	set := t.GetSummaries(oid)
+	for _, obj := range set {
+		t.ForgetSummary(obj)
+		if idx := db.summaryIndex(table, obj.InstanceID); idx != nil {
+			idx.RemoveObject(obj, rid)
+		}
+		if idx := db.baselineIndex(table, obj.InstanceID); idx != nil {
+			idx.RemoveObject(oid)
+		}
+	}
+	for _, a := range db.cat.Anns.ForTuple(oid) {
+		db.cat.Anns.Delete(a.ID)
+	}
+	t.Delete(oid)
+	return nil
+}
+
+// Annotations returns the raw annotations attached to a tuple.
+func (db *DB) Annotations(oid int64) []*model.Annotation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Anns.ForTuple(oid)
+}
+
+// AnnotationCount returns the total number of stored annotations.
+func (db *DB) AnnotationCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Anns.Len()
+}
+
+// SummaryIndex returns the Summary-BTree on (table, instance), or nil.
+func (db *DB) SummaryIndex(table, instance string) *index.SummaryBTree {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.summaryIndex(table, instance)
+}
+
+// summaryIndex is the unlocked variant used inside query execution
+// (which already holds the shared lock).
+func (db *DB) summaryIndex(table, instance string) *index.SummaryBTree {
+	return db.summaryIdx[strings.ToLower(table)][strings.ToLower(instance)]
+}
+
+// BaselineIndex returns the baseline index on (table, instance), or nil.
+func (db *DB) BaselineIndex(table, instance string) *index.Baseline {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.baselineIndex(table, instance)
+}
+
+func (db *DB) baselineIndex(table, instance string) *index.Baseline {
+	return db.baselineIdx[strings.ToLower(table)][strings.ToLower(instance)]
+}
+
+// Classifier returns the trained model behind a classifier instance.
+func (db *DB) Classifier(instance string) *bayes.Classifier {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.classifiers[strings.ToLower(instance)]
+}

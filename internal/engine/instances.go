@@ -1,0 +1,497 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/mining/bayes"
+	"repro/internal/mining/clustream"
+	"repro/internal/mining/lsa"
+	"repro/internal/model"
+)
+
+// DefineClassifier registers a classifier summary instance with its
+// ordered label vocabulary and trains its Naive Bayes model on the given
+// per-label example texts.
+func (db *DB) DefineClassifier(name string, labels []string, training map[string][]string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryClassifier, Labels: labels}
+	if err := db.registerInstance(si); err != nil {
+		return err
+	}
+	clf := bayes.New(labels...)
+	for label, texts := range training {
+		for _, tx := range texts {
+			if err := clf.Train(label, tx); err != nil {
+				return err
+			}
+		}
+	}
+	db.classifiers[strings.ToLower(name)] = clf
+	return nil
+}
+
+// DefineHierarchicalClassifier registers a classifier whose labels form
+// a hierarchy (child -> parent), the multi-level summarization extension
+// (the paper's future work). Annotations are classified to LEAF labels;
+// ancestor labels accumulate their subtrees' element unions, so
+// getLabelValue('Parent') is the exact subtree count, parent labels are
+// indexable, and zooming on a parent drills into the combined subtree.
+// Training examples are given per leaf label.
+func (db *DB) DefineHierarchicalClassifier(name string, labels []string,
+	parents map[string]string, training map[string][]string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryClassifier,
+		Labels: labels, Parents: parents}
+	if err := db.registerInstance(si); err != nil {
+		return err
+	}
+	clf := bayes.New(si.LeafLabels()...)
+	for label, texts := range training {
+		for _, tx := range texts {
+			if err := clf.Train(label, tx); err != nil {
+				return err
+			}
+		}
+	}
+	db.classifiers[strings.ToLower(name)] = clf
+	return nil
+}
+
+// DefineSnippet registers a text-summarization instance: annotations
+// longer than minChars are summarized into snippets of at most maxChars
+// (the paper's setting: 1000 / 400).
+func (db *DB) DefineSnippet(name string, minChars, maxChars int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si := &catalog.SummaryInstance{Name: name, Type: model.SummarySnippet,
+		SnippetMinChars: minChars, SnippetMaxChars: maxChars}
+	return db.registerInstance(si)
+}
+
+// DefineCluster registers a clustering instance bounded to maxGroups
+// micro-clusters per tuple.
+func (db *DB) DefineCluster(name string, maxGroups int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryCluster,
+		ClusterMaxGroups: maxGroups}
+	return db.registerInstance(si)
+}
+
+func (db *DB) registerInstance(si *catalog.SummaryInstance) error {
+	if err := si.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(si.Name)
+	if _, dup := db.instances[key]; dup {
+		return fmt.Errorf("engine: summary instance %q already defined", si.Name)
+	}
+	db.instances[key] = si
+	return nil
+}
+
+// LinkInstance attaches a registered instance to a table, optionally
+// building its Summary-BTree — the engine half of
+// "ALTER TABLE t ADD [INDEXABLE] inst".
+func (db *DB) LinkInstance(table, instance string, indexable bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si, ok := db.instances[strings.ToLower(instance)]
+	if !ok {
+		return fmt.Errorf("engine: unknown summary instance %q", instance)
+	}
+	if err := db.cat.LinkInstance(table, si); err != nil {
+		return err
+	}
+	if indexable {
+		return db.createSummaryIndex(table, instance)
+	}
+	return nil
+}
+
+// UnlinkInstance detaches an instance and drops its indexes —
+// "ALTER TABLE t DROP inst".
+func (db *DB) UnlinkInstance(table, instance string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.UnlinkInstance(table, instance); err != nil {
+		return err
+	}
+	delete(db.summaryIdx[strings.ToLower(table)], strings.ToLower(instance))
+	delete(db.baselineIdx[strings.ToLower(table)], strings.ToLower(instance))
+	return nil
+}
+
+// CreateSummaryIndex builds a Summary-BTree over an instance's objects,
+// bulk-loading from the existing summary storage (the Figure 8 bulk
+// mode). Classifier instances only.
+func (db *DB) CreateSummaryIndex(table, instance string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createSummaryIndex(table, instance)
+}
+
+func (db *DB) createSummaryIndex(table, instance string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	si := t.Instance(instance)
+	if si == nil {
+		return fmt.Errorf("engine: table %q has no instance %q", table, instance)
+	}
+	if si.Type != model.SummaryClassifier {
+		return fmt.Errorf("engine: only Classifier instances are indexable, %q is %s", instance, si.Type)
+	}
+	si.Indexable = true
+	idx := index.NewSummaryBTree(db.acct, si.Name)
+	if err := db.forEachStoredObject(t, si.Name, func(obj *model.SummaryObject, rid heap.RID) error {
+		return idx.IndexObject(obj, rid)
+	}); err != nil {
+		return err
+	}
+	tkey := strings.ToLower(table)
+	if db.summaryIdx[tkey] == nil {
+		db.summaryIdx[tkey] = map[string]*index.SummaryBTree{}
+	}
+	db.summaryIdx[tkey][strings.ToLower(instance)] = idx
+	return nil
+}
+
+// CreateBaselineIndex builds the baseline scheme (normalized side table
+// + derived-column B-Tree) over an instance's objects.
+func (db *DB) CreateBaselineIndex(table, instance string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	si := t.Instance(instance)
+	if si == nil {
+		return fmt.Errorf("engine: table %q has no instance %q", table, instance)
+	}
+	if si.Type != model.SummaryClassifier {
+		return fmt.Errorf("engine: only Classifier instances are indexable, %q is %s", instance, si.Type)
+	}
+	idx := index.NewBaseline(db.acct, t.Data.PageCap(), si.Name)
+	if err := db.forEachStoredObject(t, si.Name, func(obj *model.SummaryObject, rid heap.RID) error {
+		return idx.IndexObject(obj)
+	}); err != nil {
+		return err
+	}
+	tkey := strings.ToLower(table)
+	if db.baselineIdx[tkey] == nil {
+		db.baselineIdx[tkey] = map[string]*index.Baseline{}
+	}
+	db.baselineIdx[tkey][strings.ToLower(instance)] = idx
+	return nil
+}
+
+// DropSummaryIndex removes the Summary-BTree on (table, instance).
+func (db *DB) DropSummaryIndex(table, instance string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.summaryIdx[strings.ToLower(table)], strings.ToLower(instance))
+}
+
+// DropBaselineIndex removes the baseline index on (table, instance).
+func (db *DB) DropBaselineIndex(table, instance string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.baselineIdx[strings.ToLower(table)], strings.ToLower(instance))
+}
+
+func (db *DB) forEachStoredObject(t *catalog.Table, instance string,
+	fn func(*model.SummaryObject, heap.RID) error) error {
+	var outer error
+	t.SummaryStorage.Scan(func(_ heap.RID, oid int64, set model.SummarySet) bool {
+		obj := set.Get(instance)
+		if obj == nil {
+			return true
+		}
+		rid, ok := t.DiskTupleLoc(oid)
+		if !ok {
+			return true
+		}
+		if err := fn(obj, rid); err != nil {
+			outer = err
+			return false
+		}
+		return true
+	})
+	return outer
+}
+
+// AddAnnotation attaches a raw annotation to a tuple (optionally to
+// specific columns) and incrementally maintains every linked summary
+// instance, the statistics, and the indexes — the maintenance paths of
+// Section 4.1.2.
+func (db *DB) AddAnnotation(table string, oid int64, text string, columns []string, author string) (*model.Annotation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s has no tuple %d", table, oid)
+	}
+	ann := db.cat.Anns.Add(oid, text, columns, author)
+	if len(columns) > 0 {
+		t.ColAttachedAnns++
+	}
+	db.absorb(t, oid, rid, ann)
+	return ann, nil
+}
+
+// AttachAnnotation attaches an existing annotation to an additional
+// tuple (annotations may span arbitrary tuple combinations) and folds it
+// into that tuple's summaries. Because the annotation keeps its ID, a
+// later join of both tuples merges without double counting.
+func (db *DB) AttachAnnotation(table string, oid, annID int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	rid, ok := t.DiskTupleLoc(oid)
+	if !ok {
+		return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+	}
+	ann, ok := db.cat.Anns.Get(annID)
+	if !ok {
+		return fmt.Errorf("engine: no annotation %d", annID)
+	}
+	db.cat.Anns.AttachTo(annID, oid)
+	if len(ann.Columns) > 0 {
+		t.ColAttachedAnns++
+	}
+	db.absorb(t, oid, rid, ann)
+	return nil
+}
+
+// absorb folds one annotation into every summary instance of a tuple.
+func (db *DB) absorb(t *catalog.Table, oid int64, rid heap.RID, ann *model.Annotation) {
+	set := t.GetSummaries(oid).Clone()
+	for _, si := range t.Instances {
+		obj := set.Get(si.Name)
+		created := false
+		if obj == nil {
+			obj = db.newEmptyObject(t, si, oid)
+			set = append(set, obj)
+			created = true
+		}
+		if !created {
+			t.ForgetSummary(obj)
+		}
+		switch si.Type {
+		case model.SummaryClassifier:
+			db.absorbIntoClassifier(t, si, obj, ann, rid, created)
+		case model.SummarySnippet:
+			db.absorbIntoSnippet(si, obj, ann)
+		case model.SummaryCluster:
+			db.rebuildCluster(si, obj, oid)
+		}
+		t.ObserveSummary(obj)
+	}
+	t.PutSummaries(oid, set)
+}
+
+func (db *DB) newEmptyObject(t *catalog.Table, si *catalog.SummaryInstance, oid int64) *model.SummaryObject {
+	obj := &model.SummaryObject{InstanceID: si.Name, TupleOID: oid, Type: si.Type}
+	if si.Type == model.SummaryClassifier {
+		for _, l := range si.Labels {
+			obj.Reps = append(obj.Reps, model.Rep{Label: l})
+		}
+	}
+	return obj
+}
+
+// absorbIntoClassifier classifies the annotation and increments its
+// label, updating both index schemes incrementally: only the modified
+// label is re-keyed (delete + re-insert), as in "Adding Annotation —
+// Update". Statistics bracketing is done by the caller.
+func (db *DB) absorbIntoClassifier(t *catalog.Table, si *catalog.SummaryInstance,
+	obj *model.SummaryObject, ann *model.Annotation, rid heap.RID, created bool) {
+	clf := db.classifiers[strings.ToLower(si.Name)]
+	leaves := si.LeafLabels()
+	label := leaves[len(leaves)-1] // default to the catch-all leaf
+	if clf != nil {
+		label = clf.Classify(ann.Text)
+	}
+	// The leaf label plus every ancestor accumulates the annotation
+	// (hierarchical instances; flat ones have no ancestors).
+	touched := append([]string{label}, si.Ancestors(label)...)
+	type change struct {
+		label    string
+		old, new int
+	}
+	var changes []change
+	for _, l := range touched {
+		li := obj.RepIndexByLabel(l)
+		if li < 0 {
+			obj.Reps = append(obj.Reps, model.Rep{Label: l})
+			li = len(obj.Reps) - 1
+		}
+		old := obj.Reps[li].Count
+		obj.Reps[li].Elements = insertSorted(obj.Reps[li].Elements, ann.ID)
+		obj.Reps[li].Count = len(obj.Reps[li].Elements)
+		changes = append(changes, change{l, old, obj.Reps[li].Count})
+	}
+
+	sIdx := db.summaryIndex(t.Name, si.Name)
+	bIdx := db.baselineIndex(t.Name, si.Name)
+	if created {
+		if sIdx != nil {
+			sIdx.IndexObject(obj, rid)
+		}
+		if bIdx != nil {
+			bIdx.IndexObject(obj)
+		}
+		return
+	}
+	for _, ch := range changes {
+		if sIdx != nil {
+			sIdx.UpdateLabel(ch.label, ch.old, ch.new, rid)
+		}
+		if bIdx != nil {
+			bIdx.UpdateLabel(obj.TupleOID, ch.label, ch.new)
+		}
+	}
+}
+
+// absorbIntoSnippet adds a snippet representative. Large annotations are
+// summarized with LSA; short ones carry (at most maxChars of) their own
+// text so keyword search over the instance stays complete.
+func (db *DB) absorbIntoSnippet(si *catalog.SummaryInstance, obj *model.SummaryObject, ann *model.Annotation) {
+	var snippet string
+	if len(ann.Text) > si.SnippetMinChars {
+		s := lsa.Summarizer{MaxChars: si.SnippetMaxChars, Concepts: 3, MinChars: si.SnippetMinChars}
+		snippet = s.Summarize(ann.Text)
+	} else {
+		snippet = ann.Text
+		if len(snippet) > si.SnippetMaxChars {
+			snippet = snippet[:si.SnippetMaxChars]
+		}
+	}
+	obj.Reps = append(obj.Reps, model.Rep{Text: snippet, RepAnnID: ann.ID, Elements: []int64{ann.ID}})
+}
+
+// rebuildCluster re-clusters all of the tuple's annotations. Clustering
+// quality depends on the full point set, so the per-tuple object is
+// rebuilt rather than patched (annotation volume per tuple is bounded).
+func (db *DB) rebuildCluster(si *catalog.SummaryInstance, obj *model.SummaryObject, oid int64) {
+	cl := clustream.New(clustream.Config{MaxClusters: si.ClusterMaxGroups})
+	for _, a := range db.cat.Anns.ForTuple(oid) {
+		cl.Insert(a.ID, a.Text, float64(a.Seq))
+	}
+	obj.Reps = obj.Reps[:0]
+	for _, g := range cl.Groups() {
+		elems := append([]int64(nil), g.Members...)
+		sortInt64s(elems)
+		obj.Reps = append(obj.Reps, model.Rep{
+			Text: g.RepText, RepAnnID: g.RepID, Count: len(elems), Elements: elems,
+		})
+	}
+}
+
+// DeleteAnnotation removes a raw annotation and re-derives the affected
+// summary objects ("Deleting Annotation" of Section 4.1.2).
+func (db *DB) DeleteAnnotation(table string, annID int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	ann, ok := db.cat.Anns.Get(annID)
+	if !ok {
+		return fmt.Errorf("engine: no annotation %d", annID)
+	}
+	oid := ann.TupleOID
+	rid, _ := t.DiskTupleLoc(oid)
+	db.cat.Anns.Delete(annID)
+	if len(ann.Columns) > 0 && t.ColAttachedAnns > 0 {
+		t.ColAttachedAnns--
+	}
+
+	set := t.GetSummaries(oid).Clone()
+	for _, obj := range set {
+		si := t.Instance(obj.InstanceID)
+		if si == nil {
+			continue
+		}
+		t.ForgetSummary(obj)
+		switch si.Type {
+		case model.SummaryClassifier:
+			// The annotation may contribute to several representatives
+			// (its leaf label plus ancestors in a hierarchical instance):
+			// remove it from each.
+			for li := range obj.Reps {
+				r := &obj.Reps[li]
+				if !r.HasElement(annID) {
+					continue
+				}
+				old := r.Count
+				r.Elements = removeSorted(r.Elements, annID)
+				r.Count = len(r.Elements)
+				if idx := db.summaryIndex(table, si.Name); idx != nil {
+					idx.UpdateLabel(r.Label, old, r.Count, rid)
+				}
+				if idx := db.baselineIndex(table, si.Name); idx != nil {
+					idx.UpdateLabel(oid, r.Label, r.Count)
+				}
+			}
+		case model.SummarySnippet:
+			kept := obj.Reps[:0]
+			for _, r := range obj.Reps {
+				if r.RepAnnID != annID {
+					kept = append(kept, r)
+				}
+			}
+			obj.Reps = kept
+		case model.SummaryCluster:
+			db.rebuildCluster(si, obj, oid)
+		}
+		t.ObserveSummary(obj)
+	}
+	t.PutSummaries(oid, set)
+	return nil
+}
+
+func insertSorted(s []int64, v int64) []int64 {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int64, v int64) []int64 {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Result is a query's output.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Schema is the full output schema.
+	Schema *model.Schema
+	// Rows are the result rows; Tuple.Summaries carries the propagated
+	// annotation summaries (nil under WITHOUT SUMMARIES).
+	Rows []*exec.Row
+	// Plan is the optimized logical plan that produced the result.
+	Plan plan.Node
+}
+
+// Query parses, plans, optimizes, executes one SELECT statement. opts
+// may be nil for default optimization.
+func (db *DB) Query(query string, opts *optimizer.Options) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query expects SELECT; use Exec for %T", stmt)
+	}
+	return db.RunSelect(sel, opts)
+}
+
+// RunSelect plans and executes an already-parsed SELECT.
+func (db *DB) RunSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.runSelect(sel, opts)
+}
+
+// runSelect is the unlocked implementation (callers hold the shared
+// lock).
+func (db *DB) runSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
+	var o optimizer.Options
+	if opts != nil {
+		o = *opts
+	}
+	builder := &plan.Builder{Cat: db.cat}
+	root, resolver, err := builder.Build(sel)
+	if err != nil {
+		return nil, err
+	}
+	env := db.optimizerEnv(sel.Propagate)
+	it, optimized, err := optimizer.Plan(root, resolver, env, o)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(it)
+	if err != nil {
+		return nil, err
+	}
+	if !sel.Propagate {
+		// Predicates may have needed summaries internally (the compiler
+		// attaches them on demand); the output contract of WITHOUT
+		// SUMMARIES is summary-free rows.
+		for _, row := range rows {
+			row.Tuple.Summaries = nil
+			row.AliasSets = nil
+		}
+	}
+	schema := it.Schema()
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Col(i).Name
+	}
+	return &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}, nil
+}
+
+// Explain returns the optimized logical plan as text.
+func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("engine: Explain expects SELECT")
+	}
+	var o optimizer.Options
+	if opts != nil {
+		o = *opts
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	builder := &plan.Builder{Cat: db.cat}
+	root, resolver, err := builder.Build(sel)
+	if err != nil {
+		return "", err
+	}
+	optimized := optimizer.Optimize(root, resolver, db.optimizerEnv(sel.Propagate), o)
+	return plan.Explain(optimized), nil
+}
+
+func (db *DB) optimizerEnv(propagate bool) *optimizer.Env {
+	return &optimizer.Env{
+		Cat: db.cat,
+		// Unlocked accessors: query execution already holds the shared
+		// lock; the public accessors would re-enter it.
+		SummaryIdx:  db.summaryIndex,
+		BaselineIdx: db.baselineIndex,
+		Annotations: db.cat.Anns.ForTuple,
+		Lookup:      db.cat.Anns.Lookup(),
+		Propagate:   propagate,
+	}
+}
+
+// Exec runs any statement: SELECT returns a Result; ALTER TABLE ADD
+// [INDEXABLE] / DROP manages instance links; ZOOM IN returns the raw
+// annotations behind qualifying summaries (as a Result of zoom rows).
+func (db *DB) Exec(query string) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return db.RunSelect(s, nil)
+	case *sql.AlterStmt:
+		if s.Add {
+			if err := db.LinkInstance(s.Table, s.Instance, s.Indexable); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := db.UnlinkInstance(s.Table, s.Instance); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, nil
+	case *sql.ZoomStmt:
+		zooms, err := db.zoom(s)
+		if err != nil {
+			return nil, err
+		}
+		return zoomResult(zooms), nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// ValueStrings renders a result row's data values.
+func (r *Result) ValueStrings(i int) []string {
+	out := make([]string, len(r.Rows[i].Tuple.Values))
+	for j, v := range r.Rows[i].Tuple.Values {
+		out[j] = v.String()
+	}
+	return out
+}
+
+// String renders the whole result as a compact table.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, " | "))
+	b.WriteByte('\n')
+	for i := range r.Rows {
+		b.WriteString(strings.Join(r.ValueStrings(i), " | "))
+		if s := r.Rows[i].Tuple.Summaries; len(s) > 0 {
+			b.WriteString("  ")
+			b.WriteString(s.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

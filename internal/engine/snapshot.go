@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/mining/bayes"
+	"repro/internal/model"
+)
+
+// The snapshot format is a LOGICAL dump: schemas, instance definitions,
+// trained classifier models, tuples, raw annotations with their
+// attachments, and index declarations. Load replays it through the
+// normal engine paths — inserts, AddAnnotation, index creation — so
+// summaries, statistics, and indexes are re-derived exactly (every
+// mining component is deterministic given the replayed order). This
+// keeps the on-disk format independent of internal storage layouts.
+
+type snapshotInstance struct {
+	Def             catalog.SummaryInstance
+	ClassifierState *bayes.State // nil for non-classifier instances
+}
+
+type snapshotColumnDef struct {
+	Name string
+	Kind model.Kind
+}
+
+type snapshotTuple struct {
+	OID    int64
+	Values []model.Value
+}
+
+type snapshotTable struct {
+	Name        string
+	Columns     []snapshotColumnDef
+	Tuples      []snapshotTuple
+	Instances   []string // linked instance names
+	SummaryIdx  []string // instances with a Summary-BTree
+	BaselineIdx []string // instances with a baseline index
+	DataIdx     []string // data-indexed columns
+}
+
+type snapshotAnnotation struct {
+	Text     string
+	TupleOID int64 // primary attachment (old OID)
+	Columns  []string
+	Author   string
+	Seq      int64
+	// Extra lists additional tuple attachments (old OIDs).
+	Extra []int64
+}
+
+type snapshot struct {
+	Version     int
+	Instances   []snapshotInstance
+	Tables      []snapshotTable
+	Annotations []snapshotAnnotation // in Seq order
+	PageCap     int
+}
+
+// Save writes a logical snapshot of the database. The companion Load
+// reconstructs an equivalent database (same schemas, tuples, summaries,
+// statistics, and indexes; OIDs and annotation IDs are reassigned
+// deterministically).
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Version: 1, PageCap: db.pageCap()}
+
+	// Instance registry, sorted for determinism.
+	var instNames []string
+	for name := range db.instances {
+		instNames = append(instNames, name)
+	}
+	sort.Strings(instNames)
+	for _, name := range instNames {
+		si := db.instances[name]
+		entry := snapshotInstance{Def: *si}
+		if clf := db.classifiers[name]; clf != nil {
+			entry.ClassifierState = clf.State()
+		}
+		snap.Instances = append(snap.Instances, entry)
+	}
+
+	// Tables.
+	primaryOwner := map[int64]bool{} // old OIDs present in the dump
+	for _, name := range db.cat.TableNames() {
+		t, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		st := snapshotTable{Name: t.Name, DataIdx: t.DataIndexedColumns()}
+		for _, c := range t.Schema.Columns {
+			st.Columns = append(st.Columns, snapshotColumnDef{Name: c.Name, Kind: c.Kind})
+		}
+		t.Scan(func(_ heap.RID, tu *model.Tuple) bool {
+			st.Tuples = append(st.Tuples, snapshotTuple{OID: tu.OID,
+				Values: append([]model.Value(nil), tu.Values...)})
+			primaryOwner[tu.OID] = true
+			return true
+		})
+		sort.Slice(st.Tuples, func(i, j int) bool { return st.Tuples[i].OID < st.Tuples[j].OID })
+		for _, si := range t.Instances {
+			st.Instances = append(st.Instances, si.Name)
+			if db.summaryIndex(t.Name, si.Name) != nil {
+				st.SummaryIdx = append(st.SummaryIdx, si.Name)
+			}
+			if db.baselineIndex(t.Name, si.Name) != nil {
+				st.BaselineIdx = append(st.BaselineIdx, si.Name)
+			}
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+
+	// Annotations in Seq order, with extra attachments discovered by
+	// scanning every tuple's attachment list.
+	attachedTo := map[int64][]int64{} // annID -> tuple OIDs beyond the primary
+	for _, st := range snap.Tables {
+		for _, tu := range st.Tuples {
+			for _, a := range db.cat.Anns.ForTuple(tu.OID) {
+				if a.TupleOID != tu.OID {
+					attachedTo[a.ID] = append(attachedTo[a.ID], tu.OID)
+				}
+			}
+		}
+	}
+	var anns []*model.Annotation
+	db.cat.Anns.All(func(a *model.Annotation) bool {
+		anns = append(anns, a)
+		return true
+	})
+	sort.Slice(anns, func(i, j int) bool { return anns[i].Seq < anns[j].Seq })
+	for _, a := range anns {
+		if !primaryOwner[a.TupleOID] {
+			continue // orphan (its tuple was deleted); drop
+		}
+		extra := append([]int64(nil), attachedTo[a.ID]...)
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		snap.Annotations = append(snap.Annotations, snapshotAnnotation{
+			Text: a.Text, TupleOID: a.TupleOID,
+			Columns: append([]string(nil), a.Columns...),
+			Author:  a.Author, Seq: a.Seq, Extra: extra,
+		})
+	}
+
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// pageCap recovers the configured records-per-page parameter.
+func (db *DB) pageCap() int {
+	for _, name := range db.cat.TableNames() {
+		if t, err := db.cat.Table(name); err == nil {
+			return t.Data.PageCap()
+		}
+	}
+	return 0
+}
+
+// Load reconstructs a database from a snapshot produced by Save.
+func Load(r io.Reader) (*DB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
+	}
+	db := New(Config{PageCap: snap.PageCap})
+
+	// Instances and classifier models.
+	for i := range snap.Instances {
+		def := snap.Instances[i].Def
+		if err := db.registerInstance(&def); err != nil {
+			return nil, err
+		}
+		if st := snap.Instances[i].ClassifierState; st != nil {
+			db.classifiers[strings.ToLower(def.Name)] = bayes.FromState(st)
+		}
+	}
+
+	// Tables, tuples (recording old->new OIDs), and instance links.
+	oidMap := map[int64]int64{}
+	tableOf := map[int64]string{} // old OID -> table name
+	for _, st := range snap.Tables {
+		cols := make([]model.Column, len(st.Columns))
+		for i, c := range st.Columns {
+			cols[i] = model.Column{Name: c.Name, Kind: c.Kind}
+		}
+		if _, err := db.CreateTable(st.Name, model.NewSchema("", cols...)); err != nil {
+			return nil, err
+		}
+		for _, inst := range st.Instances {
+			if err := db.LinkInstance(st.Name, inst, false); err != nil {
+				return nil, err
+			}
+		}
+		for _, tu := range st.Tuples {
+			newOID, err := db.Insert(st.Name, tu.Values...)
+			if err != nil {
+				return nil, err
+			}
+			oidMap[tu.OID] = newOID
+			tableOf[tu.OID] = st.Name
+		}
+	}
+
+	// Replay annotations in original Seq order: summarization re-derives
+	// every summary object and statistic.
+	for _, a := range snap.Annotations {
+		table := tableOf[a.TupleOID]
+		if table == "" {
+			continue
+		}
+		ann, err := db.AddAnnotation(table, oidMap[a.TupleOID], a.Text, a.Columns, a.Author)
+		if err != nil {
+			return nil, err
+		}
+		for _, oldOID := range a.Extra {
+			if t2 := tableOf[oldOID]; t2 != "" {
+				if err := db.AttachAnnotation(t2, oidMap[oldOID], ann.ID); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Indexes last (bulk creation over the replayed summaries).
+	for _, st := range snap.Tables {
+		for _, col := range st.DataIdx {
+			if err := db.CreateDataIndex(st.Name, col); err != nil {
+				return nil, err
+			}
+		}
+		for _, inst := range st.SummaryIdx {
+			if err := db.CreateSummaryIndex(st.Name, inst); err != nil {
+				return nil, err
+			}
+		}
+		for _, inst := range st.BaselineIdx {
+			if err := db.CreateBaselineIndex(st.Name, inst); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,463 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// Evaluator evaluates sql.Expr trees against rows. It carries the
+// annotation lookup used by containsSingle/containsUnion raw-text search
+// and by cluster re-election.
+type Evaluator struct {
+	Schema *model.Schema
+	Lookup model.AnnotationLookup
+}
+
+// result is the evaluator's value domain: a relational value, a summary
+// set ($), or a single summary object.
+type result struct {
+	val model.Value
+	set model.SummarySet
+	obj *model.SummaryObject
+	// kind: 0 = value, 1 = set, 2 = object, 3 = null-object (missing
+	// getSummaryObject result, propagates NULL through method chains).
+	kind int
+}
+
+func valueResult(v model.Value) result { return result{val: v} }
+
+// Eval evaluates e against row, returning a relational value. Summary
+// sets/objects are not first-class SQL values: reaching the top with one
+// is an error.
+func (ev *Evaluator) Eval(e sql.Expr, row *Row) (model.Value, error) {
+	r, err := ev.eval(e, row)
+	if err != nil {
+		return model.Value{}, err
+	}
+	switch r.kind {
+	case 0:
+		return r.val, nil
+	case 3:
+		return model.Null(), nil
+	default:
+		return model.Value{}, fmt.Errorf("exec: expression %s yields a summary %s, not a value",
+			e, map[int]string{1: "set", 2: "object"}[r.kind])
+	}
+}
+
+// EvalBool evaluates a predicate; NULL and errors about missing summary
+// objects collapse to false, matching the permissive predicate semantics
+// end-users expect over partially annotated data.
+func (ev *Evaluator) EvalBool(e sql.Expr, row *Row) (bool, error) {
+	v, err := ev.Eval(e, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Truth(), nil
+}
+
+func (ev *Evaluator) eval(e sql.Expr, row *Row) (result, error) {
+	switch n := e.(type) {
+	case *sql.Literal:
+		return valueResult(n.Value), nil
+
+	case *sql.ColumnRef:
+		i, err := ev.Schema.ColIndex(n.Qualifier, n.Name)
+		if err != nil {
+			return result{}, err
+		}
+		return valueResult(row.Tuple.Values[i]), nil
+
+	case *sql.DollarRef:
+		return result{set: row.SetFor(n.Qualifier), kind: 1}, nil
+
+	case *sql.MethodCall:
+		return ev.evalMethod(n, row)
+
+	case *sql.Not:
+		b, err := ev.EvalBool(n.Expr, row)
+		if err != nil {
+			return result{}, err
+		}
+		return valueResult(model.NewBool(!b)), nil
+
+	case *sql.Neg:
+		v, err := ev.Eval(n.Expr, row)
+		if err != nil {
+			return result{}, err
+		}
+		switch v.Kind {
+		case model.KindInt:
+			return valueResult(model.NewInt(-v.Int)), nil
+		case model.KindFloat:
+			return valueResult(model.NewFloat(-v.Float)), nil
+		case model.KindNull:
+			return valueResult(model.Null()), nil
+		default:
+			return result{}, fmt.Errorf("exec: cannot negate %s", v.Kind)
+		}
+
+	case *sql.Binary:
+		return ev.evalBinary(n, row)
+
+	case *sql.FuncCall:
+		return ev.evalScalarFunc(n, row)
+
+	default:
+		return result{}, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
+	switch n.Op {
+	case sql.OpAnd:
+		l, err := ev.EvalBool(n.L, row)
+		if err != nil {
+			return result{}, err
+		}
+		if !l {
+			return valueResult(model.NewBool(false)), nil
+		}
+		r, err := ev.EvalBool(n.R, row)
+		if err != nil {
+			return result{}, err
+		}
+		return valueResult(model.NewBool(r)), nil
+
+	case sql.OpOr:
+		l, err := ev.EvalBool(n.L, row)
+		if err != nil {
+			return result{}, err
+		}
+		if l {
+			return valueResult(model.NewBool(true)), nil
+		}
+		r, err := ev.EvalBool(n.R, row)
+		if err != nil {
+			return result{}, err
+		}
+		return valueResult(model.NewBool(r)), nil
+	}
+
+	l, err := ev.Eval(n.L, row)
+	if err != nil {
+		return result{}, err
+	}
+	r, err := ev.Eval(n.R, row)
+	if err != nil {
+		return result{}, err
+	}
+
+	if n.Op.IsComparison() {
+		if l.IsNull() || r.IsNull() {
+			return valueResult(model.NewBool(false)), nil
+		}
+		if n.Op == sql.OpLike {
+			if l.Kind != model.KindText || r.Kind != model.KindText {
+				return result{}, fmt.Errorf("exec: LIKE requires text operands")
+			}
+			return valueResult(model.NewBool(matchLike(l.Text, r.Text))), nil
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return result{}, err
+		}
+		var b bool
+		switch n.Op {
+		case sql.OpEq:
+			b = c == 0
+		case sql.OpNe:
+			b = c != 0
+		case sql.OpLt:
+			b = c < 0
+		case sql.OpLe:
+			b = c <= 0
+		case sql.OpGt:
+			b = c > 0
+		case sql.OpGe:
+			b = c >= 0
+		}
+		return valueResult(model.NewBool(b)), nil
+	}
+
+	// Arithmetic.
+	if l.IsNull() || r.IsNull() {
+		return valueResult(model.Null()), nil
+	}
+	if n.Op == sql.OpAdd && l.Kind == model.KindText && r.Kind == model.KindText {
+		return valueResult(model.NewText(l.Text + r.Text)), nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return result{}, fmt.Errorf("exec: %s requires numeric operands, got %s and %s", n.Op, l.Kind, r.Kind)
+	}
+	if l.Kind == model.KindInt && r.Kind == model.KindInt {
+		a, b := l.Int, r.Int
+		switch n.Op {
+		case sql.OpAdd:
+			return valueResult(model.NewInt(a + b)), nil
+		case sql.OpSub:
+			return valueResult(model.NewInt(a - b)), nil
+		case sql.OpMul:
+			return valueResult(model.NewInt(a * b)), nil
+		case sql.OpDiv:
+			if b == 0 {
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewInt(a / b)), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch n.Op {
+	case sql.OpAdd:
+		return valueResult(model.NewFloat(a + b)), nil
+	case sql.OpSub:
+		return valueResult(model.NewFloat(a - b)), nil
+	case sql.OpMul:
+		return valueResult(model.NewFloat(a * b)), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return valueResult(model.Null()), nil
+		}
+		return valueResult(model.NewFloat(a / b)), nil
+	}
+	return result{}, fmt.Errorf("exec: unsupported binary op %s", n.Op)
+}
+
+// evalMethod dispatches the Section 3.1 manipulation functions.
+func (ev *Evaluator) evalMethod(m *sql.MethodCall, row *Row) (result, error) {
+	recv, err := ev.eval(m.Recv, row)
+	if err != nil {
+		return result{}, err
+	}
+	if recv.kind == 3 {
+		// Method chain over a missing summary object: NULL propagates.
+		return result{kind: 3}, nil
+	}
+	name := strings.ToLower(m.Name)
+
+	argValues := func(n int) ([]model.Value, error) {
+		if len(m.Args) != n {
+			return nil, fmt.Errorf("exec: %s expects %d arguments, got %d", m.Name, n, len(m.Args))
+		}
+		out := make([]model.Value, n)
+		for i, a := range m.Args {
+			v, err := ev.Eval(a, row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch recv.kind {
+	case 1: // summary set ($)
+		set := recv.set
+		switch name {
+		case "getsize":
+			return valueResult(model.NewInt(int64(set.Size()))), nil
+		case "getsummaryobject":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			var obj *model.SummaryObject
+			if args[0].Kind == model.KindText {
+				obj = set.Get(args[0].Text)
+			} else {
+				obj = set.At(int(args[0].AsInt()))
+			}
+			if obj == nil {
+				return result{kind: 3}, nil
+			}
+			return result{obj: obj, kind: 2}, nil
+		default:
+			return result{}, fmt.Errorf("exec: unknown summary-set function %q", m.Name)
+		}
+
+	case 2: // summary object
+		obj := recv.obj
+		switch name {
+		case "getsummarytype":
+			return valueResult(model.NewText(obj.GetSummaryType())), nil
+		case "getsummaryname":
+			return valueResult(model.NewText(obj.GetSummaryName())), nil
+		case "getsize":
+			return valueResult(model.NewInt(int64(obj.Size()))), nil
+		case "gettotalcount":
+			return valueResult(model.NewInt(int64(obj.TotalCount()))), nil
+		case "getlabelname":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			s, err := obj.GetLabelName(int(args[0].AsInt()))
+			if err != nil {
+				// Out-of-range / wrong-type access yields SQL NULL.
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewText(s)), nil
+		case "getlabelvalue":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			var n int
+			if args[0].Kind == model.KindText {
+				n, err = obj.GetLabelValue(args[0].Text)
+			} else {
+				n, err = obj.GetLabelValueAt(int(args[0].AsInt()))
+			}
+			if err != nil {
+				// Unknown label: NULL (predicates collapse to false).
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewInt(int64(n))), nil
+		case "getsnippet":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			s, err := obj.GetSnippet(int(args[0].AsInt()))
+			if err != nil {
+				// Out-of-range / wrong-type access yields SQL NULL.
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewText(s)), nil
+		case "getrepresentative":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			s, err := obj.GetRepresentative(int(args[0].AsInt()))
+			if err != nil {
+				// Out-of-range / wrong-type access yields SQL NULL.
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewText(s)), nil
+		case "getgroupsize":
+			args, err := argValues(1)
+			if err != nil {
+				return result{}, err
+			}
+			n, err := obj.GetGroupSize(int(args[0].AsInt()))
+			if err != nil {
+				// Out-of-range / wrong-type access yields SQL NULL.
+				return valueResult(model.Null()), nil
+			}
+			return valueResult(model.NewInt(int64(n))), nil
+		case "containssingle", "containsunion":
+			if len(m.Args) == 0 {
+				return result{}, fmt.Errorf("exec: %s needs at least one keyword", m.Name)
+			}
+			kws := make([]string, len(m.Args))
+			for i, a := range m.Args {
+				v, err := ev.Eval(a, row)
+				if err != nil {
+					return result{}, err
+				}
+				if v.Kind != model.KindText {
+					return result{}, fmt.Errorf("exec: %s keywords must be text", m.Name)
+				}
+				kws[i] = v.Text
+			}
+			var b bool
+			if name == "containssingle" {
+				b = obj.ContainsSingle(ev.Lookup, kws...)
+			} else {
+				b = obj.ContainsUnion(ev.Lookup, kws...)
+			}
+			return valueResult(model.NewBool(b)), nil
+		default:
+			return result{}, fmt.Errorf("exec: unknown summary-object function %q", m.Name)
+		}
+
+	default:
+		return result{}, fmt.Errorf("exec: %s is not callable on a plain value", m.Name)
+	}
+}
+
+// evalScalarFunc handles non-aggregate function calls.
+func (ev *Evaluator) evalScalarFunc(f *sql.FuncCall, row *Row) (result, error) {
+	if f.IsAggregate() {
+		return result{}, fmt.Errorf("exec: aggregate %s outside GROUP BY context", f.Name)
+	}
+	args := make([]model.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ev.Eval(a, row)
+		if err != nil {
+			return result{}, err
+		}
+		args[i] = v
+	}
+	switch strings.ToLower(f.Name) {
+	case "lower":
+		if len(args) != 1 {
+			return result{}, fmt.Errorf("exec: LOWER expects 1 argument")
+		}
+		return valueResult(model.NewText(strings.ToLower(args[0].String()))), nil
+	case "upper":
+		if len(args) != 1 {
+			return result{}, fmt.Errorf("exec: UPPER expects 1 argument")
+		}
+		return valueResult(model.NewText(strings.ToUpper(args[0].String()))), nil
+	case "length":
+		if len(args) != 1 {
+			return result{}, fmt.Errorf("exec: LENGTH expects 1 argument")
+		}
+		return valueResult(model.NewInt(int64(len(args[0].String())))), nil
+	case "abs":
+		if len(args) != 1 || !args[0].IsNumeric() {
+			return result{}, fmt.Errorf("exec: ABS expects 1 numeric argument")
+		}
+		if args[0].Kind == model.KindInt {
+			n := args[0].Int
+			if n < 0 {
+				n = -n
+			}
+			return valueResult(model.NewInt(n)), nil
+		}
+		x := args[0].Float
+		if x < 0 {
+			x = -x
+		}
+		return valueResult(model.NewFloat(x)), nil
+	default:
+		return result{}, fmt.Errorf("exec: unknown function %q", f.Name)
+	}
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any one char),
+// case-insensitively (the common scientific-DB configuration).
+func matchLike(s, pattern string) bool {
+	s, pattern = strings.ToLower(s), strings.ToLower(pattern)
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer matcher with backtracking on '%'.
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si, pi = starS, starP+1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// PredicateFilter implements both the standard selection σ (data-based
+// predicates) and the summary-based selection S of Section 3.2: a tuple
+// passes iff the predicate holds; qualifying tuples keep all their
+// summary objects unchanged. The two operators share this physical
+// implementation and differ only in what their predicates reference —
+// the distinction lives in the logical plan where the rewrite rules need
+// it.
+type PredicateFilter struct {
+	Input Iterator
+	Pred  sql.Expr
+	// Summary marks this node as the S operator (for EXPLAIN output).
+	Summary bool
+	Lookup  model.AnnotationLookup
+
+	ev *Evaluator
+}
+
+// NewFilter builds a σ node.
+func NewFilter(in Iterator, pred sql.Expr, lookup model.AnnotationLookup) *PredicateFilter {
+	return &PredicateFilter{Input: in, Pred: pred, Lookup: lookup}
+}
+
+// NewSummarySelect builds an S node.
+func NewSummarySelect(in Iterator, pred sql.Expr, lookup model.AnnotationLookup) *PredicateFilter {
+	return &PredicateFilter{Input: in, Pred: pred, Summary: true, Lookup: lookup}
+}
+
+// Open opens the input.
+func (f *PredicateFilter) Open() error {
+	f.ev = &Evaluator{Schema: f.Input.Schema(), Lookup: f.Lookup}
+	return f.Input.Open()
+}
+
+// Next returns the next qualifying row.
+func (f *PredicateFilter) Next() (*Row, error) {
+	for {
+		row, err := f.Input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		ok, err := f.ev.EvalBool(f.Pred, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *PredicateFilter) Close() error { return f.Input.Close() }
+
+// Schema returns the input schema (selection preserves it).
+func (f *PredicateFilter) Schema() *model.Schema { return f.Input.Schema() }
+
+// SummaryFilter implements the F operator of Section 3.2: every tuple
+// passes, but only its summary objects satisfying the structural
+// predicate — instance-name or summary-type membership — are kept.
+type SummaryFilter struct {
+	Input Iterator
+	// Instances keeps objects whose InstanceID is listed (empty = any).
+	Instances []string
+	// Types keeps objects whose type is listed (empty = any).
+	Types []model.SummaryType
+}
+
+// NewSummaryFilter builds an F node.
+func NewSummaryFilter(in Iterator, instances []string, types []model.SummaryType) *SummaryFilter {
+	return &SummaryFilter{Input: in, Instances: instances, Types: types}
+}
+
+// Keep reports whether a summary object satisfies the filter.
+func (f *SummaryFilter) Keep(o *model.SummaryObject) bool {
+	if len(f.Instances) > 0 {
+		found := false
+		for _, name := range f.Instances {
+			if strings.EqualFold(name, o.InstanceID) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(f.Types) > 0 {
+		found := false
+		for _, ty := range f.Types {
+			if ty == o.Type {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Open opens the input.
+func (f *SummaryFilter) Open() error { return f.Input.Open() }
+
+// Next filters the next row's summary set.
+func (f *SummaryFilter) Next() (*Row, error) {
+	row, err := f.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	set := row.Tuple.Summaries
+	if set == nil {
+		return row, nil
+	}
+	kept := make(model.SummarySet, 0, len(set))
+	for _, o := range set {
+		if f.Keep(o) {
+			kept = append(kept, o)
+		}
+	}
+	out := &Row{Tuple: row.Tuple.ShallowWithValues(row.Tuple.Values)}
+	out.Tuple.Summaries = kept
+	if row.AliasSets != nil {
+		out.AliasSets = make(map[string]model.SummarySet, len(row.AliasSets))
+		for alias := range row.AliasSets {
+			out.AliasSets[alias] = kept
+		}
+	}
+	return out, nil
+}
+
+// Close closes the input.
+func (f *SummaryFilter) Close() error { return f.Input.Close() }
+
+// Schema returns the input schema (F preserves data content).
+func (f *SummaryFilter) Schema() *model.Schema { return f.Input.Schema() }

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// AggSpec describes one aggregate computed by GroupBy.
+type AggSpec struct {
+	Func string   // count, sum, avg, min, max (lower-case)
+	Arg  sql.Expr // nil for COUNT(*)
+	Star bool
+	Name string // output column name
+}
+
+// GroupBy implements hash aggregation with summary-aware semantics: the
+// summary sets of a group's members are merged (without double counting),
+// so an aggregated row still carries meaningful annotation summaries —
+// the behavior behind the case study's Q2, which counts behavior-related
+// annotations per bird family after grouping.
+type GroupBy struct {
+	Input  Iterator
+	Keys   []sql.Expr
+	Aggs   []AggSpec
+	Lookup model.AnnotationLookup
+
+	out    *model.Schema
+	groups []*groupState
+	pos    int
+}
+
+type groupState struct {
+	keyVals []model.Value
+	row     *Row // first row (for key output), summaries merged in place
+	count   int64
+	sums    []float64
+	isInt   []bool
+	counts  []int64
+	mins    []model.Value
+	maxs    []model.Value
+}
+
+// GroupBySchema computes the aggregation output schema: the group keys
+// (named after their expressions) followed by one column per aggregate.
+// It is shared by the logical planner and the physical operator so both
+// agree on names.
+func GroupBySchema(inSchema *model.Schema, keys []sql.Expr, aggs []AggSpec) *model.Schema {
+	out := &model.Schema{}
+	for i, k := range keys {
+		name, qual := fmt.Sprintf("key%d", i), ""
+		if cr, ok := k.(*sql.ColumnRef); ok {
+			name, qual = cr.Name, cr.Qualifier
+			if idx, err := inSchema.ColIndex(cr.Qualifier, cr.Name); err == nil {
+				out.Columns = append(out.Columns, inSchema.Col(idx))
+				out.Qualifiers = append(out.Qualifiers, inSchema.Qualifiers[idx])
+				continue
+			}
+		}
+		out.Columns = append(out.Columns, model.Column{Name: name, Kind: model.KindText})
+		out.Qualifiers = append(out.Qualifiers, qual)
+	}
+	for _, a := range aggs {
+		kind := model.KindInt
+		if a.Func == "avg" {
+			kind = model.KindFloat
+		}
+		out.Columns = append(out.Columns, model.Column{Name: a.Name, Kind: kind})
+		out.Qualifiers = append(out.Qualifiers, "")
+	}
+	return out
+}
+
+// NewGroupBy builds the operator.
+func NewGroupBy(in Iterator, keys []sql.Expr, aggs []AggSpec, lookup model.AnnotationLookup) *GroupBy {
+	return &GroupBy{Input: in, Keys: keys, Aggs: aggs, Lookup: lookup,
+		out: GroupBySchema(in.Schema(), keys, aggs)}
+}
+
+// Open drains the input into group states.
+func (g *GroupBy) Open() error {
+	ev := &Evaluator{Schema: g.Input.Schema(), Lookup: g.Lookup}
+	if err := g.Input.Open(); err != nil {
+		return err
+	}
+	defer g.Input.Close()
+
+	byKey := map[string]*groupState{}
+	var order []string
+	for {
+		row, err := g.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keyVals := make([]model.Value, len(g.Keys))
+		var kb strings.Builder
+		for i, k := range g.Keys {
+			v, err := ev.Eval(k, row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			kb.WriteString(v.SortKey())
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		gs, ok := byKey[key]
+		if !ok {
+			gs = &groupState{
+				keyVals: keyVals,
+				row:     row,
+				sums:    make([]float64, len(g.Aggs)),
+				isInt:   make([]bool, len(g.Aggs)),
+				counts:  make([]int64, len(g.Aggs)),
+				mins:    make([]model.Value, len(g.Aggs)),
+				maxs:    make([]model.Value, len(g.Aggs)),
+			}
+			for i := range gs.isInt {
+				gs.isInt[i] = true
+			}
+			byKey[key] = gs
+			order = append(order, key)
+		} else {
+			// Merge the new member's summaries into the group's (Q2
+			// semantics: an output tuple's annotations come from all its
+			// base tuples, without double counting).
+			gs.row = &Row{Tuple: gs.row.Tuple.ShallowWithValues(gs.row.Tuple.Values)}
+			gs.row.Tuple.Summaries = model.MergeSets(gs.row.Tuple.Summaries, row.Tuple.Summaries, g.Lookup)
+		}
+		gs.count++
+		for ai, a := range g.Aggs {
+			if a.Star || a.Arg == nil {
+				continue
+			}
+			v, err := ev.Eval(a.Arg, row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			gs.counts[ai]++
+			if v.IsNumeric() {
+				gs.sums[ai] += v.AsFloat()
+				if v.Kind == model.KindFloat {
+					gs.isInt[ai] = false
+				}
+			}
+			if gs.mins[ai].IsNull() {
+				gs.mins[ai], gs.maxs[ai] = v, v
+				continue
+			}
+			if c, err := v.Compare(gs.mins[ai]); err == nil && c < 0 {
+				gs.mins[ai] = v
+			}
+			if c, err := v.Compare(gs.maxs[ai]); err == nil && c > 0 {
+				gs.maxs[ai] = v
+			}
+		}
+	}
+	g.groups = make([]*groupState, len(order))
+	for i, k := range order {
+		g.groups[i] = byKey[k]
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next emits the next group.
+func (g *GroupBy) Next() (*Row, error) {
+	if g.pos >= len(g.groups) {
+		return nil, nil
+	}
+	gs := g.groups[g.pos]
+	g.pos++
+	values := make([]model.Value, 0, len(gs.keyVals)+len(g.Aggs))
+	values = append(values, gs.keyVals...)
+	for ai, a := range g.Aggs {
+		switch a.Func {
+		case "count":
+			if a.Star {
+				values = append(values, model.NewInt(gs.count))
+			} else {
+				values = append(values, model.NewInt(gs.counts[ai]))
+			}
+		case "sum":
+			if gs.isInt[ai] {
+				values = append(values, model.NewInt(int64(gs.sums[ai])))
+			} else {
+				values = append(values, model.NewFloat(gs.sums[ai]))
+			}
+		case "avg":
+			if gs.counts[ai] == 0 {
+				values = append(values, model.Null())
+			} else {
+				values = append(values, model.NewFloat(gs.sums[ai]/float64(gs.counts[ai])))
+			}
+		case "min":
+			values = append(values, gs.mins[ai])
+		case "max":
+			values = append(values, gs.maxs[ai])
+		default:
+			return nil, fmt.Errorf("exec: unknown aggregate %q", a.Func)
+		}
+	}
+	out := &Row{Tuple: &model.Tuple{OID: gs.row.Tuple.OID, Values: values,
+		Summaries: gs.row.Tuple.Summaries}}
+	return out, nil
+}
+
+// Close is a no-op (input closed at Open).
+func (g *GroupBy) Close() error { g.groups = nil; return nil }
+
+// Schema returns the group-keys + aggregates schema.
+func (g *GroupBy) Schema() *model.Schema { return g.out }

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// HashJoin is an equi-join implementation beyond the paper's two choices
+// (block nested-loop and index-based) — the "more implementation choices
+// for the summary-based operators" the paper lists as future work. The
+// right input is hashed on its key once; each left row probes the table.
+// Like the other joins it preserves the outer (left) input's order and
+// merges the joined tuples' summary sets without double counting.
+type HashJoin struct {
+	Left, Right Iterator
+	// LeftKey/RightKey are the equi-join key expressions, evaluated
+	// against their own side.
+	LeftKey, RightKey sql.Expr
+	// Residual is an optional extra predicate over the combined row,
+	// evaluated pre-merge.
+	Residual  sql.Expr
+	Propagate bool
+	Lookup    model.AnnotationLookup
+
+	schema       *model.Schema
+	leftAliases  []string
+	rightAliases []string
+	table        map[string][]*Row
+	leftEv       *Evaluator
+	combinedEv   *Evaluator
+	cur          *Row
+	matches      []*Row
+	matchPos     int
+}
+
+// NewHashJoin builds a hash join.
+func NewHashJoin(left, right Iterator, leftKey, rightKey sql.Expr,
+	residual sql.Expr, propagate bool, lookup model.AnnotationLookup) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey,
+		Residual: residual, Propagate: propagate, Lookup: lookup,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Open drains and hashes the build (right) side.
+func (j *HashJoin) Open() error {
+	j.leftAliases = schemaAliases(j.Left.Schema())
+	j.rightAliases = schemaAliases(j.Right.Schema())
+	j.leftEv = &Evaluator{Schema: j.Left.Schema(), Lookup: j.Lookup}
+	j.combinedEv = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
+	rightEv := &Evaluator{Schema: j.Right.Schema(), Lookup: j.Lookup}
+
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]*Row, len(rows))
+	for _, row := range rows {
+		key, err := rightEv.Eval(j.RightKey, row)
+		if err != nil {
+			return err
+		}
+		if key.IsNull() {
+			continue // NULL keys never join
+		}
+		k := hashKey(key)
+		j.table[k] = append(j.table[k], row)
+	}
+	j.cur = nil
+	return j.Left.Open()
+}
+
+// hashKey canonicalizes a join key value: INT and FLOAT with the same
+// numeric value must collide (5 = 5.0 joins in the evaluator too).
+func hashKey(v model.Value) string {
+	if v.Kind == model.KindFloat && v.Float == float64(int64(v.Float)) {
+		return model.NewInt(int64(v.Float)).SortKey()
+	}
+	return v.SortKey()
+}
+
+// Next returns the next joined row.
+func (j *HashJoin) Next() (*Row, error) {
+	for {
+		if j.cur == nil {
+			var err error
+			j.cur, err = j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if j.cur == nil {
+				return nil, nil
+			}
+			key, err := j.leftEv.Eval(j.LeftKey, j.cur)
+			if err != nil {
+				return nil, err
+			}
+			if key.IsNull() {
+				j.matches = nil
+			} else {
+				j.matches = j.table[hashKey(key)]
+			}
+			j.matchPos = 0
+		}
+		for j.matchPos < len(j.matches) {
+			right := j.matches[j.matchPos]
+			j.matchPos++
+			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)
+			if j.Residual != nil {
+				ok, err := j.combinedEv.EvalBool(j.Residual, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if j.Propagate {
+				mergeJoinOutput(combined, j.cur, right, j.Lookup)
+			}
+			return combined, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close releases the hash table and closes the outer input.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.Left.Close()
+}
+
+// Schema returns the concatenated schema.
+func (j *HashJoin) Schema() *model.Schema { return j.schema }
+
+// keyOwnedBy reports whether a column reference belongs to the given
+// schema side (used by the optimizer to orient hash-join keys).
+func keyOwnedBy(c *sql.ColumnRef, s *model.Schema) bool {
+	if c.Qualifier != "" {
+		return s.HasQualifier(strings.ToLower(c.Qualifier))
+	}
+	_, err := s.ColIndex("", c.Name)
+	return err == nil
+}
+
+// OrientEquiKeys splits an equi-join conjunct's two column references
+// into (leftKey, rightKey) relative to the given schemas; ok is false
+// when neither orientation fits.
+func OrientEquiKeys(a, b *sql.ColumnRef, left, right *model.Schema) (leftKey, rightKey *sql.ColumnRef, ok bool) {
+	switch {
+	case keyOwnedBy(a, left) && keyOwnedBy(b, right):
+		return a, b, true
+	case keyOwnedBy(b, left) && keyOwnedBy(a, right):
+		return b, a, true
+	default:
+		return nil, nil, false
+	}
+}

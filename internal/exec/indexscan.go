@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// SummaryIndexScan evaluates "classLabel <Op> constant" through a
+// Summary-BTree and returns the qualifying data tuples. With backward
+// pointers the leaf entries point straight at the data heap; with
+// conventional pointers (the Figure 13 ablation) each hit goes through
+// R_SummaryStorage first and joins back to the data table by OID. Output
+// arrives in ascending label-count order — the interesting order the
+// optimizer exploits to eliminate sorts.
+type SummaryIndexScan struct {
+	Table *catalog.Table
+	Alias string
+	Index *index.SummaryBTree
+
+	Label    string
+	Op       index.CmpOp
+	Constant int
+
+	// Propagate attaches the full summary set of each hit.
+	Propagate bool
+	// ConventionalPointers simulates leaf pointers into
+	// R_SummaryStorage instead of backward pointers into the data heap.
+	ConventionalPointers bool
+	// Descending reverses the index order (for ORDER BY ... DESC).
+	Descending bool
+
+	schema *model.Schema
+	hits   []heap.RID
+	pos    int
+}
+
+// NewSummaryIndexScan builds the scan.
+func NewSummaryIndexScan(t *catalog.Table, alias string, idx *index.SummaryBTree,
+	label string, op index.CmpOp, constant int, propagate bool) *SummaryIndexScan {
+	if alias == "" {
+		alias = t.Name
+	}
+	return &SummaryIndexScan{Table: t, Alias: alias, Index: idx,
+		Label: label, Op: op, Constant: constant, Propagate: propagate,
+		schema: t.Schema.Rename(alias)}
+}
+
+// Open probes the index and materializes the hit list (the paper's
+// implementation collects qualifying pointers from the leaf chain).
+func (s *SummaryIndexScan) Open() error {
+	s.hits = s.Index.Search(s.Label, s.Op, s.Constant)
+	if s.Descending {
+		for i, j := 0, len(s.hits)-1; i < j; i, j = i+1, j-1 {
+			s.hits[i], s.hits[j] = s.hits[j], s.hits[i]
+		}
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next fetches the next qualifying data tuple.
+func (s *SummaryIndexScan) Next() (*Row, error) {
+	for s.pos < len(s.hits) {
+		rid := s.hits[s.pos]
+		s.pos++
+		if s.ConventionalPointers {
+			// Conventional pointers address the summary object in
+			// R_SummaryStorage: read it there, then join back to the data
+			// table through the OID index — the extra join the backward
+			// pointers avoid.
+			oid, _, ok := s.Table.SummaryStorage.Get(storageRIDFor(s.Table, rid))
+			if !ok {
+				continue
+			}
+			dataRID, ok := s.Table.DiskTupleLoc(oid)
+			if !ok {
+				continue
+			}
+			if row, ok := fetchRow(s.Table, s.Alias, dataRID, s.Propagate); ok {
+				return row, nil
+			}
+			continue
+		}
+		if row, ok := fetchRow(s.Table, s.Alias, rid, s.Propagate); ok {
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+// storageRIDFor maps a backward pointer to the tuple's summary-storage
+// location, emulating an index whose leaves point at R_SummaryStorage.
+// (A real conventional index would store that RID directly; the extra
+// OID probe here charges the same page reads either way.)
+func storageRIDFor(t *catalog.Table, dataRID heap.RID) heap.RID {
+	tu, ok := t.GetAt(dataRID)
+	if !ok {
+		return heap.RID{Page: -1}
+	}
+	rid, ok := t.SummaryLoc(tu.OID)
+	if !ok {
+		return heap.RID{Page: -1}
+	}
+	return rid
+}
+
+// Close releases the hit list.
+func (s *SummaryIndexScan) Close() error { s.hits = nil; return nil }
+
+// Schema returns the output schema.
+func (s *SummaryIndexScan) Schema() *model.Schema { return s.schema }
+
+// BaselineIndexScan answers the same predicate through the baseline
+// scheme: probe the derived-column B-Tree, read the normalized rows for
+// tuple OIDs, then join back to the data table via its OID index. With
+// ReconstructSummaries the propagated summary objects are additionally
+// re-assembled from the normalized primitives (the Figure 12 path)
+// instead of read from the de-normalized storage.
+type BaselineIndexScan struct {
+	Table *catalog.Table
+	Alias string
+	Index *index.Baseline
+
+	Label    string
+	Op       index.CmpOp
+	Constant int
+
+	Propagate            bool
+	ReconstructSummaries bool
+
+	schema *model.Schema
+	oids   []int64
+	pos    int
+}
+
+// NewBaselineIndexScan builds the scan.
+func NewBaselineIndexScan(t *catalog.Table, alias string, idx *index.Baseline,
+	label string, op index.CmpOp, constant int, propagate bool) *BaselineIndexScan {
+	if alias == "" {
+		alias = t.Name
+	}
+	return &BaselineIndexScan{Table: t, Alias: alias, Index: idx,
+		Label: label, Op: op, Constant: constant, Propagate: propagate,
+		schema: t.Schema.Rename(alias)}
+}
+
+// Open probes the derived index.
+func (s *BaselineIndexScan) Open() error {
+	s.oids = s.Index.Search(s.Label, s.Op, s.Constant)
+	s.pos = 0
+	return nil
+}
+
+// Next joins the next normalized hit back to the data table.
+func (s *BaselineIndexScan) Next() (*Row, error) {
+	for s.pos < len(s.oids) {
+		oid := s.oids[s.pos]
+		s.pos++
+		rid, ok := s.Table.DiskTupleLoc(oid) // extra OID-index join
+		if !ok {
+			continue
+		}
+		if s.ReconstructSummaries {
+			row, ok := fetchRow(s.Table, s.Alias, rid, false)
+			if !ok {
+				continue
+			}
+			var set model.SummarySet
+			if obj, ok := s.Index.ReconstructObject(oid); ok {
+				set = model.SummarySet{obj}
+			}
+			row.Tuple.Summaries = set
+			row.AliasSets = aliasSet(s.Alias, set)
+			return row, nil
+		}
+		if row, ok := fetchRow(s.Table, s.Alias, rid, s.Propagate); ok {
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+// Close releases the hit list.
+func (s *BaselineIndexScan) Close() error { s.oids = nil; return nil }
+
+// Schema returns the output schema.
+func (s *BaselineIndexScan) Schema() *model.Schema { return s.schema }
+
+// DataIndexScan probes a standard B-Tree over a data column for equality
+// matches — the access path index-based data joins use.
+type DataIndexScan struct {
+	Table     *catalog.Table
+	Alias     string
+	Column    string
+	Key       model.Value
+	Propagate bool
+
+	schema *model.Schema
+	hits   []heap.RID
+	pos    int
+}
+
+// NewDataIndexScan builds the scan; the column must have a data index.
+func NewDataIndexScan(t *catalog.Table, alias, column string, key model.Value, propagate bool) *DataIndexScan {
+	if alias == "" {
+		alias = t.Name
+	}
+	return &DataIndexScan{Table: t, Alias: alias, Column: column, Key: key,
+		Propagate: propagate, schema: t.Schema.Rename(alias)}
+}
+
+// Open probes the column index.
+func (s *DataIndexScan) Open() error {
+	s.hits = nil
+	s.pos = 0
+	idx := s.Table.DataIndex(s.Column)
+	if idx == nil {
+		return nil
+	}
+	for _, enc := range idx.SearchEq(s.Key.SortKey()) {
+		s.hits = append(s.hits, heap.DecodeRID(enc))
+	}
+	return nil
+}
+
+// Next fetches the next matching tuple.
+func (s *DataIndexScan) Next() (*Row, error) {
+	for s.pos < len(s.hits) {
+		rid := s.hits[s.pos]
+		s.pos++
+		if row, ok := fetchRow(s.Table, s.Alias, rid, s.Propagate); ok {
+			return row, nil
+		}
+	}
+	return nil, nil
+}
+
+// Close releases the hit list.
+func (s *DataIndexScan) Close() error { s.hits = nil; return nil }
+
+// Schema returns the output schema.
+func (s *DataIndexScan) Schema() *model.Schema { return s.schema }

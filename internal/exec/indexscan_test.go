@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// indexedFixture extends opsFixture with both index schemes over R.C1.
+func indexedFixture(t *testing.T, n int) (*opsFixture, *index.SummaryBTree, *index.Baseline) {
+	t.Helper()
+	f := newOpsFixture(t, n, 0)
+	sIdx := index.NewSummaryBTree(nil, "C1")
+	bIdx := index.NewBaseline(nil, 8, "C1")
+	f.r.SummaryStorage.Scan(func(_ heap.RID, oid int64, set model.SummarySet) bool {
+		obj := set.Get("C1")
+		rid, _ := f.r.DiskTupleLoc(oid)
+		if err := sIdx.IndexObject(obj, rid); err != nil {
+			t.Fatal(err)
+		}
+		if err := bIdx.IndexObject(obj); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	return f, sIdx, bIdx
+}
+
+func TestSummaryIndexScanBackwardAndConventional(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 16)
+	// Disease = 2 matches i%4 == 2.
+	scan := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpEq, 2, true)
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Tuple.Summaries.Get("C1") == nil {
+			t.Fatal("propagation missing")
+		}
+		if d, _ := row.Tuple.Summaries.Get("C1").GetLabelValue("Disease"); d != 2 {
+			t.Fatalf("false positive: Disease=%d", d)
+		}
+	}
+	if scan.Schema().Len() != 2 {
+		t.Errorf("schema: %s", scan.Schema())
+	}
+
+	// Conventional pointers return the same rows, paying extra reads.
+	conv := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpEq, 2, true)
+	conv.ConventionalPointers = true
+	convRows, err := Collect(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(convRows) != len(rows) {
+		t.Fatalf("conventional rows = %d, want %d", len(convRows), len(rows))
+	}
+
+	// No propagation: summary sets absent.
+	bare := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpEq, 2, false)
+	bareRows, err := Collect(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bareRows) != 4 || bareRows[0].Tuple.Summaries != nil {
+		t.Error("no-propagation scan attached summaries")
+	}
+
+	// Descending reverses the count order.
+	desc := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 0, true)
+	desc.Descending = true
+	descRows, err := Collect(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for _, row := range descRows {
+		d, _ := row.Tuple.Summaries.Get("C1").GetLabelValue("Disease")
+		if d > prev {
+			t.Fatal("descending order broken")
+		}
+		prev = d
+	}
+}
+
+func TestBaselineIndexScanAndReconstruct(t *testing.T) {
+	f, _, bIdx := indexedFixture(t, 16)
+	scan := NewBaselineIndexScan(f.r, "r", bIdx, "Disease", index.OpGe, 3, true)
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // i%4 == 3
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Tuple.Summaries.Get("C1") == nil {
+		t.Fatal("de-normalized propagation missing")
+	}
+	if scan.Schema().Len() != 2 {
+		t.Errorf("schema: %s", scan.Schema())
+	}
+
+	// Reconstruction path: summaries rebuilt from normalized rows carry
+	// counts (but there is only the classifier object).
+	rec := NewBaselineIndexScan(f.r, "r", bIdx, "Disease", index.OpGe, 3, true)
+	rec.ReconstructSummaries = true
+	recRows, err := Collect(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recRows) != 4 {
+		t.Fatalf("reconstruct rows = %d", len(recRows))
+	}
+	obj := recRows[0].Tuple.Summaries.Get("C1")
+	if obj == nil {
+		t.Fatal("reconstructed object missing")
+	}
+	if d, _ := obj.GetLabelValue("Disease"); d != 3 {
+		t.Errorf("reconstructed Disease = %d", d)
+	}
+}
+
+func TestDataIndexScanMissingIndex(t *testing.T) {
+	f := newOpsFixture(t, 4, 0)
+	// No index on column a: scan yields nothing rather than erroring.
+	scan := NewDataIndexScan(f.r, "r", "a", model.NewInt(1), false)
+	rows, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows without index = %d", len(rows))
+	}
+	if _, err := f.r.CreateDataIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = Collect(NewDataIndexScan(f.r, "r", "a", model.NewInt(3), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Tuple.Values[0].Int != 3 {
+		t.Errorf("indexed lookup: %d rows", len(rows))
+	}
+}

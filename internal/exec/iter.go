@@ -1,0 +1,59 @@
+package exec
+
+import "repro/internal/model"
+
+// Iterator is the Volcano operator interface: Open, a stream of Next
+// calls returning (nil, nil) at end-of-stream, and Close.
+type Iterator interface {
+	Open() error
+	Next() (*Row, error)
+	Close() error
+	Schema() *model.Schema
+}
+
+// Collect drains an iterator into a slice, handling Open/Close.
+func Collect(it Iterator) ([]*Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []*Row
+	for {
+		r, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// sliceIter replays a materialized row slice; several operators
+// (sort, block-nested-loop inner) use it internally, and tests use it as
+// a stub source.
+type sliceIter struct {
+	schema *model.Schema
+	rows   []*Row
+	pos    int
+}
+
+// NewSliceIter builds an iterator over pre-materialized rows.
+func NewSliceIter(schema *model.Schema, rows []*Row) Iterator {
+	return &sliceIter{schema: schema, rows: rows}
+}
+
+func (s *sliceIter) Open() error { s.pos = 0; return nil }
+
+func (s *sliceIter) Next() (*Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() error          { return nil }
+func (s *sliceIter) Schema() *model.Schema { return s.schema }

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// joinRow builds the combined row two join inputs present to the join
+// predicate: concatenated data values, with each side's aliases mapped
+// to its own (pre-merge) summary set so that r.$ and s.$ resolve
+// per-side, as the J operator's semantics require.
+func joinRow(left, right *Row, leftAliases, rightAliases []string) *Row {
+	values := make([]model.Value, 0, len(left.Tuple.Values)+len(right.Tuple.Values))
+	values = append(append(values, left.Tuple.Values...), right.Tuple.Values...)
+	combined := &Row{
+		Tuple:     &model.Tuple{OID: left.Tuple.OID, Values: values},
+		AliasSets: make(map[string]model.SummarySet, len(leftAliases)+len(rightAliases)),
+	}
+	for _, a := range leftAliases {
+		combined.AliasSets[a] = left.SetFor(a)
+	}
+	for _, a := range rightAliases {
+		combined.AliasSets[a] = right.SetFor(a)
+	}
+	return combined
+}
+
+// mergeJoinOutput merges the two sides' summary sets into the combined
+// row (Section 2.2's merge procedure, without double counting) and
+// re-points every alias at the merged set.
+func mergeJoinOutput(combined *Row, left, right *Row, lookup model.AnnotationLookup) {
+	merged := model.MergeSets(left.Tuple.Summaries, right.Tuple.Summaries, lookup)
+	combined.Tuple.Summaries = merged
+	for a := range combined.AliasSets {
+		combined.AliasSets[a] = merged
+	}
+}
+
+func schemaAliases(s *model.Schema) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, q := range s.Qualifiers {
+		q = strings.ToLower(q)
+		if q != "" && !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// NLJoin is a block nested-loop join: the inner (right) input is
+// materialized once, then streamed per outer row. It preserves the outer
+// input's order — the property rules 5–6 rely on. It implements both the
+// data join ⋈ and, with a summary-based predicate, the summary join J;
+// both merge the joined tuples' summary objects.
+type NLJoin struct {
+	Left, Right Iterator
+	On          sql.Expr
+	// Summary marks the logical J operator (for EXPLAIN).
+	Summary   bool
+	Propagate bool
+	Lookup    model.AnnotationLookup
+
+	schema       *model.Schema
+	leftAliases  []string
+	rightAliases []string
+	inner        []*Row
+	cur          *Row
+	innerPos     int
+	ev           *Evaluator
+}
+
+// NewNLJoin builds a block nested-loop join.
+func NewNLJoin(left, right Iterator, on sql.Expr, propagate bool, lookup model.AnnotationLookup) *NLJoin {
+	return &NLJoin{Left: left, Right: right, On: on, Propagate: propagate, Lookup: lookup,
+		schema: left.Schema().Concat(right.Schema())}
+}
+
+// Open materializes the inner input.
+func (j *NLJoin) Open() error {
+	j.leftAliases = schemaAliases(j.Left.Schema())
+	j.rightAliases = schemaAliases(j.Right.Schema())
+	j.ev = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
+	var err error
+	j.inner, err = Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.cur = nil
+	j.innerPos = 0
+	return j.Left.Open()
+}
+
+// Next returns the next joined row.
+func (j *NLJoin) Next() (*Row, error) {
+	for {
+		if j.cur == nil {
+			var err error
+			j.cur, err = j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if j.cur == nil {
+				return nil, nil
+			}
+			j.innerPos = 0
+		}
+		for j.innerPos < len(j.inner) {
+			right := j.inner[j.innerPos]
+			j.innerPos++
+			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)
+			ok := true
+			if j.On != nil {
+				var err error
+				ok, err = j.ev.EvalBool(j.On, combined)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			if j.Propagate {
+				mergeJoinOutput(combined, j.cur, right, j.Lookup)
+			}
+			return combined, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close closes the outer input (the inner was drained at Open).
+func (j *NLJoin) Close() error { j.inner = nil; return j.Left.Close() }
+
+// Schema returns the concatenated schema.
+func (j *NLJoin) Schema() *model.Schema { return j.schema }
+
+// IndexJoin joins by probing a data index on the inner table's join
+// column for each outer row — the "index-based join" implementation
+// choice of Section 5.2. It preserves outer order.
+type IndexJoin struct {
+	Left Iterator
+	// Inner side: a table with a data index on InnerColumn.
+	InnerTable *catalog.Table
+	InnerAlias string
+	InnerCol   string
+	// OuterKey is evaluated against the outer row to form the probe key.
+	OuterKey sql.Expr
+	// Residual is an optional extra predicate over the combined row.
+	Residual sql.Expr
+	// Propagate merges the sides' summaries into the output.
+	Propagate bool
+	// FetchSummaries attaches the inner table's summary sets even when
+	// Propagate is off (needed when Residual reads $).
+	FetchSummaries bool
+	Lookup         model.AnnotationLookup
+
+	schema       *model.Schema
+	innerSchema  *model.Schema
+	leftAliases  []string
+	rightAliases []string
+	outerEv      *Evaluator
+	combinedEv   *Evaluator
+	cur          *Row
+	matches      []*Row
+	matchPos     int
+}
+
+// NewIndexJoin builds an index join.
+func NewIndexJoin(left Iterator, inner *catalog.Table, innerAlias, innerCol string,
+	outerKey sql.Expr, residual sql.Expr, propagate bool, lookup model.AnnotationLookup) *IndexJoin {
+	if innerAlias == "" {
+		innerAlias = inner.Name
+	}
+	innerSchema := inner.Schema.Rename(innerAlias)
+	return &IndexJoin{
+		Left: left, InnerTable: inner, InnerAlias: innerAlias, InnerCol: innerCol,
+		OuterKey: outerKey, Residual: residual, Propagate: propagate,
+		FetchSummaries: propagate, Lookup: lookup,
+		schema:      left.Schema().Concat(innerSchema),
+		innerSchema: innerSchema,
+	}
+}
+
+// Open opens the outer input.
+func (j *IndexJoin) Open() error {
+	j.leftAliases = schemaAliases(j.Left.Schema())
+	j.rightAliases = []string{strings.ToLower(j.InnerAlias)}
+	j.outerEv = &Evaluator{Schema: j.Left.Schema(), Lookup: j.Lookup}
+	j.combinedEv = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
+	j.cur = nil
+	return j.Left.Open()
+}
+
+// Next returns the next joined row.
+func (j *IndexJoin) Next() (*Row, error) {
+	for {
+		if j.cur == nil {
+			var err error
+			j.cur, err = j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if j.cur == nil {
+				return nil, nil
+			}
+			key, err := j.outerEv.Eval(j.OuterKey, j.cur)
+			if err != nil {
+				return nil, err
+			}
+			scan := NewDataIndexScan(j.InnerTable, j.InnerAlias, j.InnerCol, key, j.FetchSummaries)
+			j.matches, err = Collect(scan)
+			if err != nil {
+				return nil, err
+			}
+			j.matchPos = 0
+		}
+		for j.matchPos < len(j.matches) {
+			right := j.matches[j.matchPos]
+			j.matchPos++
+			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)
+			if j.Residual != nil {
+				ok, err := j.combinedEv.EvalBool(j.Residual, combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if j.Propagate {
+				mergeJoinOutput(combined, j.cur, right, j.Lookup)
+			}
+			return combined, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close closes the outer input.
+func (j *IndexJoin) Close() error { return j.Left.Close() }
+
+// Schema returns the concatenated schema.
+func (j *IndexJoin) Schema() *model.Schema { return j.schema }

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Input Iterator
+	N     int
+	seen  int
+}
+
+// NewLimit builds a LIMIT node.
+func NewLimit(in Iterator, n int) *Limit { return &Limit{Input: in, N: n} }
+
+// Open opens the input.
+func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+
+// Next returns the next row while under the limit.
+func (l *Limit) Next() (*Row, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close closes the input.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// Schema returns the input schema.
+func (l *Limit) Schema() *model.Schema { return l.Input.Schema() }
+
+// Distinct eliminates duplicate rows by value. Per the summary-aware
+// duplicate-elimination semantics, the summaries of collapsed duplicates
+// are merged so no annotation's contribution is lost or double-counted.
+type Distinct struct {
+	Input  Iterator
+	Lookup model.AnnotationLookup
+
+	rows []*Row
+	pos  int
+}
+
+// NewDistinct builds the node.
+func NewDistinct(in Iterator, lookup model.AnnotationLookup) *Distinct {
+	return &Distinct{Input: in, Lookup: lookup}
+}
+
+// Open drains the input, collapsing duplicates.
+func (d *Distinct) Open() error {
+	if err := d.Input.Open(); err != nil {
+		return err
+	}
+	defer d.Input.Close()
+	byKey := map[string]int{}
+	d.rows = nil
+	for {
+		row, err := d.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		var kb strings.Builder
+		for _, v := range row.Tuple.Values {
+			kb.WriteString(v.SortKey())
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		if i, ok := byKey[key]; ok {
+			prev := d.rows[i]
+			merged := &Row{Tuple: prev.Tuple.ShallowWithValues(prev.Tuple.Values)}
+			merged.Tuple.Summaries = model.MergeSets(prev.Tuple.Summaries, row.Tuple.Summaries, d.Lookup)
+			d.rows[i] = merged
+			continue
+		}
+		byKey[key] = len(d.rows)
+		d.rows = append(d.rows, row)
+	}
+	d.pos = 0
+	return nil
+}
+
+// Next emits the next distinct row.
+func (d *Distinct) Next() (*Row, error) {
+	if d.pos >= len(d.rows) {
+		return nil, nil
+	}
+	r := d.rows[d.pos]
+	d.pos++
+	return r, nil
+}
+
+// Close releases state.
+func (d *Distinct) Close() error { d.rows = nil; return nil }
+
+// Schema returns the input schema.
+func (d *Distinct) Schema() *model.Schema { return d.Input.Schema() }

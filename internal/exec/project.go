@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// Project evaluates projection expressions into a new row. Summary sets
+// pass through unchanged: per Theorems 1–2 of the original InsightNotes
+// paper, the elimination of projected-out annotations' effects happens
+// once, below all merges, in SummaryEffectProject — later projections
+// are pure column manipulation (the paper's Figure 3, step 4).
+type Project struct {
+	Input  Iterator
+	Exprs  []sql.Expr
+	Out    *model.Schema
+	Lookup model.AnnotationLookup
+
+	ev *Evaluator
+}
+
+// NewProject builds a projection with a pre-computed output schema.
+func NewProject(in Iterator, exprs []sql.Expr, out *model.Schema, lookup model.AnnotationLookup) *Project {
+	return &Project{Input: in, Exprs: exprs, Out: out, Lookup: lookup}
+}
+
+// Open opens the input.
+func (p *Project) Open() error {
+	p.ev = &Evaluator{Schema: p.Input.Schema(), Lookup: p.Lookup}
+	return p.Input.Open()
+}
+
+// Next projects the next row.
+func (p *Project) Next() (*Row, error) {
+	row, err := p.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	values := make([]model.Value, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := p.ev.Eval(e, row)
+		if err != nil {
+			return nil, err
+		}
+		values[i] = v
+	}
+	out := &Row{Tuple: row.Tuple.ShallowWithValues(values), AliasSets: row.AliasSets}
+	return out, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Schema returns the projection's output schema.
+func (p *Project) Schema() *model.Schema { return p.Out }
+
+// SummaryEffectProject eliminates the effect of annotations that are
+// attached only to columns the query never uses (Section 2.2, Example 1,
+// step 1). It sits directly above a table's scan, below every merge, so
+// that equivalent plans propagate identical summaries: classifier counts
+// decrement, snippets of dropped annotations disappear, and cluster
+// groups shrink with representative re-election.
+type SummaryEffectProject struct {
+	Input Iterator
+	// KeptColumns is the lower-cased set of this table's columns the
+	// query references anywhere (projection, predicates, joins, sort).
+	KeptColumns map[string]bool
+	// Annotations fetches a tuple's raw annotations.
+	Annotations func(tupleOID int64) []*model.Annotation
+	Lookup      model.AnnotationLookup
+}
+
+// NewSummaryEffectProject builds the node. keptColumns are matched
+// case-insensitively.
+func NewSummaryEffectProject(in Iterator, keptColumns []string,
+	annotations func(int64) []*model.Annotation, lookup model.AnnotationLookup) *SummaryEffectProject {
+	kept := make(map[string]bool, len(keptColumns))
+	for _, c := range keptColumns {
+		kept[strings.ToLower(c)] = true
+	}
+	return &SummaryEffectProject{Input: in, KeptColumns: kept,
+		Annotations: annotations, Lookup: lookup}
+}
+
+// Open opens the input.
+func (p *SummaryEffectProject) Open() error { return p.Input.Open() }
+
+// Next rewrites the next row's summaries.
+func (p *SummaryEffectProject) Next() (*Row, error) {
+	row, err := p.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	set := row.Tuple.Summaries
+	if set == nil {
+		return row, nil
+	}
+	surviving := make(map[int64]bool)
+	for _, a := range p.Annotations(row.Tuple.OID) {
+		if a.SurvivesProjection(p.KeptColumns) {
+			surviving[a.ID] = true
+		}
+	}
+	projected := model.ProjectSummaries(set, model.KeepSet(surviving), p.Lookup)
+	out := &Row{Tuple: row.Tuple.ShallowWithValues(row.Tuple.Values)}
+	out.Tuple.Summaries = projected
+	if row.AliasSets != nil {
+		out.AliasSets = make(map[string]model.SummarySet, len(row.AliasSets))
+		for alias := range row.AliasSets {
+			out.AliasSets[alias] = projected
+		}
+	}
+	return out, nil
+}
+
+// Close closes the input.
+func (p *SummaryEffectProject) Close() error { return p.Input.Close() }
+
+// Schema returns the input schema (data content is untouched).
+func (p *SummaryEffectProject) Schema() *model.Schema { return p.Input.Schema() }

@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/heap"
+	"repro/internal/model"
+)
+
+// SeqScan reads a table in physical order, optionally attaching each
+// tuple's summary set from R_SummaryStorage (summary propagation).
+type SeqScan struct {
+	Table     *catalog.Table
+	Alias     string
+	Propagate bool
+
+	schema *model.Schema
+	cursor *heap.Cursor[[]model.Value]
+}
+
+// NewSeqScan builds a sequential scan.
+func NewSeqScan(t *catalog.Table, alias string, propagate bool) *SeqScan {
+	if alias == "" {
+		alias = t.Name
+	}
+	return &SeqScan{Table: t, Alias: alias, Propagate: propagate,
+		schema: t.Schema.Rename(alias)}
+}
+
+// Open positions the scan at the first tuple.
+func (s *SeqScan) Open() error {
+	s.cursor = s.Table.Data.Cursor()
+	return nil
+}
+
+// Next returns the next tuple.
+func (s *SeqScan) Next() (*Row, error) {
+	_, oid, values, ok := s.cursor.Next()
+	if !ok {
+		return nil, nil
+	}
+	t := &model.Tuple{OID: oid, Values: values}
+	if s.Propagate {
+		t.Summaries = s.Table.GetSummaries(oid)
+	}
+	return &Row{Tuple: t, AliasSets: aliasSet(s.Alias, t.Summaries)}, nil
+}
+
+// Close releases the cursor.
+func (s *SeqScan) Close() error { s.cursor = nil; return nil }
+
+// Schema returns the scan's output schema (table columns under alias).
+func (s *SeqScan) Schema() *model.Schema { return s.schema }
+
+func aliasSet(alias string, set model.SummarySet) map[string]model.SummarySet {
+	return map[string]model.SummarySet{strings.ToLower(alias): set}
+}
+
+// fetchRow loads a base tuple at a known heap location and wraps it as a
+// pipeline row; shared by the index scans.
+func fetchRow(t *catalog.Table, alias string, rid heap.RID, propagate bool) (*Row, bool) {
+	tu, ok := t.GetAt(rid)
+	if !ok {
+		return nil, false
+	}
+	if propagate {
+		tu.Summaries = t.GetSummaries(tu.OID)
+	}
+	return &Row{Tuple: tu, AliasSets: aliasSet(alias, tu.Summaries)}, true
+}

@@ -1,0 +1,258 @@
+package exec
+
+import (
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// SortKey is one ORDER BY key. Keys may reference data columns or
+// summary manipulation functions — a sort whose keys touch the $
+// variable is the paper's summary-based sort operator O.
+type SortKey struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// Sort materializes and orders its input. Mem selects an in-memory sort;
+// otherwise an external merge sort spills sorted runs to temp files and
+// streams a k-way merge — the paper's memory/disk sort implementation
+// choices (Figure 14's Mem and Disk cases).
+type Sort struct {
+	Input  Iterator
+	Keys   []SortKey
+	Mem    bool
+	RunLen int // rows per external run (default 1024)
+	Lookup model.AnnotationLookup
+
+	rows []*Row // in-memory path
+	pos  int
+
+	runs   []*runReader // external path
+	merger *runHeap
+	files  []*os.File
+}
+
+// NewSort builds an in-memory sort.
+func NewSort(in Iterator, keys []SortKey, lookup model.AnnotationLookup) *Sort {
+	return &Sort{Input: in, Keys: keys, Mem: true, Lookup: lookup}
+}
+
+// NewExternalSort builds a disk-based external merge sort.
+func NewExternalSort(in Iterator, keys []SortKey, runLen int, lookup model.AnnotationLookup) *Sort {
+	if runLen <= 0 {
+		runLen = 1024
+	}
+	return &Sort{Input: in, Keys: keys, RunLen: runLen, Lookup: lookup}
+}
+
+// keyedRow pairs a row with its pre-computed key values; runs serialize
+// this shape so the merge phase never re-evaluates expressions.
+type keyedRow struct {
+	Keys []model.Value
+	Row  *Row
+}
+
+func (s *Sort) computeKeys(ev *Evaluator, row *Row) ([]model.Value, error) {
+	keys := make([]model.Value, len(s.Keys))
+	for i, k := range s.Keys {
+		v, err := ev.Eval(k.Expr, row)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// lessKeys orders two key vectors under the configured directions.
+func (s *Sort) lessKeys(a, b []model.Value) bool {
+	for i := range s.Keys {
+		c, err := a[i].Compare(b[i])
+		if err != nil {
+			c = 0
+		}
+		if c == 0 {
+			continue
+		}
+		if s.Keys[i].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// Open materializes and sorts the input.
+func (s *Sort) Open() error {
+	ev := &Evaluator{Schema: s.Input.Schema(), Lookup: s.Lookup}
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+
+	if s.Mem {
+		var keyed []keyedRow
+		for {
+			row, err := s.Input.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				break
+			}
+			keys, err := s.computeKeys(ev, row)
+			if err != nil {
+				return err
+			}
+			keyed = append(keyed, keyedRow{Keys: keys, Row: row})
+		}
+		sort.SliceStable(keyed, func(i, j int) bool { return s.lessKeys(keyed[i].Keys, keyed[j].Keys) })
+		s.rows = make([]*Row, len(keyed))
+		for i, k := range keyed {
+			s.rows[i] = k.Row
+		}
+		s.pos = 0
+		return nil
+	}
+
+	// External: produce sorted runs.
+	var run []keyedRow
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		sort.SliceStable(run, func(i, j int) bool { return s.lessKeys(run[i].Keys, run[j].Keys) })
+		f, err := os.CreateTemp("", "insightnotes-sortrun-*.gob")
+		if err != nil {
+			return err
+		}
+		enc := gob.NewEncoder(f)
+		for i := range run {
+			if err := enc.Encode(&run[i]); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return fmt.Errorf("exec: encoding sort run: %w", err)
+			}
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		s.files = append(s.files, f)
+		s.runs = append(s.runs, &runReader{dec: gob.NewDecoder(f)})
+		run = run[:0]
+		return nil
+	}
+	for {
+		row, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys, err := s.computeKeys(ev, row)
+		if err != nil {
+			return err
+		}
+		run = append(run, keyedRow{Keys: keys, Row: row})
+		if len(run) >= s.RunLen {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Prime the k-way merge.
+	s.merger = &runHeap{less: s.lessKeys}
+	for _, r := range s.runs {
+		if r.advance() {
+			heap.Push(s.merger, r)
+		}
+	}
+	return nil
+}
+
+// Next returns the next row in order.
+func (s *Sort) Next() (*Row, error) {
+	if s.Mem {
+		if s.pos >= len(s.rows) {
+			return nil, nil
+		}
+		r := s.rows[s.pos]
+		s.pos++
+		return r, nil
+	}
+	if s.merger == nil || s.merger.Len() == 0 {
+		return nil, nil
+	}
+	top := s.merger.items[0]
+	row := top.cur.Row
+	if top.advance() {
+		heap.Fix(s.merger, 0)
+	} else {
+		heap.Pop(s.merger)
+	}
+	return row, nil
+}
+
+// Close removes any spilled run files.
+func (s *Sort) Close() error {
+	s.rows = nil
+	s.runs = nil
+	s.merger = nil
+	for _, f := range s.files {
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+	s.files = nil
+	return nil
+}
+
+// Schema returns the input schema (sort preserves it).
+func (s *Sort) Schema() *model.Schema { return s.Input.Schema() }
+
+// runReader streams one spilled run.
+type runReader struct {
+	dec *gob.Decoder
+	cur keyedRow
+}
+
+func (r *runReader) advance() bool {
+	r.cur = keyedRow{}
+	err := r.dec.Decode(&r.cur)
+	return err == nil
+}
+
+// runHeap is a min-heap of runs keyed by their current row.
+type runHeap struct {
+	items []*runReader
+	less  func(a, b []model.Value) bool
+}
+
+func (h runHeap) Len() int { return len(h.items) }
+
+func (h runHeap) Less(i, j int) bool { return h.less(h.items[i].cur.Keys, h.items[j].cur.Keys) }
+func (h runHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *runHeap) Push(x any) { h.items = append(h.items, x.(*runReader)) }
+
+func (h *runHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	item := old[n-1]
+	h.items = old[:n-1]
+	return item
+}

@@ -1,0 +1,213 @@
+// Package heap implements slotted-page heap files, the base storage of
+// every relation: user tables, the de-normalized R_SummaryStorage side
+// tables, and the raw-annotation store. Records are addressed by RID
+// (page, slot); page accesses are charged to a pager.Accountant so that
+// access-path costs are observable.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// RID is a record's physical address: the heap location returned by the
+// engine-internal diskTupleLoc() function and stored in Summary-BTree
+// backward pointers.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// Encode packs the RID into an int64 for storage as an index payload.
+func (r RID) Encode() int64 { return int64(r.Page)<<32 | int64(uint32(r.Slot)) }
+
+// DecodeRID unpacks an int64 produced by Encode.
+func DecodeRID(v int64) RID {
+	return RID{Page: int32(v >> 32), Slot: int32(uint32(v))}
+}
+
+// String renders "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// record is one slot: the record's OID, its payload, and a liveness flag.
+type record[T any] struct {
+	oid  int64
+	val  T
+	live bool
+}
+
+type page[T any] struct {
+	slots []record[T]
+	nLive int
+}
+
+// File is a heap file of records of type T. Records are identified
+// logically by OID (assigned by the caller) and physically by RID. The
+// zero File is not usable; construct with NewFile. File is not safe for
+// concurrent mutation.
+type File[T any] struct {
+	acct    *pager.Accountant
+	pageCap int
+	pages   []*page[T]
+	nLive   int
+	// freePages lists pages with spare capacity, kept coarse: a page is
+	// re-offered after deletions.
+	freePages []int32
+}
+
+// NewFile builds a heap file whose pages hold pageCap records each
+// (the paper's "disk page size in records" parameter B).
+func NewFile[T any](acct *pager.Accountant, pageCap int) *File[T] {
+	if pageCap <= 0 {
+		pageCap = 64
+	}
+	return &File[T]{acct: acct, pageCap: pageCap}
+}
+
+// Insert appends a record and returns its RID. The page written is
+// charged as one page write.
+func (f *File[T]) Insert(oid int64, val T) RID {
+	pid := f.pageWithSpace()
+	p := f.pages[pid]
+	p.slots = append(p.slots, record[T]{oid: oid, val: val, live: true})
+	p.nLive++
+	f.nLive++
+	f.acct.Write(1)
+	return RID{Page: pid, Slot: int32(len(p.slots) - 1)}
+}
+
+func (f *File[T]) pageWithSpace() int32 {
+	for len(f.freePages) > 0 {
+		pid := f.freePages[len(f.freePages)-1]
+		if len(f.pages[pid].slots) < f.pageCap {
+			return pid
+		}
+		f.freePages = f.freePages[:len(f.freePages)-1]
+	}
+	if n := len(f.pages); n > 0 && len(f.pages[n-1].slots) < f.pageCap {
+		return int32(n - 1)
+	}
+	f.pages = append(f.pages, &page[T]{})
+	return int32(len(f.pages) - 1)
+}
+
+// Get reads the record at rid, charging one page read.
+func (f *File[T]) Get(rid RID) (oid int64, val T, ok bool) {
+	var zero T
+	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+		return 0, zero, false
+	}
+	p := f.pages[rid.Page]
+	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) {
+		return 0, zero, false
+	}
+	f.acct.Read(1)
+	rec := p.slots[rid.Slot]
+	if !rec.live {
+		return 0, zero, false
+	}
+	return rec.oid, rec.val, true
+}
+
+// Update replaces the record at rid in place, charging one page read and
+// one page write.
+func (f *File[T]) Update(rid RID, val T) bool {
+	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+		return false
+	}
+	p := f.pages[rid.Page]
+	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) || !p.slots[rid.Slot].live {
+		return false
+	}
+	f.acct.Read(1)
+	f.acct.Write(1)
+	p.slots[rid.Slot].val = val
+	return true
+}
+
+// Delete tombstones the record at rid, charging one page read and write.
+// The slot is not reused (RIDs stay stable) but the page is re-offered
+// for inserts when slots were trimmed from its tail.
+func (f *File[T]) Delete(rid RID) bool {
+	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+		return false
+	}
+	p := f.pages[rid.Page]
+	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) || !p.slots[rid.Slot].live {
+		return false
+	}
+	f.acct.Read(1)
+	f.acct.Write(1)
+	var zero T
+	p.slots[rid.Slot] = record[T]{val: zero}
+	p.nLive--
+	f.nLive--
+	return true
+}
+
+// Scan iterates all live records in physical order, charging one page
+// read per visited page. Iteration stops early when fn returns false.
+func (f *File[T]) Scan(fn func(rid RID, oid int64, val T) bool) {
+	for pi, p := range f.pages {
+		f.acct.Read(1)
+		for si := range p.slots {
+			rec := &p.slots[si]
+			if !rec.live {
+				continue
+			}
+			if !fn(RID{Page: int32(pi), Slot: int32(si)}, rec.oid, rec.val) {
+				return
+			}
+		}
+	}
+}
+
+// Cursor is a pull-style iterator over a file's live records, charging
+// one page read per visited page. Mutating the file invalidates open
+// cursors.
+type Cursor[T any] struct {
+	f        *File[T]
+	page     int
+	slot     int
+	readPage bool
+}
+
+// Cursor returns a cursor positioned before the first record.
+func (f *File[T]) Cursor() *Cursor[T] { return &Cursor[T]{f: f} }
+
+// Next advances to the next live record, returning ok=false at the end.
+func (c *Cursor[T]) Next() (rid RID, oid int64, val T, ok bool) {
+	var zero T
+	for c.page < len(c.f.pages) {
+		p := c.f.pages[c.page]
+		if !c.readPage {
+			c.f.acct.Read(1)
+			c.readPage = true
+		}
+		for c.slot < len(p.slots) {
+			rec := &p.slots[c.slot]
+			s := c.slot
+			c.slot++
+			if rec.live {
+				return RID{Page: int32(c.page), Slot: int32(s)}, rec.oid, rec.val, true
+			}
+		}
+		c.page++
+		c.slot = 0
+		c.readPage = false
+	}
+	return RID{}, 0, zero, false
+}
+
+// Len returns the number of live records.
+func (f *File[T]) Len() int { return f.nLive }
+
+// Pages returns the number of allocated pages.
+func (f *File[T]) Pages() int { return len(f.pages) }
+
+// PageCap returns the per-page record capacity (B).
+func (f *File[T]) PageCap() int { return f.pageCap }
+
+// Accountant exposes the file's I/O accountant (shared with its indexes).
+func (f *File[T]) Accountant() *pager.Accountant { return f.acct }

@@ -1,0 +1,238 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pager"
+)
+
+func TestRIDEncodeRoundTrip(t *testing.T) {
+	f := func(page, slot int32) bool {
+		r := RID{Page: page, Slot: slot}
+		return DecodeRID(r.Encode()) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	if (RID{Page: 3, Slot: 7}).String() != "3:7" {
+		t.Error("RID.String")
+	}
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	var acct pager.Accountant
+	f := NewFile[string](&acct, 4)
+	rid := f.Insert(100, "hello")
+	if oid, v, ok := f.Get(rid); !ok || oid != 100 || v != "hello" {
+		t.Fatalf("Get = %d %q %v", oid, v, ok)
+	}
+	if !f.Update(rid, "world") {
+		t.Fatal("Update failed")
+	}
+	if _, v, _ := f.Get(rid); v != "world" {
+		t.Errorf("after Update: %q", v)
+	}
+	if !f.Delete(rid) {
+		t.Fatal("Delete failed")
+	}
+	if _, _, ok := f.Get(rid); ok {
+		t.Error("Get after Delete should fail")
+	}
+	if f.Delete(rid) {
+		t.Error("double Delete should fail")
+	}
+	if f.Len() != 0 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	f := NewFile[int](nil, 4)
+	if _, _, ok := f.Get(RID{Page: 5, Slot: 0}); ok {
+		t.Error("Get beyond pages should fail")
+	}
+	if f.Update(RID{Page: 0, Slot: 0}, 1) {
+		t.Error("Update on empty file should fail")
+	}
+	if f.Delete(RID{Page: -1, Slot: 0}) {
+		t.Error("Delete with negative page should fail")
+	}
+	rid := f.Insert(1, 42)
+	if _, _, ok := f.Get(RID{Page: rid.Page, Slot: 99}); ok {
+		t.Error("Get with bad slot should fail")
+	}
+}
+
+func TestPagingAndScan(t *testing.T) {
+	var acct pager.Accountant
+	f := NewFile[int](&acct, 10)
+	for i := 0; i < 95; i++ {
+		f.Insert(int64(i), i*i)
+	}
+	if f.Pages() != 10 {
+		t.Errorf("Pages = %d, want 10", f.Pages())
+	}
+	if f.PageCap() != 10 {
+		t.Errorf("PageCap = %d", f.PageCap())
+	}
+	acct.Reset()
+	var got []int64
+	f.Scan(func(rid RID, oid int64, v int) bool {
+		got = append(got, oid)
+		return true
+	})
+	if len(got) != 95 {
+		t.Fatalf("Scan visited %d", len(got))
+	}
+	// Full scan charges exactly one read per page.
+	if s := acct.Stats(); s.PageReads != 10 {
+		t.Errorf("scan reads = %d, want 10", s.PageReads)
+	}
+	// Early termination.
+	n := 0
+	f.Scan(func(RID, int64, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early-stop scan visited %d", n)
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	var acct pager.Accountant
+	f := NewFile[int](&acct, 8)
+	base := acct.Stats()
+	rid := f.Insert(1, 10)
+	if d := acct.Stats().Sub(base); d.PageWrites != 1 || d.PageReads != 0 {
+		t.Errorf("Insert cost: %+v", d)
+	}
+	base = acct.Stats()
+	f.Get(rid)
+	if d := acct.Stats().Sub(base); d.PageReads != 1 {
+		t.Errorf("Get cost: %+v", d)
+	}
+	base = acct.Stats()
+	f.Update(rid, 11)
+	if d := acct.Stats().Sub(base); d.PageReads != 1 || d.PageWrites != 1 {
+		t.Errorf("Update cost: %+v", d)
+	}
+}
+
+func TestDefaultPageCap(t *testing.T) {
+	f := NewFile[int](nil, 0)
+	if f.PageCap() != 64 {
+		t.Errorf("default PageCap = %d", f.PageCap())
+	}
+	if f.Accountant() != nil {
+		t.Error("nil accountant should be preserved")
+	}
+}
+
+func TestCursorIteratesLiveRecords(t *testing.T) {
+	var acct pager.Accountant
+	f := NewFile[int](&acct, 4)
+	var rids []RID
+	for i := 0; i < 18; i++ {
+		rids = append(rids, f.Insert(int64(i), i*10))
+	}
+	// Delete a few, including a whole middle page (records 4..7).
+	for _, i := range []int{4, 5, 6, 7, 17} {
+		f.Delete(rids[i])
+	}
+	acct.Reset()
+	cur := f.Cursor()
+	var got []int64
+	for {
+		_, oid, v, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if v != int(oid)*10 {
+			t.Fatalf("oid %d carries %d", oid, v)
+		}
+		got = append(got, oid)
+	}
+	if len(got) != 13 {
+		t.Fatalf("cursor visited %d records", len(got))
+	}
+	for _, oid := range got {
+		if oid >= 4 && oid <= 7 || oid == 17 {
+			t.Fatalf("deleted record %d visited", oid)
+		}
+	}
+	// One page read per visited page (5 pages allocated).
+	if r := acct.Stats().PageReads; r != int64(f.Pages()) {
+		t.Errorf("cursor reads = %d, pages = %d", r, f.Pages())
+	}
+	// Exhausted cursor stays exhausted.
+	if _, _, _, ok := cur.Next(); ok {
+		t.Error("cursor resurrected")
+	}
+	// Cursor on an empty file.
+	empty := NewFile[int](nil, 4)
+	if _, _, _, ok := empty.Cursor().Next(); ok {
+		t.Error("empty cursor returned a record")
+	}
+}
+
+// Property: against a reference map, random insert/update/delete
+// sequences keep Get and Scan consistent.
+func TestFileMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var acct pager.Accountant
+	f := NewFile[int](&acct, 7)
+	ref := map[int64]int{}  // oid -> value
+	rids := map[int64]RID{} // oid -> rid
+	nextOID := int64(1)
+
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			oid := nextOID
+			nextOID++
+			v := rng.Intn(1000)
+			rids[oid] = f.Insert(oid, v)
+			ref[oid] = v
+		case 2: // update
+			for oid := range ref {
+				v := rng.Intn(1000)
+				if !f.Update(rids[oid], v) {
+					t.Fatalf("step %d: update %d failed", step, oid)
+				}
+				ref[oid] = v
+				break
+			}
+		case 3: // delete
+			for oid := range ref {
+				if !f.Delete(rids[oid]) {
+					t.Fatalf("step %d: delete %d failed", step, oid)
+				}
+				delete(ref, oid)
+				delete(rids, oid)
+				break
+			}
+		}
+	}
+	if f.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", f.Len(), len(ref))
+	}
+	for oid, want := range ref {
+		gotOID, got, ok := f.Get(rids[oid])
+		if !ok || gotOID != oid || got != want {
+			t.Fatalf("Get(%d) = %d,%d,%v want %d", oid, gotOID, got, ok, want)
+		}
+	}
+	seen := map[int64]int{}
+	f.Scan(func(rid RID, oid int64, v int) bool {
+		seen[oid] = v
+		return true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("Scan found %d, want %d", len(seen), len(ref))
+	}
+	for oid, v := range ref {
+		if seen[oid] != v {
+			t.Fatalf("Scan mismatch for %d: %d != %d", oid, seen[oid], v)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+func classifierObj(oid int64, counts map[string]int) *model.SummaryObject {
+	o := &model.SummaryObject{InstanceID: "ClassBird1", TupleOID: oid, Type: model.SummaryClassifier}
+	labels := make([]string, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		o.Reps = append(o.Reps, model.Rep{Label: l, Count: counts[l]})
+	}
+	return o
+}
+
+func TestItemizeKeyFormat(t *testing.T) {
+	if got := ItemizeKey("Disease", 8, 3); got != "disease:008" {
+		t.Errorf("ItemizeKey = %q", got)
+	}
+	if got := ItemizeKey("Behavior", 33, 3); got != "behavior:033" {
+		t.Errorf("ItemizeKey = %q", got)
+	}
+	if got := ItemizeKey("x", 1234, 4); got != "x:1234" {
+		t.Errorf("ItemizeKey = %q", got)
+	}
+}
+
+// Property P5: itemized-key string order equals numeric count order for
+// a fixed label.
+func TestItemizeKeyOrderProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ka := ItemizeKey("disease", int(a)%1000, 3)
+		kb := ItemizeKey("disease", int(b)%1000, 3)
+		switch {
+		case int(a)%1000 < int(b)%1000:
+			return ka < kb
+		case int(a)%1000 > int(b)%1000:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	label, cnt := parseKey(ItemizeKey("Anatomy", 25, 3))
+	if label != "anatomy" || cnt != 25 {
+		t.Errorf("parseKey = %q, %d", label, cnt)
+	}
+	label, cnt = parseKey("nocolon")
+	if label != "nocolon" || cnt != 0 {
+		t.Errorf("parseKey degenerate = %q, %d", label, cnt)
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{OpEq: "=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestIndexAndSearch(t *testing.T) {
+	x := NewSummaryBTree(nil, "ClassBird1")
+	refs := map[int64]heap.RID{}
+	for i := int64(1); i <= 100; i++ {
+		refs[i] = heap.RID{Page: int32(i / 10), Slot: int32(i % 10)}
+		obj := classifierObj(i, map[string]int{
+			"Disease": int(i % 10), "Anatomy": int(i % 7), "Other": 1,
+		})
+		if err := x.IndexObject(obj, refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x.Len() != 300 { // 100 objects × 3 labels
+		t.Errorf("Len = %d", x.Len())
+	}
+
+	// Equality: disease == 5 matches OIDs with i%10 == 5.
+	got := x.Search("Disease", OpEq, 5)
+	if len(got) != 10 {
+		t.Errorf("eq search found %d, want 10", len(got))
+	}
+	for _, rid := range got {
+		oid := int64(rid.Page)*10 + int64(rid.Slot)
+		if oid%10 != 5 {
+			t.Errorf("false positive oid %d", oid)
+		}
+	}
+
+	// Range operators.
+	for _, c := range []struct {
+		op   CmpOp
+		k    int
+		want func(v int) bool
+	}{
+		{OpGt, 7, func(v int) bool { return v > 7 }},
+		{OpGe, 7, func(v int) bool { return v >= 7 }},
+		{OpLt, 2, func(v int) bool { return v < 2 }},
+		{OpLe, 2, func(v int) bool { return v <= 2 }},
+	} {
+		n := 0
+		for i := int64(1); i <= 100; i++ {
+			if c.want(int(i % 10)) {
+				n++
+			}
+		}
+		if got := x.Search("Disease", c.op, c.k); len(got) != n {
+			t.Errorf("Search(Disease %v %d) = %d, want %d", c.op, c.k, len(got), n)
+		}
+	}
+
+	// Results arrive in ascending count order.
+	var counts []int
+	x.ScanLabelAsc("Disease", func(c int, _ heap.RID) bool {
+		counts = append(counts, c)
+		return true
+	})
+	if !sort.IntsAreSorted(counts) {
+		t.Error("ScanLabelAsc not in count order")
+	}
+	if len(counts) != 100 {
+		t.Errorf("ScanLabelAsc visited %d", len(counts))
+	}
+}
+
+func TestIndexRejectsNonClassifier(t *testing.T) {
+	x := NewSummaryBTree(nil, "T")
+	err := x.IndexObject(&model.SummaryObject{Type: model.SummarySnippet}, heap.RID{})
+	if err == nil {
+		t.Error("snippet object must be rejected")
+	}
+}
+
+func TestUpdateLabelReKeysSingleLabel(t *testing.T) {
+	x := NewSummaryBTree(nil, "C")
+	ref := heap.RID{Page: 1, Slot: 2}
+	x.IndexObject(classifierObj(1, map[string]int{"Disease": 8, "Anatomy": 25}), ref)
+	// The "new disease annotation" path: 8 -> 9.
+	x.UpdateLabel("Disease", 8, 9, ref)
+	if len(x.Search("Disease", OpEq, 8)) != 0 {
+		t.Error("old key survived")
+	}
+	if len(x.Search("Disease", OpEq, 9)) != 1 {
+		t.Error("new key missing")
+	}
+	if len(x.Search("Anatomy", OpEq, 25)) != 1 {
+		t.Error("untouched label affected")
+	}
+	if x.Len() != 2 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}
+
+func TestRemoveObject(t *testing.T) {
+	x := NewSummaryBTree(nil, "C")
+	ref := heap.RID{Page: 0, Slot: 1}
+	obj := classifierObj(1, map[string]int{"Disease": 3, "Other": 0})
+	x.IndexObject(obj, ref)
+	x.RemoveObject(obj, ref)
+	if x.Len() != 0 {
+		t.Errorf("Len = %d after remove", x.Len())
+	}
+}
+
+func TestWidthExtensionRebuild(t *testing.T) {
+	x := NewSummaryBTree(nil, "C")
+	ref1 := heap.RID{Page: 0, Slot: 1}
+	x.IndexObject(classifierObj(1, map[string]int{"Disease": 998}), ref1)
+	if x.Width() != 3 || x.Rebuilds() != 0 {
+		t.Fatalf("premature widen: w=%d", x.Width())
+	}
+	// Exceed 999: automatic width extension and re-build.
+	ref2 := heap.RID{Page: 0, Slot: 2}
+	x.IndexObject(classifierObj(2, map[string]int{"Disease": 1500}), ref2)
+	if x.Width() != 4 || x.Rebuilds() != 1 {
+		t.Fatalf("widen failed: w=%d rebuilds=%d", x.Width(), x.Rebuilds())
+	}
+	// Old and new entries both findable; order preserved across widths.
+	if len(x.Search("Disease", OpEq, 998)) != 1 {
+		t.Error("pre-widen entry lost")
+	}
+	if len(x.Search("Disease", OpGt, 1000)) != 1 {
+		t.Error("post-widen entry missing")
+	}
+	var counts []int
+	x.ScanLabelAsc("Disease", func(c int, _ heap.RID) bool {
+		counts = append(counts, c)
+		return true
+	})
+	if !sort.IntsAreSorted(counts) || len(counts) != 2 {
+		t.Errorf("order after widen: %v", counts)
+	}
+	// Jumping several orders of magnitude widens enough in one step.
+	x.IndexObject(classifierObj(3, map[string]int{"Disease": 123456}), heap.RID{Page: 0, Slot: 3})
+	if x.Width() != 6 {
+		t.Errorf("multi-step widen: w=%d", x.Width())
+	}
+}
+
+func TestSearchBoundsClamp(t *testing.T) {
+	x := NewSummaryBTree(nil, "C")
+	x.IndexObject(classifierObj(1, map[string]int{"D": 5}), heap.RID{Slot: 1})
+	if got := x.SearchRange("D", -10, 9999); len(got) != 1 {
+		t.Errorf("clamped range found %d", len(got))
+	}
+	if got := x.SearchRange("D", 7, 3); got != nil {
+		t.Errorf("inverted range = %v", got)
+	}
+	// OpLt 0 means nothing can match.
+	if got := x.Search("D", OpLt, 0); got != nil {
+		t.Errorf("count < 0 matched %v", got)
+	}
+}
+
+func TestProbeCostLogarithmic(t *testing.T) {
+	var acct pager.Accountant
+	x := NewSummaryBTree(&acct, "C")
+	rng := rand.New(rand.NewSource(5))
+	for i := int64(0); i < 5000; i++ {
+		x.IndexObject(classifierObj(i, map[string]int{
+			"Disease": rng.Intn(200), "Anatomy": rng.Intn(200),
+			"Behavior": rng.Intn(200), "Other": rng.Intn(200),
+		}), heap.RID{Page: int32(i)})
+	}
+	acct.Reset()
+	x.Search("Disease", OpEq, 57)
+	reads := acct.Stats().PageReads
+	// Equality probe: O(log_B kN) node visits plus leaf-chain hops for
+	// matches (~25 expected at 5000/200).
+	if reads > 40 {
+		t.Errorf("probe cost %d pages for 20k-entry index", reads)
+	}
+}
+
+// Property P4: the index agrees with a brute-force scan on random data
+// and random range predicates.
+func TestIndexMatchesScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	x := NewSummaryBTree(nil, "C")
+	counts := map[int64]int{}
+	for i := int64(1); i <= 400; i++ {
+		c := rng.Intn(50)
+		counts[i] = c
+		x.IndexObject(classifierObj(i, map[string]int{"Disease": c}), heap.RID{Page: int32(i)})
+	}
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Intn(60) - 5
+		hi := lo + rng.Intn(30)
+		want := map[int64]bool{}
+		for oid, c := range counts {
+			if c >= lo && c <= hi {
+				want[oid] = true
+			}
+		}
+		got := x.SearchRange("Disease", lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d [%d,%d]: index %d vs scan %d", trial, lo, hi, len(got), len(want))
+		}
+		for _, rid := range got {
+			if !want[int64(rid.Page)] {
+				t.Fatalf("trial %d: false positive %d", trial, rid.Page)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package bayes implements the multinomial Naive Bayes text classifier
+// with Laplace smoothing (Manning, Raghavan & Schütze, IIR ch. 13 — the
+// paper's reference [10]) used by Classifier-type summary instances to
+// assign each raw annotation to a class label.
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/textutil"
+)
+
+// Classifier is a trainable multinomial Naive Bayes model. The zero value
+// is not usable; construct with New. Classifier is not safe for
+// concurrent mutation; concurrent Classify calls are safe once training
+// is done.
+type Classifier struct {
+	labels []string
+	// docCount[label] = number of training documents per label.
+	docCount map[string]int
+	// termCount[label][term] = term occurrences in label's documents.
+	termCount map[string]map[string]int
+	// totalTerms[label] = sum of termCount[label][*].
+	totalTerms map[string]int
+	vocab      map[string]bool
+	totalDocs  int
+}
+
+// New builds a classifier over a fixed, ordered label vocabulary. The
+// label order is preserved: it defines the positional semantics of
+// getLabelName(i) in classifier summary objects.
+func New(labels ...string) *Classifier {
+	c := &Classifier{
+		labels:     append([]string(nil), labels...),
+		docCount:   make(map[string]int),
+		termCount:  make(map[string]map[string]int),
+		totalTerms: make(map[string]int),
+		vocab:      make(map[string]bool),
+	}
+	for _, l := range labels {
+		c.termCount[l] = make(map[string]int)
+	}
+	return c
+}
+
+// Labels returns the classifier's ordered label vocabulary.
+func (c *Classifier) Labels() []string { return append([]string(nil), c.labels...) }
+
+// Train adds one labeled document.
+func (c *Classifier) Train(label, text string) error {
+	if _, ok := c.termCount[label]; !ok {
+		return fmt.Errorf("bayes: unknown label %q", label)
+	}
+	c.docCount[label]++
+	c.totalDocs++
+	for _, term := range textutil.Terms(text) {
+		c.termCount[label][term]++
+		c.totalTerms[label]++
+		c.vocab[term] = true
+	}
+	return nil
+}
+
+// TrainBatch trains on parallel slices of labels and texts.
+func (c *Classifier) TrainBatch(labels, texts []string) error {
+	if len(labels) != len(texts) {
+		return fmt.Errorf("bayes: %d labels vs %d texts", len(labels), len(texts))
+	}
+	for i := range labels {
+		if err := c.Train(labels[i], texts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Classify returns the maximum-a-posteriori label for text. With no
+// training data it returns the last label (the conventional catch-all,
+// e.g. "Other"). Ties break toward the earlier label for determinism.
+func (c *Classifier) Classify(text string) string {
+	label, _ := c.ClassifyWithScore(text)
+	return label
+}
+
+// ClassifyWithScore returns the MAP label and its log-posterior
+// (unnormalized).
+func (c *Classifier) ClassifyWithScore(text string) (string, float64) {
+	if len(c.labels) == 0 {
+		return "", math.Inf(-1)
+	}
+	if c.totalDocs == 0 {
+		return c.labels[len(c.labels)-1], math.Inf(-1)
+	}
+	terms := textutil.Terms(text)
+	best, bestScore := "", math.Inf(-1)
+	for _, label := range c.labels {
+		s := c.logPosterior(label, terms)
+		if s > bestScore {
+			best, bestScore = label, s
+		}
+	}
+	return best, bestScore
+}
+
+// Scores returns the log-posterior of every label, keyed by label.
+func (c *Classifier) Scores(text string) map[string]float64 {
+	terms := textutil.Terms(text)
+	out := make(map[string]float64, len(c.labels))
+	for _, label := range c.labels {
+		out[label] = c.logPosterior(label, terms)
+	}
+	return out
+}
+
+func (c *Classifier) logPosterior(label string, terms []string) float64 {
+	// Laplace-smoothed prior: labels never seen in training keep a small
+	// non-zero prior so an all-zero training set still yields an order.
+	prior := math.Log(float64(c.docCount[label]+1) / float64(c.totalDocs+len(c.labels)))
+	denom := float64(c.totalTerms[label] + len(c.vocab) + 1)
+	s := prior
+	for _, t := range terms {
+		s += math.Log(float64(c.termCount[label][t]+1) / denom)
+	}
+	return s
+}
+
+// TopTerms returns up to n highest-frequency terms for a label, sorted
+// by descending count then term. Useful for model inspection and tests.
+func (c *Classifier) TopTerms(label string, n int) []string {
+	counts := c.termCount[label]
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if counts[terms[i]] != counts[terms[j]] {
+			return counts[terms[i]] > counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if len(terms) > n {
+		terms = terms[:n]
+	}
+	return terms
+}
+
+// State is the classifier's serializable form (all learned statistics);
+// it round-trips through encoding/gob for database snapshots.
+type State struct {
+	Labels     []string
+	DocCount   map[string]int
+	TermCount  map[string]map[string]int
+	TotalTerms map[string]int
+	Vocab      []string
+	TotalDocs  int
+}
+
+// State exports the trained model.
+func (c *Classifier) State() *State {
+	s := &State{
+		Labels:     append([]string(nil), c.labels...),
+		DocCount:   map[string]int{},
+		TermCount:  map[string]map[string]int{},
+		TotalTerms: map[string]int{},
+		TotalDocs:  c.totalDocs,
+	}
+	for l, n := range c.docCount {
+		s.DocCount[l] = n
+	}
+	for l, terms := range c.termCount {
+		tc := map[string]int{}
+		for t, n := range terms {
+			tc[t] = n
+		}
+		s.TermCount[l] = tc
+	}
+	for l, n := range c.totalTerms {
+		s.TotalTerms[l] = n
+	}
+	for t := range c.vocab {
+		s.Vocab = append(s.Vocab, t)
+	}
+	sort.Strings(s.Vocab)
+	return s
+}
+
+// FromState reconstructs a classifier from an exported State.
+func FromState(s *State) *Classifier {
+	c := New(s.Labels...)
+	c.totalDocs = s.TotalDocs
+	for l, n := range s.DocCount {
+		c.docCount[l] = n
+	}
+	for l, terms := range s.TermCount {
+		if c.termCount[l] == nil {
+			c.termCount[l] = map[string]int{}
+		}
+		for t, n := range terms {
+			c.termCount[l][t] = n
+		}
+	}
+	for l, n := range s.TotalTerms {
+		c.totalTerms[l] = n
+	}
+	for _, t := range s.Vocab {
+		c.vocab[t] = true
+	}
+	return c
+}
+
+// VocabularySize returns the number of distinct terms seen in training.
+func (c *Classifier) VocabularySize() int { return len(c.vocab) }
+
+// TrainedDocs returns the number of training documents seen.
+func (c *Classifier) TrainedDocs() int { return c.totalDocs }

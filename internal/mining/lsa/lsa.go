@@ -1,0 +1,264 @@
+// Package lsa implements Latent Semantic Analysis extractive text
+// summarization (Nenkova & McKeown's survey is the paper's reference
+// [18]; the sentence-scoring variant follows Steinberger & Ježek).
+// Snippet-type summary instances use it to compress large annotations
+// into short snippets.
+//
+// The summarizer builds a term–sentence matrix, extracts the dominant
+// latent concepts with power iteration (stdlib-only SVD), scores each
+// sentence by its weighted projection onto those concepts, and emits the
+// highest-scoring sentences — in original order — up to the character
+// budget.
+package lsa
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/textutil"
+)
+
+// Summarizer holds the summarization configuration.
+type Summarizer struct {
+	// MaxChars caps the snippet length (default 400, the paper's setting).
+	MaxChars int
+	// Concepts is the number of latent concepts to extract (default 3).
+	Concepts int
+	// MinChars: texts no longer than this are returned unchanged
+	// (default 0; the engine applies the paper's 1,000-char threshold).
+	MinChars int
+}
+
+// DefaultSummarizer matches the paper's experimental configuration:
+// annotations larger than 1,000 characters are summarized into snippets
+// of at most 400 characters.
+func DefaultSummarizer() Summarizer {
+	return Summarizer{MaxChars: 400, Concepts: 3, MinChars: 1000}
+}
+
+func (s Summarizer) withDefaults() Summarizer {
+	if s.MaxChars <= 0 {
+		s.MaxChars = 400
+	}
+	if s.Concepts <= 0 {
+		s.Concepts = 3
+	}
+	return s
+}
+
+// Summarize produces an extractive snippet of text.
+func (s Summarizer) Summarize(text string) string {
+	s = s.withDefaults()
+	if len(text) <= s.MinChars {
+		return text
+	}
+	sentences := textutil.SplitSentences(text)
+	if len(sentences) <= 1 {
+		return truncate(text, s.MaxChars)
+	}
+
+	scores := s.sentenceScores(sentences)
+
+	// Pick sentences by descending score, then re-emit in original order.
+	type cand struct {
+		idx   int
+		score float64
+	}
+	cands := make([]cand, len(sentences))
+	for i := range sentences {
+		cands[i] = cand{i, scores[i]}
+	}
+	// Stable selection sort by score descending (n is small).
+	for i := 0; i < len(cands); i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].score > cands[best].score {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+
+	chosen := make([]bool, len(sentences))
+	budget := s.MaxChars
+	for _, c := range cands {
+		n := len(sentences[c.idx]) + 1
+		if n > budget {
+			continue
+		}
+		chosen[c.idx] = true
+		budget -= n
+	}
+	var b strings.Builder
+	for i, sent := range sentences {
+		if !chosen[i] {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sent)
+	}
+	if b.Len() == 0 {
+		// Even the best single sentence exceeded the budget: hard-truncate.
+		return truncate(sentences[cands[0].idx], s.MaxChars)
+	}
+	return b.String()
+}
+
+// sentenceScores computes the LSA salience of each sentence:
+// score(j) = sqrt(Σ_k (σ_k · v_k[j])²) over the top concepts.
+func (s Summarizer) sentenceScores(sentences []string) []float64 {
+	// Term–sentence matrix with tf·idf weights.
+	termIdx := map[string]int{}
+	sentTerms := make([][]string, len(sentences))
+	for j, sent := range sentences {
+		sentTerms[j] = textutil.Terms(sent)
+		for _, t := range sentTerms[j] {
+			if _, ok := termIdx[t]; !ok {
+				termIdx[t] = len(termIdx)
+			}
+		}
+	}
+	nTerms, nSents := len(termIdx), len(sentences)
+	if nTerms == 0 {
+		out := make([]float64, nSents)
+		for j := range out {
+			out[j] = float64(len(sentences[j])) // fall back to length
+		}
+		return out
+	}
+	// Document frequency for idf.
+	df := make([]int, nTerms)
+	for _, terms := range sentTerms {
+		seen := map[int]bool{}
+		for _, t := range terms {
+			i := termIdx[t]
+			if !seen[i] {
+				seen[i] = true
+				df[i]++
+			}
+		}
+	}
+	a := make([][]float64, nTerms) // a[i][j] = weight of term i in sentence j
+	for i := range a {
+		a[i] = make([]float64, nSents)
+	}
+	for j, terms := range sentTerms {
+		for _, t := range terms {
+			i := termIdx[t]
+			a[i][j]++
+		}
+	}
+	for i := range a {
+		idf := math.Log(float64(nSents+1) / float64(df[i]+1))
+		for j := range a[i] {
+			a[i][j] *= idf
+		}
+	}
+
+	k := s.Concepts
+	if k > nSents {
+		k = nSents
+	}
+	sigmas, vs := topSingular(a, k)
+
+	out := make([]float64, nSents)
+	for j := 0; j < nSents; j++ {
+		sum := 0.0
+		for c := range vs {
+			x := sigmas[c] * vs[c][j]
+			sum += x * x
+		}
+		out[j] = math.Sqrt(sum)
+	}
+	return out
+}
+
+// topSingular extracts the top-k singular values and right singular
+// vectors of a (terms × sentences) via power iteration on Gram = AᵀA
+// with deflation.
+func topSingular(a [][]float64, k int) (sigmas []float64, vs [][]float64) {
+	n := len(a[0])
+	// gram[j1][j2] = Σ_i a[i][j1]·a[i][j2]
+	gram := make([][]float64, n)
+	for j := range gram {
+		gram[j] = make([]float64, n)
+	}
+	for i := range a {
+		for j1 := 0; j1 < n; j1++ {
+			if a[i][j1] == 0 {
+				continue
+			}
+			for j2 := 0; j2 < n; j2++ {
+				gram[j1][j2] += a[i][j1] * a[i][j2]
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		v, lambda := powerIterate(gram)
+		if lambda <= 1e-12 {
+			break
+		}
+		sigmas = append(sigmas, math.Sqrt(lambda))
+		vs = append(vs, v)
+		// Deflate: gram -= λ·v·vᵀ
+		for j1 := range gram {
+			for j2 := range gram[j1] {
+				gram[j1][j2] -= lambda * v[j1] * v[j2]
+			}
+		}
+	}
+	return sigmas, vs
+}
+
+// powerIterate returns the dominant eigenvector and eigenvalue of the
+// symmetric PSD matrix m. The start vector is deterministic.
+func powerIterate(m [][]float64) ([]float64, float64) {
+	n := len(m)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n)) // deterministic start
+	}
+	var lambda float64
+	for iter := 0; iter < 100; iter++ {
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := m[i]
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += row[j] * v[j]
+			}
+			w[i] = s
+		}
+		norm := 0.0
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			return v, 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		prev := lambda
+		lambda = norm
+		v = w
+		if math.Abs(lambda-prev) < 1e-9*math.Max(1, lambda) {
+			break
+		}
+	}
+	return v, lambda
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	cut := s[:n]
+	if i := strings.LastIndexByte(cut, ' '); i > n/2 {
+		cut = cut[:i]
+	}
+	return cut
+}

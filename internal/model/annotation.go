@@ -1,0 +1,72 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Annotation is one raw annotation attached to a data tuple. Annotations
+// may target the whole row or any subset of the row's attributes; the
+// summarization pipeline folds them into summary objects, and projection
+// uses the attachment columns to decide which annotations survive when
+// attributes are projected out.
+type Annotation struct {
+	ID   int64
+	Text string
+
+	// TupleOID identifies the annotated base tuple.
+	TupleOID int64
+
+	// Columns lists the attached attribute names. An empty slice means the
+	// annotation targets the entire row and survives any projection.
+	Columns []string
+
+	Author string
+
+	// Seq is a logical creation timestamp assigned by the engine; it
+	// drives the CluStream decay window and gives annotations a stable
+	// order for deterministic representatives.
+	Seq int64
+}
+
+// AttachedToRow reports whether the annotation targets the whole row.
+func (a *Annotation) AttachedToRow() bool { return len(a.Columns) == 0 }
+
+// SurvivesProjection reports whether the annotation remains attached when
+// only the given columns are kept. Row-level annotations always survive;
+// column-level annotations survive when at least one of their columns is
+// kept — matching the paper's Example 1, where projecting out r.c and r.d
+// eliminates the effect of exactly the annotations attached only to them.
+func (a *Annotation) SurvivesProjection(kept map[string]bool) bool {
+	if a.AttachedToRow() {
+		return true
+	}
+	for _, c := range a.Columns {
+		if kept[strings.ToLower(c)] {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a short debugging form.
+func (a *Annotation) String() string {
+	target := "row"
+	if len(a.Columns) > 0 {
+		cols := append([]string(nil), a.Columns...)
+		sort.Strings(cols)
+		target = strings.Join(cols, ",")
+	}
+	text := a.Text
+	if len(text) > 40 {
+		text = text[:37] + "..."
+	}
+	return fmt.Sprintf("A%d@%d(%s): %s", a.ID, a.TupleOID, target, text)
+}
+
+// AnnotationLookup resolves an annotation ID to its record. Summary-object
+// operations that need raw text (cluster representative re-election,
+// keyword search over raw annotations) receive one; a nil lookup degrades
+// gracefully to summary-only behavior.
+type AnnotationLookup func(id int64) (*Annotation, bool)

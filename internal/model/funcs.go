@@ -1,0 +1,158 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the summary-based manipulation functions of
+// Section 3.1. They are exposed to queries through the expression
+// evaluator (internal/exec) as method chains on the tuple's $ variable,
+// e.g. r.$.getSummaryObject('ClassBird1').getLabelValue('Disease').
+
+// GetSummaryType implements O.getSummaryType().
+func (o *SummaryObject) GetSummaryType() string { return o.Type.String() }
+
+// GetSummaryName implements O.getSummaryName().
+func (o *SummaryObject) GetSummaryName() string { return o.InstanceID }
+
+// GetLabelName implements the classifier function O.getLabelName(i): the
+// class label at position i. Label order is fixed at instance-creation
+// time, so positions are meaningful.
+func (o *SummaryObject) GetLabelName(i int) (string, error) {
+	if o.Type != SummaryClassifier {
+		return "", fmt.Errorf("model: getLabelName on %s object %q", o.Type, o.InstanceID)
+	}
+	if i < 0 || i >= len(o.Reps) {
+		return "", fmt.Errorf("model: getLabelName index %d out of range [0,%d)", i, len(o.Reps))
+	}
+	return o.Reps[i].Label, nil
+}
+
+// GetLabelValueAt implements the classifier function O.getLabelValue(i).
+func (o *SummaryObject) GetLabelValueAt(i int) (int, error) {
+	if o.Type != SummaryClassifier {
+		return 0, fmt.Errorf("model: getLabelValue on %s object %q", o.Type, o.InstanceID)
+	}
+	if i < 0 || i >= len(o.Reps) {
+		return 0, fmt.Errorf("model: getLabelValue index %d out of range [0,%d)", i, len(o.Reps))
+	}
+	return o.Reps[i].Count, nil
+}
+
+// GetLabelValue implements the classifier function O.getLabelValue(label).
+func (o *SummaryObject) GetLabelValue(label string) (int, error) {
+	if o.Type != SummaryClassifier {
+		return 0, fmt.Errorf("model: getLabelValue on %s object %q", o.Type, o.InstanceID)
+	}
+	if i := o.RepIndexByLabel(label); i >= 0 {
+		return o.Reps[i].Count, nil
+	}
+	return 0, fmt.Errorf("model: classifier %q has no label %q", o.InstanceID, label)
+}
+
+// GetSnippet implements the snippet function O.getSnippet(i).
+func (o *SummaryObject) GetSnippet(i int) (string, error) {
+	if o.Type != SummarySnippet {
+		return "", fmt.Errorf("model: getSnippet on %s object %q", o.Type, o.InstanceID)
+	}
+	if i < 0 || i >= len(o.Reps) {
+		return "", fmt.Errorf("model: getSnippet index %d out of range [0,%d)", i, len(o.Reps))
+	}
+	return o.Reps[i].Text, nil
+}
+
+// GetRepresentative returns the representative annotation text of cluster
+// group i (also usable on snippets, where it returns the snippet).
+func (o *SummaryObject) GetRepresentative(i int) (string, error) {
+	if o.Type == SummaryClassifier {
+		return "", fmt.Errorf("model: getRepresentative on Classifier object %q", o.InstanceID)
+	}
+	if i < 0 || i >= len(o.Reps) {
+		return "", fmt.Errorf("model: getRepresentative index %d out of range [0,%d)", i, len(o.Reps))
+	}
+	return o.Reps[i].Text, nil
+}
+
+// GetGroupSize implements the cluster function O.getGroupSize(i).
+func (o *SummaryObject) GetGroupSize(i int) (int, error) {
+	if o.Type != SummaryCluster {
+		return 0, fmt.Errorf("model: getGroupSize on %s object %q", o.Type, o.InstanceID)
+	}
+	if i < 0 || i >= len(o.Reps) {
+		return 0, fmt.Errorf("model: getGroupSize index %d out of range [0,%d)", i, len(o.Reps))
+	}
+	return o.Reps[i].Count, nil
+}
+
+// ContainsSingle implements O.containsSingle(kw1, kw2, ...): true when
+// all keywords occur together within some single snippet, or — when a
+// lookup over the raw annotations is supplied — within some single raw
+// annotation. Matching is case-insensitive substring containment, the
+// tradeoff studied in the InsightNotes+ technical report [16].
+func (o *SummaryObject) ContainsSingle(lookup AnnotationLookup, keywords ...string) bool {
+	if len(keywords) == 0 {
+		return false
+	}
+	for _, r := range o.Reps {
+		if containsAll(r.Text, keywords) {
+			return true
+		}
+	}
+	if lookup == nil {
+		return false
+	}
+	for _, id := range o.ElementIDs() {
+		if a, ok := lookup(id); ok && containsAll(a.Text, keywords) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsUnion implements O.containsUnion(kw1, kw2, ...): true when all
+// keywords occur within the union of the object's snippets (or raw
+// annotations, when a lookup is supplied); keywords may span multiple
+// annotations attached to the same tuple.
+func (o *SummaryObject) ContainsUnion(lookup AnnotationLookup, keywords ...string) bool {
+	if len(keywords) == 0 {
+		return false
+	}
+	remaining := make(map[string]bool, len(keywords))
+	for _, kw := range keywords {
+		remaining[strings.ToLower(kw)] = true
+	}
+	check := func(text string) bool {
+		lower := strings.ToLower(text)
+		for kw := range remaining {
+			if strings.Contains(lower, kw) {
+				delete(remaining, kw)
+			}
+		}
+		return len(remaining) == 0
+	}
+	for _, r := range o.Reps {
+		if check(r.Text) {
+			return true
+		}
+	}
+	if lookup == nil {
+		return false
+	}
+	for _, id := range o.ElementIDs() {
+		if a, ok := lookup(id); ok && check(a.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(text string, keywords []string) bool {
+	lower := strings.ToLower(text)
+	for _, kw := range keywords {
+		if !strings.Contains(lower, strings.ToLower(kw)) {
+			return false
+		}
+	}
+	return true
+}

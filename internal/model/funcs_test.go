@@ -1,0 +1,101 @@
+package model
+
+import "testing"
+
+func TestClassifierFunctions(t *testing.T) {
+	c := classBird1()
+	if c.GetSummaryType() != "Classifier" || c.GetSummaryName() != "ClassBird1" {
+		t.Errorf("type/name: %s/%s", c.GetSummaryType(), c.GetSummaryName())
+	}
+	if name, err := c.GetLabelName(1); err != nil || name != "Disease" {
+		t.Errorf("GetLabelName(1) = %q, %v", name, err)
+	}
+	if v, err := c.GetLabelValueAt(2); err != nil || v != 25 {
+		t.Errorf("GetLabelValueAt(2) = %d, %v", v, err)
+	}
+	if v, err := c.GetLabelValue("disease"); err != nil || v != 8 {
+		t.Errorf("GetLabelValue(disease) = %d, %v", v, err)
+	}
+	if _, err := c.GetLabelValue("Provenance"); err == nil {
+		t.Error("missing label should error")
+	}
+	if _, err := c.GetLabelName(9); err == nil {
+		t.Error("out-of-range label should error")
+	}
+	if _, err := snippetObj().GetLabelValue("x"); err == nil {
+		t.Error("getLabelValue on snippet should error")
+	}
+}
+
+func TestSnippetFunctions(t *testing.T) {
+	s := snippetObj()
+	if snip, err := s.GetSnippet(0); err != nil || snip == "" {
+		t.Errorf("GetSnippet(0) = %q, %v", snip, err)
+	}
+	if _, err := s.GetSnippet(5); err == nil {
+		t.Error("out of range should error")
+	}
+	if _, err := classBird1().GetSnippet(0); err == nil {
+		t.Error("getSnippet on classifier should error")
+	}
+}
+
+func TestClusterFunctions(t *testing.T) {
+	cl := clusterObj()
+	if rep, err := cl.GetRepresentative(1); err != nil || rep != "found eating stonewort" {
+		t.Errorf("GetRepresentative(1) = %q, %v", rep, err)
+	}
+	if n, err := cl.GetGroupSize(0); err != nil || n != 3 {
+		t.Errorf("GetGroupSize(0) = %d, %v", n, err)
+	}
+	if _, err := cl.GetGroupSize(7); err == nil {
+		t.Error("out of range should error")
+	}
+	if _, err := classBird1().GetRepresentative(0); err == nil {
+		t.Error("getRepresentative on classifier should error")
+	}
+	if _, err := snippetObj().GetGroupSize(0); err == nil {
+		t.Error("getGroupSize on snippet should error")
+	}
+}
+
+func TestContainsSingleWithinSnippets(t *testing.T) {
+	s := snippetObj()
+	if !s.ContainsSingle(nil, "experiment", "HORMONE") {
+		t.Error("both keywords are in snippet 0")
+	}
+	if s.ContainsSingle(nil, "experiment", "swan") {
+		t.Error("keywords span two snippets; containsSingle must be false")
+	}
+	if s.ContainsSingle(nil) {
+		t.Error("no keywords must be false")
+	}
+}
+
+func TestContainsUnionSpansSnippets(t *testing.T) {
+	s := snippetObj()
+	if !s.ContainsUnion(nil, "experiment", "swan") {
+		t.Error("union across snippets should match")
+	}
+	if s.ContainsUnion(nil, "experiment", "penguin") {
+		t.Error("missing keyword should fail")
+	}
+}
+
+func TestContainsFallsBackToRawAnnotations(t *testing.T) {
+	anns := map[int64]*Annotation{
+		501: {ID: 501, Text: "the full raw text mentions migration and molt"},
+		502: {ID: 502, Text: "plumage details"},
+	}
+	lookup := func(id int64) (*Annotation, bool) { a, ok := anns[id]; return a, ok }
+	s := snippetObj()
+	if !s.ContainsSingle(lookup, "migration", "molt") {
+		t.Error("raw-annotation search should match within annotation 501")
+	}
+	if !s.ContainsUnion(lookup, "migration", "plumage") {
+		t.Error("union over raw annotations should match across 501 and 502")
+	}
+	if s.ContainsSingle(nil, "migration") {
+		t.Error("without a lookup, raw text is unreachable")
+	}
+}

@@ -1,0 +1,87 @@
+package model
+
+// This file implements the projection semantics of summary objects
+// (Section 2.2, Example 1). Theorems 1 and 2 of the original InsightNotes
+// paper require the effect of annotations attached only to projected-out
+// attributes to be eliminated from the summary objects *before* any merge
+// operation, so that equivalent query plans propagate identical summaries.
+
+// ProjectSummaries returns a new summary set in which every annotation
+// whose ID is not accepted by keep has been removed from every object:
+// classifier counts are decremented (labels stay, possibly at count 0,
+// matching the paper's "(Other, 0)" example), snippets of dropped
+// annotations are deleted, and cluster groups shrink — with a new
+// representative elected via lookup when a group's representative is
+// dropped. Objects keep their identity fields; reps that become empty are
+// removed (except classifier labels).
+func ProjectSummaries(s SummarySet, keep func(annID int64) bool, lookup AnnotationLookup) SummarySet {
+	if s == nil {
+		return nil
+	}
+	out := make(SummarySet, 0, len(s))
+	for _, o := range s {
+		out = append(out, ProjectObject(o, keep, lookup))
+	}
+	return out
+}
+
+// ProjectObject applies projection to a single summary object, returning
+// a new object. See ProjectSummaries.
+func ProjectObject(o *SummaryObject, keep func(annID int64) bool, lookup AnnotationLookup) *SummaryObject {
+	out := &SummaryObject{
+		ObjID:      o.ObjID,
+		InstanceID: o.InstanceID,
+		TupleOID:   o.TupleOID,
+		Type:       o.Type,
+	}
+	for _, r := range o.Reps {
+		kept := make([]int64, 0, len(r.Elements))
+		for _, id := range r.Elements {
+			if keep(id) {
+				kept = append(kept, id)
+			}
+		}
+		switch o.Type {
+		case SummaryClassifier:
+			// Class labels are a fixed vocabulary: keep the label even at
+			// count zero so positional functions stay valid.
+			out.Reps = append(out.Reps, Rep{Label: r.Label, Count: len(kept), Elements: kept})
+		case SummarySnippet:
+			// One snippet per (large) annotation: the snippet survives iff
+			// its source annotation survives.
+			if r.RepAnnID == 0 || keep(r.RepAnnID) {
+				nr := r.CloneRep()
+				nr.Elements = kept
+				out.Reps = append(out.Reps, nr)
+			}
+		case SummaryCluster:
+			if len(kept) == 0 {
+				continue // the whole group was eliminated
+			}
+			nr := Rep{Count: len(kept), Elements: kept, RepAnnID: r.RepAnnID, Text: r.Text}
+			if r.RepAnnID != 0 && !keep(r.RepAnnID) {
+				// The representative was dropped: elect a new one. The
+				// paper's Example 1 shows A5 replacing the dropped A2; we
+				// deterministically elect the smallest surviving element
+				// and resolve its text through the annotation store.
+				nr.RepAnnID = kept[0]
+				nr.Text = ""
+				if lookup != nil {
+					if a, ok := lookup(kept[0]); ok {
+						nr.Text = a.Text
+					}
+				}
+			}
+			out.Reps = append(out.Reps, nr)
+		}
+	}
+	return out
+}
+
+// KeepAll is a keep function accepting every annotation.
+func KeepAll(int64) bool { return true }
+
+// KeepSet builds a keep function from an explicit ID set.
+func KeepSet(ids map[int64]bool) func(int64) bool {
+	return func(id int64) bool { return ids[id] }
+}

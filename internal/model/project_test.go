@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAnnotationAttachmentAndProjectionSurvival(t *testing.T) {
+	row := &Annotation{ID: 1, TupleOID: 1}
+	col := &Annotation{ID: 2, TupleOID: 1, Columns: []string{"c", "d"}}
+	if !row.AttachedToRow() || col.AttachedToRow() {
+		t.Error("AttachedToRow misreports")
+	}
+	kept := map[string]bool{"a": true, "b": true}
+	if !row.SurvivesProjection(kept) {
+		t.Error("row-level annotations survive every projection")
+	}
+	if col.SurvivesProjection(kept) {
+		t.Error("annotation on projected-out columns must not survive")
+	}
+	kept["d"] = true
+	if !col.SurvivesProjection(kept) {
+		t.Error("annotation survives when any attached column is kept")
+	}
+}
+
+func TestProjectClassifierDecrementsAndKeepsZeroLabels(t *testing.T) {
+	c := classBird1() // (Behavior,33)(Disease,8)(Anatomy,25)(Other,16)
+	// Keep only the Disease elements plus 3 Behavior elements.
+	keepIDs := map[int64]bool{}
+	for _, id := range c.Reps[1].Elements {
+		keepIDs[id] = true
+	}
+	for _, id := range c.Reps[0].Elements[:3] {
+		keepIDs[id] = true
+	}
+	p := ProjectObject(c, KeepSet(keepIDs), nil)
+	if got, _ := p.GetLabelValue("Behavior"); got != 3 {
+		t.Errorf("Behavior = %d, want 3", got)
+	}
+	if got, _ := p.GetLabelValue("Disease"); got != 8 {
+		t.Errorf("Disease = %d, want 8", got)
+	}
+	// Paper shows (Other, 0): zeroed labels are preserved.
+	if got, _ := p.GetLabelValue("Other"); got != 0 {
+		t.Errorf("Other = %d, want 0", got)
+	}
+	if p.Size() != 4 {
+		t.Errorf("classifier must keep all %d labels, got %d", 4, p.Size())
+	}
+	// Original untouched.
+	if got, _ := c.GetLabelValue("Behavior"); got != 33 {
+		t.Error("projection mutated its input")
+	}
+}
+
+func TestProjectSnippetDropsDeletedArticles(t *testing.T) {
+	s := snippetObj()
+	// Drop annotation 502 (the wikipedia article), as in Example 1.
+	p := ProjectObject(s, func(id int64) bool { return id != 502 }, nil)
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+	if snip, _ := p.GetSnippet(0); snip != "Experiment E measured hormone levels" {
+		t.Errorf("kept wrong snippet: %q", snip)
+	}
+}
+
+func TestProjectClusterReelection(t *testing.T) {
+	anns := map[int64]*Annotation{
+		602: {ID: 602, Text: "A5: replacement representative"},
+	}
+	lookup := func(id int64) (*Annotation, bool) { a, ok := anns[id]; return a, ok }
+	cl := clusterObj() // group0: {601,602,603} rep 601; group1: {610,611} rep 610
+	// Drop the representative 601 and all of group1: group0 shrinks and
+	// re-elects (the paper's A5-replaces-A2 case); group1 disappears.
+	keep := func(id int64) bool { return id == 602 || id == 603 }
+	p := ProjectObject(cl, keep, lookup)
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+	r := p.Reps[0]
+	if r.Count != 2 || r.RepAnnID != 602 {
+		t.Errorf("re-election: count=%d rep=%d", r.Count, r.RepAnnID)
+	}
+	if r.Text != "A5: replacement representative" {
+		t.Errorf("representative text not resolved: %q", r.Text)
+	}
+}
+
+func TestProjectClusterWithoutLookupStillReelects(t *testing.T) {
+	cl := clusterObj()
+	p := ProjectObject(cl, func(id int64) bool { return id != 601 }, nil)
+	if p.Reps[0].RepAnnID != 602 || p.Reps[0].Text != "" {
+		t.Errorf("nil-lookup re-election: %+v", p.Reps[0])
+	}
+}
+
+func TestProjectKeepAllIsIdentity(t *testing.T) {
+	for _, o := range []*SummaryObject{classBird1(), snippetObj(), clusterObj()} {
+		p := ProjectObject(o, KeepAll, nil)
+		if !p.Equal(o) {
+			t.Errorf("KeepAll projection changed %s: %s -> %s", o.InstanceID, o, p)
+		}
+	}
+	set := SummarySet{classBird1(), snippetObj()}
+	if got := ProjectSummaries(set, KeepAll, nil); !got.Equal(set) {
+		t.Error("set projection with KeepAll changed content")
+	}
+	if ProjectSummaries(nil, KeepAll, nil) != nil {
+		t.Error("nil set should stay nil")
+	}
+}
+
+// Property P3: after any random projection, each classifier label count
+// equals the size of its element set, and the total equals the number of
+// distinct surviving elements.
+func TestProjectClassifierCountConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		c := classBird1()
+		drop := map[int64]bool{}
+		for _, id := range c.ElementIDs() {
+			if rng.Intn(3) == 0 {
+				drop[id] = true
+			}
+		}
+		p := ProjectObject(c, func(id int64) bool { return !drop[id] }, nil)
+		total := 0
+		for _, r := range p.Reps {
+			if r.Count != len(r.Elements) {
+				t.Fatalf("iter %d: count %d != elements %d", iter, r.Count, len(r.Elements))
+			}
+			total += r.Count
+		}
+		if total != len(p.ElementIDs()) {
+			t.Fatalf("iter %d: total %d != distinct elements %d", iter, total, len(p.ElementIDs()))
+		}
+	}
+}
+
+// Property: projection is idempotent — projecting twice with the same
+// keep set equals projecting once.
+func TestProjectIdempotentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		o := clusterObj()
+		keepIDs := map[int64]bool{}
+		for _, id := range o.ElementIDs() {
+			if rng.Intn(2) == 0 {
+				keepIDs[id] = true
+			}
+		}
+		keep := KeepSet(keepIDs)
+		once := ProjectObject(o, keep, nil)
+		twice := ProjectObject(once, keep, nil)
+		if !once.Equal(twice) {
+			t.Fatalf("iter %d: not idempotent: %s vs %s", iter, once, twice)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the attributes of a relation or of an intermediate
+// query result. Qualifier carries the table alias (if any) so that
+// expressions such as r.a resolve against join outputs.
+type Schema struct {
+	// Qualifiers[i] is the table alias column i originated from; empty for
+	// computed columns.
+	Qualifiers []string
+	Columns    []Column
+}
+
+// NewSchema builds a schema where every column shares one qualifier.
+func NewSchema(qualifier string, cols ...Column) *Schema {
+	s := &Schema{Columns: cols, Qualifiers: make([]string, len(cols))}
+	for i := range s.Qualifiers {
+		s.Qualifiers[i] = qualifier
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.Columns[i] }
+
+// ColIndex resolves a possibly qualified column reference to its position.
+// A qualifier of "" matches any column with the given name; ambiguity
+// (the same unqualified name appearing under two qualifiers) is an error.
+func (s *Schema) ColIndex(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(s.Qualifiers[i], qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("model: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qualifier != "" {
+			return 0, fmt.Errorf("model: unknown column %s.%s", qualifier, name)
+		}
+		return 0, fmt.Errorf("model: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// HasQualifier reports whether any column in s carries the given qualifier.
+func (s *Schema) HasQualifier(qualifier string) bool {
+	for _, q := range s.Qualifiers {
+		if strings.EqualFold(q, qualifier) {
+			return true
+		}
+	}
+	return false
+}
+
+// Project returns a new schema containing the columns at the given
+// positions, in order.
+func (s *Schema) Project(idxs []int) *Schema {
+	out := &Schema{
+		Columns:    make([]Column, len(idxs)),
+		Qualifiers: make([]string, len(idxs)),
+	}
+	for i, idx := range idxs {
+		out.Columns[i] = s.Columns[idx]
+		out.Qualifiers[i] = s.Qualifiers[idx]
+	}
+	return out
+}
+
+// Concat returns a schema holding s's columns followed by o's. It is used
+// by join operators to form their output schema.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{
+		Columns:    make([]Column, 0, len(s.Columns)+len(o.Columns)),
+		Qualifiers: make([]string, 0, len(s.Qualifiers)+len(o.Qualifiers)),
+	}
+	out.Columns = append(append(out.Columns, s.Columns...), o.Columns...)
+	out.Qualifiers = append(append(out.Qualifiers, s.Qualifiers...), o.Qualifiers...)
+	return out
+}
+
+// Rename returns a copy of s with every qualifier replaced by alias.
+func (s *Schema) Rename(alias string) *Schema {
+	out := &Schema{
+		Columns:    append([]Column(nil), s.Columns...),
+		Qualifiers: make([]string, len(s.Qualifiers)),
+	}
+	for i := range out.Qualifiers {
+		out.Qualifiers[i] = alias
+	}
+	return out
+}
+
+// String renders the schema as "alias.name TYPE, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		name := c.Name
+		if s.Qualifiers[i] != "" {
+			name = s.Qualifiers[i] + "." + name
+		}
+		parts[i] = fmt.Sprintf("%s %s", name, c.Kind)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,193 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Compile lowers a (possibly optimized) logical plan to physical
+// operators. Summary propagation is demand-driven: a scan attaches a
+// tuple's summary set only when some operator above it needs summaries —
+// either because the query propagates them to the output or because a
+// predicate, sort key, or projection expression reads the $ variable.
+// An index-answered predicate needs no summaries at all (the Figure 13
+// no-propagation case), which is what makes backward pointers pay off.
+func Compile(n plan.Node, env *Env, opts Options) (exec.Iterator, error) {
+	return compile(n, env, opts, env.Propagate)
+}
+
+func usesDollar(exprs ...sql.Expr) bool {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if plan.Analyze(e, nil).UsesSummaries {
+			return true
+		}
+	}
+	return false
+}
+
+// compile lowers one node; need reports whether operators above n
+// require summary sets on n's output rows.
+func compile(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return exec.NewSeqScan(node.Table, node.Alias, need), nil
+
+	case *plan.SummaryIndexScanNode:
+		// The index answers its own predicate from itemized keys; the
+		// summary set is fetched only when needed above.
+		s := exec.NewSummaryIndexScan(node.Table, node.Alias, node.Index,
+			node.Label, node.Op, node.Constant, need)
+		s.ConventionalPointers = opts.ConventionalPointers
+		s.Descending = node.Descending
+		return s, nil
+
+	case *plan.BaselineIndexScanNode:
+		s := exec.NewBaselineIndexScan(node.Table, node.Alias, node.Index,
+			node.Label, node.Op, node.Constant, need)
+		s.ReconstructSummaries = node.Reconstruct
+		return s, nil
+
+	case *plan.SummaryProject:
+		if !need {
+			// Effect projection only transforms summaries; skip it when
+			// nothing above reads them.
+			return compile(node.Child, env, opts, false)
+		}
+		child, err := compile(node.Child, env, opts, true)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSummaryEffectProject(child, node.Kept, env.Annotations, env.Lookup), nil
+
+	case *plan.Select:
+		child, err := compile(node.Child, env, opts, need || usesDollar(node.Pred))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(child, node.Pred, env.Lookup), nil
+
+	case *plan.SummarySelect:
+		child, err := compile(node.Child, env, opts, true)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSummarySelect(child, node.Pred, env.Lookup), nil
+
+	case *plan.SummaryFilterNode:
+		child, err := compile(node.Child, env, opts, need)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSummaryFilter(child, node.Instances, node.Types), nil
+
+	case *plan.Join:
+		childNeed := need || usesDollar(node.On, node.Residual)
+		left, err := compile(node.Left, env, opts, childNeed)
+		if err != nil {
+			return nil, err
+		}
+		if node.UseIndex {
+			innerScan, _ := leafScan(node.Right)
+			if innerScan == nil {
+				return nil, fmt.Errorf("optimizer: index join requires a base-table inner side")
+			}
+			j := exec.NewIndexJoin(left, innerScan.Table, innerScan.Alias,
+				node.IndexColumn, node.OuterKey, node.Residual, need, env.Lookup)
+			j.FetchSummaries = childNeed
+			return j, nil
+		}
+		right, err := compile(node.Right, env, opts, childNeed)
+		if err != nil {
+			return nil, err
+		}
+		if node.UseHash {
+			return exec.NewHashJoin(left, right, node.HashLeft, node.HashRight,
+				node.Residual, need, env.Lookup), nil
+		}
+		return exec.NewNLJoin(left, right, node.On, need, env.Lookup), nil
+
+	case *plan.SummaryJoin:
+		left, err := compile(node.Left, env, opts, true)
+		if err != nil {
+			return nil, err
+		}
+		if node.UseIndex {
+			innerScan, _ := leafScan(node.Right)
+			if innerScan == nil {
+				return nil, fmt.Errorf("optimizer: index join requires a base-table inner side")
+			}
+			j := exec.NewIndexJoin(left, innerScan.Table, innerScan.Alias,
+				node.IndexColumn, node.OuterKey, node.Residual, need, env.Lookup)
+			j.FetchSummaries = true
+			return j, nil
+		}
+		right, err := compile(node.Right, env, opts, true)
+		if err != nil {
+			return nil, err
+		}
+		j := exec.NewNLJoin(left, right, node.Pred, need, env.Lookup)
+		j.Summary = true
+		return j, nil
+
+	case *plan.SortNode:
+		keyExprs := make([]sql.Expr, len(node.Keys))
+		for i := range node.Keys {
+			keyExprs[i] = node.Keys[i].Expr
+		}
+		child, err := compile(node.Child, env, opts, need || usesDollar(keyExprs...))
+		if err != nil {
+			return nil, err
+		}
+		if node.Eliminated {
+			return child, nil
+		}
+		if opts.ForceSort == "disk" || node.Disk {
+			return exec.NewExternalSort(child, node.Keys, opts.SortRunLen, env.Lookup), nil
+		}
+		return exec.NewSort(child, node.Keys, env.Lookup), nil
+
+	case *plan.GroupByNode:
+		aggExprs := make([]sql.Expr, 0, len(node.Aggs))
+		for _, a := range node.Aggs {
+			if a.Arg != nil {
+				aggExprs = append(aggExprs, a.Arg)
+			}
+		}
+		childNeed := need || usesDollar(append(aggExprs, node.Keys...)...)
+		child, err := compile(node.Child, env, opts, childNeed)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewGroupBy(child, node.Keys, node.Aggs, env.Lookup), nil
+
+	case *plan.ProjectNode:
+		child, err := compile(node.Child, env, opts, need || usesDollar(node.Exprs...))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(child, node.Exprs, node.Out, env.Lookup), nil
+
+	case *plan.DistinctNode:
+		child, err := compile(node.Child, env, opts, need)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewDistinct(child, env.Lookup), nil
+
+	case *plan.LimitNode:
+		child, err := compile(node.Child, env, opts, need)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, node.N), nil
+
+	default:
+		return nil, fmt.Errorf("optimizer: cannot compile %T", n)
+	}
+}

@@ -1,0 +1,130 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRandomQueryPlanEquivalence is a randomized plan-equivalence
+// fuzzer: it generates random queries over the fixture (random
+// data/summary conjuncts, optional join, optional summary-based order),
+// executes each under the canonical plan, the fully optimized plan, and
+// several forced physical configurations, and requires identical result
+// sets INCLUDING the propagated summary objects (invariants P1/P7).
+func TestRandomQueryPlanEquivalence(t *testing.T) {
+	const trials = 120
+	for _, shared := range []bool{false, true} {
+		f := newOptFixture(t, 18, 36, shared, 11)
+		f.buildSummaryIndex(f.r)
+		if shared {
+			f.buildSummaryIndex(f.s)
+		}
+		f.buildBaselineIndex(f.r)
+		f.s.CreateDataIndex("x")
+		rng := rand.New(rand.NewSource(17))
+		for trial := 0; trial < trials; trial++ {
+			q := randomQuery(rng, shared)
+			canonical := f.run(q, Options{Disable: true})
+			configs := []Options{
+				{},
+				{NoSummaryIndex: true},
+				{UseBaseline: true},
+				{ForceJoin: "index"},
+				{ForceJoin: "hash"},
+				{ForceJoin: "nl", ForceSort: "disk", SortRunLen: 3},
+				{DisableRules: true, ForceJoin: "index"},
+				{ConventionalPointers: true},
+			}
+			for ci, opts := range configs {
+				got := f.run(q, opts)
+				if !equalRows(canonical, got) {
+					t.Fatalf("shared=%v trial %d config %d: plans disagree\nquery: %s\ncanonical (%d): %v\ngot (%d): %v\nplan:\n%s",
+						shared, trial, ci, q, len(canonical), canonical, len(got), got,
+						f.explain(q, opts))
+				}
+			}
+		}
+	}
+}
+
+// randomQuery builds a random single- or two-table query.
+func randomQuery(rng *rand.Rand, shared bool) string {
+	var conj []string
+	pick := func(options ...string) string { return options[rng.Intn(len(options))] }
+
+	// 0-3 predicates on r.
+	for n := rng.Intn(4); n > 0; n-- {
+		switch rng.Intn(4) {
+		case 0:
+			conj = append(conj, fmt.Sprintf("r.a %s %d", pick("=", "<", ">", "<=", ">="), rng.Intn(20)))
+		case 1:
+			conj = append(conj, fmt.Sprintf("r.b = 'b%d'", rng.Intn(6)))
+		case 2:
+			conj = append(conj, fmt.Sprintf(
+				"r.$.getSummaryObject('C1').getLabelValue('Disease') %s %d",
+				pick("=", "<", ">", "<=", ">="), rng.Intn(7)))
+		case 3:
+			conj = append(conj, fmt.Sprintf(
+				"r.$.getSummaryObject('C1').getLabelValue('Other') = %d", rng.Intn(3)))
+		}
+	}
+
+	twoTables := rng.Intn(2) == 0
+	from := "R r"
+	if twoTables {
+		from = "R r, S s"
+		conj = append(conj, "r.a = s.x")
+		if rng.Intn(3) == 0 {
+			conj = append(conj, fmt.Sprintf("s.z = 'z%d'", rng.Intn(36)+1))
+		}
+		if shared && rng.Intn(3) == 0 {
+			// A genuine summary-join predicate across both sides.
+			conj = append(conj, "r.$.getSummaryObject('C1').getLabelValue('Disease') <> s.$.getSummaryObject('C1').getLabelValue('Disease')")
+		}
+	}
+
+	q := "SELECT r.a FROM " + from
+	if twoTables && rng.Intn(2) == 0 {
+		q = "SELECT r.a, s.z FROM " + from
+	}
+	if len(conj) > 0 {
+		q += " WHERE " + strings.Join(conj, " AND ")
+	}
+	switch rng.Intn(3) {
+	case 0:
+		q += " ORDER BY r.$.getSummaryObject('C1').getLabelValue('Disease')"
+		if rng.Intn(2) == 0 {
+			q += " DESC"
+		}
+	case 1:
+		q += " ORDER BY r.a"
+	}
+	return q
+}
+
+// TestRandomQueryWithGroupBy fuzzes aggregation queries: grouped results
+// must agree across plan configurations, including the merged group
+// summaries.
+func TestRandomQueryWithGroupBy(t *testing.T) {
+	f := newOptFixture(t, 24, 48, false, 21)
+	f.buildSummaryIndex(f.r)
+	f.s.CreateDataIndex("x")
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		where := ""
+		if rng.Intn(2) == 0 {
+			where = fmt.Sprintf(
+				" WHERE r.$.getSummaryObject('C1').getLabelValue('Disease') >= %d", rng.Intn(4))
+		}
+		q := "SELECT r.b, count(*), sum(r.a) FROM R r" + where + " GROUP BY r.b"
+		canonical := f.run(q, Options{Disable: true})
+		for _, opts := range []Options{{}, {NoSummaryIndex: true}} {
+			if got := f.run(q, opts); !equalRows(canonical, got) {
+				t.Fatalf("trial %d: groupby plans disagree\nquery: %s\n%v\nvs\n%v",
+					trial, q, canonical, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package optimizer implements the extended query optimizer of Section
+// 5: the equivalence and transformation rules (1–11) over plans mixing
+// standard and summary-based operators, a cardinality/cost model fed by
+// the maintained summary statistics, access-path selection between
+// sequential scans, Summary-BTree scans, and baseline-index scans, join
+// implementation choice (block nested-loop vs index-based), and
+// sort elimination through index-provided interesting orders.
+package optimizer
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/plan"
+)
+
+// Options steer optimization; the zero value enables everything with
+// automatic choices. The disable/force knobs exist for the paper's
+// ablation experiments (Figures 10–15).
+type Options struct {
+	// Disable skips every rewrite: the canonical plan compiles as-is.
+	Disable bool
+	// DisableRules skips the Section 5 rule rewrites (pushdown, access
+	// paths, join reorder, sort elimination) but still honors ForceJoin
+	// for the physical join implementation — the "Optimization-Disabled"
+	// bars of Figures 14 and 15, whose x-axis varies the join and sort
+	// algorithms independently of the rules.
+	DisableRules bool
+	// NoSummaryIndex forbids summary-index access paths (the NoIndex
+	// series of Figures 10 and 11).
+	NoSummaryIndex bool
+	// UseBaseline selects the baseline indexing scheme instead of the
+	// Summary-BTree where both exist.
+	UseBaseline bool
+	// BaselineReconstruct makes baseline scans rebuild propagated
+	// summaries from the normalized storage (Figure 12).
+	BaselineReconstruct bool
+	// ConventionalPointers makes Summary-BTree scans resolve hits
+	// through R_SummaryStorage instead of backward pointers (Figure 13).
+	ConventionalPointers bool
+	// ForceJoin pins the join implementation: "nl" or "index".
+	ForceJoin string
+	// ForceSort pins the sort implementation: "mem" or "disk".
+	ForceSort string
+	// SortRunLen sizes external-sort runs (rows; 0 = default).
+	SortRunLen int
+}
+
+// Env supplies the optimizer and compiler with catalog context.
+type Env struct {
+	Cat *catalog.Catalog
+	// SummaryIdx resolves a Summary-BTree over (table, instance); nil
+	// when absent.
+	SummaryIdx func(table, instance string) *index.SummaryBTree
+	// BaselineIdx resolves a baseline index; nil when absent.
+	BaselineIdx func(table, instance string) *index.Baseline
+	// Annotations fetches a tuple's raw annotations (for the
+	// summary-effect projection).
+	Annotations func(tupleOID int64) []*model.Annotation
+	// Lookup resolves annotation IDs (keyword search, re-election).
+	Lookup model.AnnotationLookup
+	// Propagate attaches summary sets to scanned tuples and merges them
+	// through joins.
+	Propagate bool
+}
+
+// Optimize rewrites the canonical plan using the Section 5 rules and
+// picks access paths. With opts.Disable it returns the input unchanged.
+func Optimize(root plan.Node, r *plan.AliasResolver, env *Env, opts Options) plan.Node {
+	if opts.Disable {
+		return root
+	}
+	rw := &rewriter{env: env, opts: opts, resolver: r}
+	if opts.DisableRules {
+		if opts.ForceJoin == "index" {
+			root = rw.chooseJoinImpl(root)
+		}
+		return root
+	}
+	root = rw.pushdown(root)
+	root = rw.chooseAccessPaths(root)
+	root = rw.reorderSummaryJoins(root)
+	root = rw.chooseJoinImpl(root)
+	root = rw.eliminateSorts(root)
+	return root
+}
+
+// Plan builds, optimizes, and compiles in one call.
+func Plan(root plan.Node, r *plan.AliasResolver, env *Env, opts Options) (exec.Iterator, plan.Node, error) {
+	optimized := Optimize(root, r, env, opts)
+	it, err := Compile(optimized, env, opts)
+	return it, optimized, err
+}

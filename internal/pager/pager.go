@@ -1,0 +1,85 @@
+// Package pager provides page-level I/O accounting for the storage
+// substrate. The engine is in-memory, but the paper's claims are about
+// access paths — how many pages a plan touches — so every heap page and
+// index node access is charged to an Accountant. Tests assert access-path
+// properties against these counters instead of wall-clock time, and the
+// benchmark harness can attach a synthetic per-page read delay to model
+// the paper's disk-resident setting.
+package pager
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of I/O counters.
+type Stats struct {
+	PageReads  int64
+	PageWrites int64
+}
+
+// Sub returns s - o, for measuring a single operation's cost.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{PageReads: s.PageReads - o.PageReads, PageWrites: s.PageWrites - o.PageWrites}
+}
+
+// Total returns reads + writes.
+func (s Stats) Total() int64 { return s.PageReads + s.PageWrites }
+
+// String renders the counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d", s.PageReads, s.PageWrites)
+}
+
+// Accountant tracks page I/O. The zero value is ready to use. Counting is
+// safe for concurrent use; SetReadDelay is not (configure before use).
+type Accountant struct {
+	reads  atomic.Int64
+	writes atomic.Int64
+
+	// readDelay, when non-zero, is slept per page read to simulate a
+	// disk-resident database. Nanoseconds.
+	readDelay atomic.Int64
+}
+
+// Read charges n page reads.
+func (a *Accountant) Read(n int) {
+	if a == nil {
+		return
+	}
+	a.reads.Add(int64(n))
+	if d := a.readDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Duration(n))
+	}
+}
+
+// Write charges n page writes.
+func (a *Accountant) Write(n int) {
+	if a == nil {
+		return
+	}
+	a.writes.Add(int64(n))
+}
+
+// SetReadDelay configures the simulated per-page read latency.
+func (a *Accountant) SetReadDelay(d time.Duration) {
+	a.readDelay.Store(int64(d))
+}
+
+// Stats snapshots the counters.
+func (a *Accountant) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return Stats{PageReads: a.reads.Load(), PageWrites: a.writes.Load()}
+}
+
+// Reset zeroes the counters (the read delay is preserved).
+func (a *Accountant) Reset() {
+	if a == nil {
+		return
+	}
+	a.reads.Store(0)
+	a.writes.Store(0)
+}

@@ -1,0 +1,272 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Expr is an expression-tree node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value model.Value
+}
+
+func (*Literal) exprNode()        {}
+func (l *Literal) String() string { return l.Value.SQLLiteral() }
+
+// ColumnRef references a (possibly qualified) data column.
+type ColumnRef struct {
+	Qualifier string // table alias; "" if unqualified
+	Name      string
+}
+
+func (*ColumnRef) exprNode() {}
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// DollarRef references the summary-object set of a tuple: r.$ or bare $.
+type DollarRef struct {
+	Qualifier string
+}
+
+func (*DollarRef) exprNode() {}
+func (d *DollarRef) String() string {
+	if d.Qualifier != "" {
+		return d.Qualifier + ".$"
+	}
+	return "$"
+}
+
+// MethodCall is a manipulation-function invocation on a receiver, e.g.
+// <recv>.getLabelValue('Disease').
+type MethodCall struct {
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+func (*MethodCall) exprNode() {}
+func (m *MethodCall) String() string {
+	args := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s.%s(%s)", m.Recv, m.Name, strings.Join(args, ", "))
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAnd BinaryOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String renders the operator's SQL spelling.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("BinaryOp(%d)", int(op))
+	}
+}
+
+// IsComparison reports whether op compares its operands.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return true
+	}
+	return false
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	Expr Expr
+}
+
+func (*Not) exprNode()        {}
+func (n *Not) String() string { return "NOT " + n.Expr.String() }
+
+// Neg is arithmetic negation.
+type Neg struct {
+	Expr Expr
+}
+
+func (*Neg) exprNode()        {}
+func (n *Neg) String() string { return "-" + n.Expr.String() }
+
+// FuncCall is a scalar or aggregate function call, e.g. COUNT(*),
+// SUM(x), LOWER(name).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (*FuncCall) exprNode() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return strings.ToUpper(f.Name) + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToUpper(f.Name), strings.Join(args, ", "))
+}
+
+// AggregateFuncs lists the recognized aggregate function names.
+var AggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// IsAggregate reports whether f is an aggregate call.
+func (f *FuncCall) IsAggregate() bool { return AggregateFuncs[strings.ToLower(f.Name)] }
+
+// --- statements -------------------------------------------------------------
+
+// Statement is a parsed top-level statement.
+type Statement interface {
+	stmtNode()
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // bare * or qualified alias.*
+	// StarQualifier restricts a star to one table (r.*).
+	StarQualifier string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// EffectiveAlias returns the alias, defaulting to the table name.
+func (t TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an explicit JOIN ... ON ...
+type JoinClause struct {
+	Right TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT query.
+type SelectStmt struct {
+	// Distinct eliminates duplicate output rows; the summaries of
+	// collapsed duplicates are merged.
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	// Having filters groups after aggregation.
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+	// Propagate controls summary propagation to the output; it is set
+	// by the optional trailing "WITH SUMMARIES" / "WITHOUT SUMMARIES"
+	// clause and defaults to true (InsightNotes propagates summaries).
+	Propagate bool
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// AlterStmt is the extended "ALTER TABLE t ADD [INDEXABLE] inst" /
+// "ALTER TABLE t DROP inst" command of Section 4.
+type AlterStmt struct {
+	Table     string
+	Add       bool
+	Indexable bool
+	Instance  string
+}
+
+func (*AlterStmt) stmtNode() {}
+
+// ZoomStmt is the zoom-in command: retrieve the raw annotations behind
+// the summaries of qualifying tuples.
+//
+//	ZOOM IN ON <table>.<instance> [LABEL '<label>'] [WHERE <expr>]
+type ZoomStmt struct {
+	Table    string
+	Instance string
+	Label    string
+	Where    Expr
+}
+
+func (*ZoomStmt) stmtNode() {}

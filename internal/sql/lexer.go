@@ -1,0 +1,96 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes the input. String literals use single quotes with ”
+// escaping; -- starts a line comment.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: input[start:i], Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' && !seenDot && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' {
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Message: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Pos: start})
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			text := input[start:i]
+			if text == "!" {
+				return nil, &SyntaxError{Pos: start, Message: "unexpected '!'"}
+			}
+			toks = append(toks, Token{Kind: TokCompare, Text: text, Pos: start})
+		case strings.ContainsRune("(),.$*+-/;", rune(c)):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, &SyntaxError{Pos: i, Message: "unexpected character " + string(c)}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

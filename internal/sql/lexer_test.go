@@ -1,0 +1,120 @@
+package sql
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT * FROM r WHERE a = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT", "*", "FROM", "r", "WHERE", "a", "=", "5", ""}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want[:len(want)-1] {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexStringsWithEscapes(t *testing.T) {
+	toks, err := Lex("'o''brien' 'plain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "o'brien" {
+		t.Errorf("escaped string: %+v", toks[0])
+	}
+	if toks[1].Text != "plain" {
+		t.Errorf("second string: %+v", toks[1])
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 3.14 7.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "42" || toks[1].Text != "3.14" {
+		t.Errorf("numbers: %v %v", toks[0], toks[1])
+	}
+	// "7." lexes as number 7 followed by '.' (method-chain dots must not
+	// be swallowed).
+	if toks[2].Text != "7" || toks[3].Text != "." {
+		t.Errorf("trailing dot: %v %v", toks[2], toks[3])
+	}
+}
+
+func TestLexComparators(t *testing.T) {
+	toks, err := Lex("< <= > >= = <> !=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "=", "<>", "!="}
+	for i, w := range want {
+		if toks[i].Kind != TokCompare || toks[i].Text != w {
+			t.Errorf("comparator %d: %+v", i, toks[i])
+		}
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("bare '!' should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a -- comment to end of line\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comment handling: %v", toks)
+	}
+}
+
+func TestLexDollar(t *testing.T) {
+	toks, err := Lex("r.$.getSize()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"r", ".", "$", ".", "getSize", "(", ")"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("'@' should fail")
+	}
+	if _, err := Lex("a # b"); err == nil {
+		t.Error("'#' should fail")
+	}
+}
+
+func TestSyntaxErrorFormat(t *testing.T) {
+	_, err := Lex("'oops")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos != 0 || se.Error() == "" {
+		t.Errorf("SyntaxError = %+v", se)
+	}
+}

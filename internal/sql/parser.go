@@ -1,0 +1,680 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Parse parses one statement.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and by the
+// zoom API).
+func ParseExpr(input string) (Expr, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (for non-ident)
+// exact text; ident text matches case-insensitively.
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == TokIdent {
+		return strings.EqualFold(t.Text, text)
+	}
+	return t.Text == text
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text, what string) (Token, error) {
+	if !p.at(kind, text) {
+		return Token{}, p.errorf("expected %s, found %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(TokIdent, kw) }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().Pos, Message: fmt.Sprintf(format, args...)}
+}
+
+// --- statements -------------------------------------------------------------
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(TokIdent, "select"):
+		return p.parseSelect()
+	case p.at(TokIdent, "alter"):
+		return p.parseAlter()
+	case p.at(TokIdent, "zoom"):
+		return p.parseZoom()
+	default:
+		return nil, p.errorf("expected SELECT, ALTER, or ZOOM, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokIdent, "select", "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1, Propagate: true}
+	if p.acceptKeyword("distinct") {
+		stmt.Distinct = true
+	}
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(TokIdent, "from", "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	for p.acceptKeyword("join") || (p.at(TokIdent, "inner") && p.peekAhead(1, "join") && p.skip(2)) {
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokIdent, "on", "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Right: right, On: on})
+	}
+
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+
+	if p.acceptKeyword("group") {
+		if _, err := p.expect(TokIdent, "by", "BY after GROUP"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+
+	if p.acceptKeyword("order") {
+		if _, err := p.expect(TokIdent, "by", "BY after ORDER"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("limit") {
+		t, err := p.expect(TokNumber, "", "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+
+	if p.acceptKeyword("with") {
+		if _, err := p.expect(TokIdent, "summaries", "SUMMARIES after WITH"); err != nil {
+			return nil, err
+		}
+		stmt.Propagate = true
+	} else if p.acceptKeyword("without") {
+		if _, err := p.expect(TokIdent, "summaries", "SUMMARIES after WITHOUT"); err != nil {
+			return nil, err
+		}
+		stmt.Propagate = false
+	}
+	return stmt, nil
+}
+
+// peekAhead reports whether the token at offset matches an identifier
+// keyword.
+func (p *parser) peekAhead(offset int, kw string) bool {
+	if p.pos+offset >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+offset]
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// skip consumes n tokens and returns true (helper for compound keyword
+// matches inside conditions).
+func (p *parser) skip(n int) bool {
+	p.pos += n
+	return true
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Qualified star: alias.*
+	if p.peek().Kind == TokIdent && p.peekSymbolAt(1, ".") && p.peekSymbolAt(2, "*") {
+		q := p.next().Text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, StarQualifier: q}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		t, err := p.expect(TokIdent, "", "alias after AS")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent && !p.reservedHere() {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) peekSymbolAt(offset int, sym string) bool {
+	if p.pos+offset >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+offset]
+	return t.Kind == TokSymbol && t.Text == sym
+}
+
+// reservedHere reports whether the current identifier is a clause
+// keyword, so that implicit aliases don't swallow FROM/WHERE/etc.
+func (p *parser) reservedHere() bool {
+	for _, kw := range []string{"from", "where", "group", "order", "limit",
+		"join", "inner", "on", "as", "and", "or", "not", "with", "without",
+		"asc", "desc", "like", "by", "having", "distinct"} {
+		if p.at(TokIdent, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "", "table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: t.Text}
+	if p.peek().Kind == TokIdent && !p.reservedHere() {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseAlter() (*AlterStmt, error) {
+	p.next() // ALTER
+	if _, err := p.expect(TokIdent, "table", "TABLE after ALTER"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(TokIdent, "", "table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &AlterStmt{Table: tbl.Text}
+	switch {
+	case p.acceptKeyword("add"):
+		stmt.Add = true
+		if p.acceptKeyword("indexable") {
+			stmt.Indexable = true
+		}
+	case p.acceptKeyword("drop"):
+	default:
+		return nil, p.errorf("expected ADD or DROP, found %s", p.peek())
+	}
+	inst, err := p.expect(TokIdent, "", "summary instance name")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Instance = inst.Text
+	return stmt, nil
+}
+
+func (p *parser) parseZoom() (*ZoomStmt, error) {
+	p.next() // ZOOM
+	if _, err := p.expect(TokIdent, "in", "IN after ZOOM"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokIdent, "on", "ON after ZOOM IN"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.expect(TokIdent, "", "table name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, ".", "'.' between table and instance"); err != nil {
+		return nil, err
+	}
+	inst, err := p.expect(TokIdent, "", "summary instance name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ZoomStmt{Table: tbl.Text, Instance: inst.Text}
+	if p.acceptKeyword("label") {
+		t, err := p.expect(TokString, "", "label string after LABEL")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Label = t.Text
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+// --- expressions ------------------------------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var op BinaryOp
+	switch {
+	case p.at(TokCompare, "="):
+		op = OpEq
+	case p.at(TokCompare, "<>"), p.at(TokCompare, "!="):
+		op = OpNe
+	case p.at(TokCompare, "<"):
+		op = OpLt
+	case p.at(TokCompare, "<="):
+		op = OpLe
+	case p.at(TokCompare, ">"):
+		op = OpGt
+	case p.at(TokCompare, ">="):
+		op = OpGe
+	case p.at(TokIdent, "like"):
+		op = OpLike
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.at(TokSymbol, "+"):
+			op = OpAdd
+		case p.at(TokSymbol, "-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.at(TokSymbol, "*"):
+			op = OpMul
+		case p.at(TokSymbol, "/"):
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{Expr: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary followed by method-call chains:
+// r.$.getSummaryObject('X').getLabelValue('Y').
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, ".") {
+		// Only method calls chain with '.'; plain qualified columns were
+		// already folded inside parsePrimary.
+		if !p.peekIsMethodCall() {
+			break
+		}
+		p.next() // .
+		name := p.next().Text
+		args, err := p.parseCallArgs()
+		if err != nil {
+			return nil, err
+		}
+		e = &MethodCall{Recv: e, Name: name, Args: args}
+	}
+	return e, nil
+}
+
+// peekIsMethodCall reports whether ". ident (" follows.
+func (p *parser) peekIsMethodCall() bool {
+	return p.peekSymbolAt(0, ".") &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokIdent &&
+		p.peekSymbolAt(2, "(")
+}
+
+func (p *parser) parseCallArgs() ([]Expr, error) {
+	if _, err := p.expect(TokSymbol, "(", "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.accept(TokSymbol, ")") {
+		return args, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(TokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.ContainsRune(t.Text, '.') {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Literal{Value: model.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Literal{Value: model.NewInt(n)}, nil
+
+	case t.Kind == TokString:
+		p.next()
+		return &Literal{Value: model.NewText(t.Text)}, nil
+
+	case p.at(TokSymbol, "$"):
+		p.next()
+		return &DollarRef{}, nil
+
+	case p.at(TokSymbol, "("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")", "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokIdent:
+		switch strings.ToLower(t.Text) {
+		case "true":
+			p.next()
+			return &Literal{Value: model.NewBool(true)}, nil
+		case "false":
+			p.next()
+			return &Literal{Value: model.NewBool(false)}, nil
+		case "null":
+			p.next()
+			return &Literal{Value: model.Null()}, nil
+		}
+		name := p.next().Text
+		// Function call: ident(...)
+		if p.at(TokSymbol, "(") {
+			if AggregateFuncs[strings.ToLower(name)] {
+				p.next()
+				if p.accept(TokSymbol, "*") {
+					if _, err := p.expect(TokSymbol, ")", "')' after *"); err != nil {
+						return nil, err
+					}
+					return &FuncCall{Name: name, Star: true}, nil
+				}
+				var args []Expr
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokSymbol, ")", "')'"); err != nil {
+					return nil, err
+				}
+				return &FuncCall{Name: name, Args: args}, nil
+			}
+			args, err := p.parseCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: name, Args: args}, nil
+		}
+		// Qualified forms: alias.$, alias.column.
+		if p.at(TokSymbol, ".") && !p.peekIsMethodCall() {
+			// alias.$
+			if p.peekSymbolAt(1, "$") {
+				p.next()
+				p.next()
+				return &DollarRef{Qualifier: name}, nil
+			}
+			// alias.column
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokIdent {
+				p.next()
+				col := p.next().Text
+				return &ColumnRef{Qualifier: name, Name: col}, nil
+			}
+		}
+		return &ColumnRef{Name: name}, nil
+
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}

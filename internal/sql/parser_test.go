@@ -1,0 +1,336 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) Statement {
+	t.Helper()
+	s, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return s
+}
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, ok := mustParse(t, q).(*SelectStmt)
+	if !ok {
+		t.Fatalf("not a SELECT: %q", q)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Birds")
+	if len(s.Items) != 1 || !s.Items[0].Star || len(s.From) != 1 || s.From[0].Table != "Birds" {
+		t.Errorf("parsed: %+v", s)
+	}
+	if s.Limit != -1 || !s.Propagate {
+		t.Errorf("defaults: limit=%d propagate=%v", s.Limit, s.Propagate)
+	}
+}
+
+func TestParseProjectionVariants(t *testing.T) {
+	s := mustSelect(t, "SELECT r.name, family AS fam, r.*, count(*) FROM Birds r")
+	if len(s.Items) != 4 {
+		t.Fatalf("items: %d", len(s.Items))
+	}
+	c := s.Items[0].Expr.(*ColumnRef)
+	if c.Qualifier != "r" || c.Name != "name" {
+		t.Errorf("item0: %+v", c)
+	}
+	if s.Items[1].Alias != "fam" {
+		t.Errorf("item1 alias: %q", s.Items[1].Alias)
+	}
+	if !s.Items[2].Star || s.Items[2].StarQualifier != "r" {
+		t.Errorf("item2: %+v", s.Items[2])
+	}
+	f := s.Items[3].Expr.(*FuncCall)
+	if !f.Star || !f.IsAggregate() {
+		t.Errorf("item3: %+v", f)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s := mustSelect(t, "SELECT name n FROM Birds b WHERE n = 'x'")
+	if s.Items[0].Alias != "n" {
+		t.Errorf("implicit alias: %q", s.Items[0].Alias)
+	}
+	if s.From[0].Alias != "b" || s.From[0].EffectiveAlias() != "b" {
+		t.Errorf("table alias: %+v", s.From[0])
+	}
+	if TableRef(s.From[0]).Table != "Birds" {
+		t.Errorf("table: %+v", s.From[0])
+	}
+}
+
+func TestParseSummaryExpression(t *testing.T) {
+	q := "SELECT * FROM R r WHERE r.$.getSummaryObject('ClassBird2').getLabelValue('Question') > 5"
+	s := mustSelect(t, q)
+	b, ok := s.Where.(*Binary)
+	if !ok || b.Op != OpGt {
+		t.Fatalf("Where: %v", s.Where)
+	}
+	outer, ok := b.L.(*MethodCall)
+	if !ok || outer.Name != "getLabelValue" {
+		t.Fatalf("outer call: %v", b.L)
+	}
+	inner, ok := outer.Recv.(*MethodCall)
+	if !ok || inner.Name != "getSummaryObject" {
+		t.Fatalf("inner call: %v", outer.Recv)
+	}
+	d, ok := inner.Recv.(*DollarRef)
+	if !ok || d.Qualifier != "r" {
+		t.Fatalf("dollar: %v", inner.Recv)
+	}
+	if lit := outer.Args[0].(*Literal); lit.Value.Text != "Question" {
+		t.Errorf("arg: %v", outer.Args[0])
+	}
+	// Round-trip through String stays parseable.
+	if _, err := ParseExpr(s.Where.(*Binary).String()); err != nil {
+		t.Errorf("String round-trip: %v", err)
+	}
+}
+
+func TestParseBareDollar(t *testing.T) {
+	e, err := ParseExpr("$.getSize()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.(*MethodCall)
+	if m.Name != "getSize" || m.Recv.(*DollarRef).Qualifier != "" {
+		t.Errorf("bare dollar: %v", e)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustSelect(t, "SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2")
+	if len(s.From) != 2 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	and := s.Where.(*Binary)
+	if and.Op != OpAnd {
+		t.Fatalf("where: %v", s.Where)
+	}
+
+	s2 := mustSelect(t, "SELECT * FROM R r JOIN S s ON r.a = s.x JOIN T t ON t.b = s.y")
+	if len(s2.Joins) != 2 || s2.Joins[0].Right.Alias != "s" {
+		t.Fatalf("joins: %+v", s2.Joins)
+	}
+	s3 := mustSelect(t, "SELECT * FROM R r INNER JOIN S s ON r.a = s.x")
+	if len(s3.Joins) != 1 {
+		t.Fatalf("inner join: %+v", s3.Joins)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	q := `SELECT family, count(*) FROM Birds
+	      GROUP BY family
+	      ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC, family ASC
+	      LIMIT 10 WITHOUT SUMMARIES`
+	s := mustSelect(t, q)
+	if len(s.GroupBy) != 1 || len(s.OrderBy) != 2 {
+		t.Fatalf("group/order: %+v", s)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("directions: %+v", s.OrderBy)
+	}
+	if s.Limit != 10 || s.Propagate {
+		t.Errorf("limit=%d propagate=%v", s.Limit, s.Propagate)
+	}
+}
+
+func TestParseDistinctAndHaving(t *testing.T) {
+	s := mustSelect(t, `SELECT DISTINCT family FROM Birds`)
+	if !s.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	s2 := mustSelect(t, `SELECT family, count(*) FROM Birds
+		GROUP BY family HAVING count(*) > 3 ORDER BY family`)
+	if s2.Having == nil {
+		t.Fatal("HAVING not parsed")
+	}
+	if b, ok := s2.Having.(*Binary); !ok || b.Op != OpGt {
+		t.Errorf("HAVING expr: %v", s2.Having)
+	}
+	if len(s2.OrderBy) != 1 {
+		t.Error("ORDER BY after HAVING lost")
+	}
+	// DISTINCT must not be swallowed as an implicit alias elsewhere.
+	s3 := mustSelect(t, "SELECT name FROM Birds")
+	if s3.Distinct {
+		t.Error("spurious DISTINCT")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("a = 1 OR b = 2 AND NOT c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := e.(*Binary)
+	if or.Op != OpOr {
+		t.Fatalf("top: %v", e)
+	}
+	and := or.R.(*Binary)
+	if and.Op != OpAnd {
+		t.Fatalf("rhs: %v", or.R)
+	}
+	if _, ok := and.R.(*Not); !ok {
+		t.Fatalf("not: %v", and.R)
+	}
+
+	// Arithmetic precedence.
+	e2, _ := ParseExpr("1 + 2 * 3")
+	add := e2.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("arith top: %v", e2)
+	}
+	if mul := add.R.(*Binary); mul.Op != OpMul {
+		t.Fatalf("arith rhs: %v", add.R)
+	}
+
+	// Parentheses override.
+	e3, _ := ParseExpr("(1 + 2) * 3")
+	if e3.(*Binary).Op != OpMul {
+		t.Fatalf("paren: %v", e3)
+	}
+
+	// Unary minus.
+	e4, _ := ParseExpr("-a + 1")
+	if _, ok := e4.(*Binary).L.(*Neg); !ok {
+		t.Fatalf("neg: %v", e4)
+	}
+}
+
+func TestParseComparators(t *testing.T) {
+	for text, op := range map[string]BinaryOp{
+		"a = 1": OpEq, "a <> 1": OpNe, "a != 1": OpNe,
+		"a < 1": OpLt, "a <= 1": OpLe, "a > 1": OpGt, "a >= 1": OpGe,
+		"a LIKE 'Swan%'": OpLike,
+	} {
+		e, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", text, err)
+		}
+		if got := e.(*Binary).Op; got != op {
+			t.Errorf("%q: op %v, want %v", text, got, op)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	for text, check := range map[string]func(*Literal) bool{
+		"42":    func(l *Literal) bool { return l.Value.Int == 42 },
+		"3.5":   func(l *Literal) bool { return l.Value.Float == 3.5 },
+		"'s'":   func(l *Literal) bool { return l.Value.Text == "s" },
+		"TRUE":  func(l *Literal) bool { return l.Value.Bool },
+		"false": func(l *Literal) bool { return !l.Value.Bool },
+		"NULL":  func(l *Literal) bool { return l.Value.IsNull() },
+	} {
+		e, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", text, err)
+		}
+		if !check(e.(*Literal)) {
+			t.Errorf("%q parsed wrong: %v", text, e)
+		}
+	}
+}
+
+func TestParseAlter(t *testing.T) {
+	a := mustParse(t, "ALTER TABLE Birds ADD INDEXABLE ClassBird1").(*AlterStmt)
+	if !a.Add || !a.Indexable || a.Table != "Birds" || a.Instance != "ClassBird1" {
+		t.Errorf("alter: %+v", a)
+	}
+	a2 := mustParse(t, "alter table Birds add TextSummary1").(*AlterStmt)
+	if !a2.Add || a2.Indexable {
+		t.Errorf("alter add: %+v", a2)
+	}
+	a3 := mustParse(t, "ALTER TABLE Birds DROP ClassBird1;").(*AlterStmt)
+	if a3.Add {
+		t.Errorf("alter drop: %+v", a3)
+	}
+	if _, err := Parse("ALTER TABLE Birds RENAME x"); err == nil {
+		t.Error("bad alter verb should fail")
+	}
+}
+
+func TestParseZoom(t *testing.T) {
+	z := mustParse(t, "ZOOM IN ON Birds.ClassBird1 LABEL 'Disease' WHERE name LIKE 'Swan%'").(*ZoomStmt)
+	if z.Table != "Birds" || z.Instance != "ClassBird1" || z.Label != "Disease" {
+		t.Errorf("zoom: %+v", z)
+	}
+	if z.Where == nil {
+		t.Error("zoom where missing")
+	}
+	z2 := mustParse(t, "ZOOM IN ON Birds.TextSummary1").(*ZoomStmt)
+	if z2.Label != "" || z2.Where != nil {
+		t.Errorf("bare zoom: %+v", z2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM x",
+		"SELECT FROM x",
+		"SELECT * FROM",
+		"SELECT * FROM x WHERE",
+		"SELECT * FROM x GROUP family",
+		"SELECT * FROM x ORDER family",
+		"SELECT * FROM x LIMIT 'ten'",
+		"SELECT * FROM x LIMIT",
+		"SELECT a( FROM x",
+		"ZOOM IN Birds.C",
+		"ZOOM IN ON Birds",
+		"ALTER Birds ADD C",
+		"SELECT * FROM x WITH",
+		"SELECT * FROM x extra garbage (",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestExprStringRendering(t *testing.T) {
+	cases := []string{
+		"(a = 1)",
+		"(r.name LIKE 'Swan%')",
+		"r.$.getSummaryObject('C').getLabelValue('D')",
+		"COUNT(*)",
+		"NOT (a = 1)",
+	}
+	for _, want := range cases {
+		e, err := ParseExpr(want)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", want, err)
+		}
+		got := e.String()
+		// Strings must round-trip to an equal rendering.
+		e2, err := ParseExpr(got)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got, err)
+		}
+		if e2.String() != got {
+			t.Errorf("unstable rendering: %q -> %q", got, e2.String())
+		}
+	}
+	if (&FuncCall{Name: "sum", Args: []Expr{&ColumnRef{Name: "x"}}}).String() != "SUM(x)" {
+		t.Error("FuncCall.String")
+	}
+}
+
+func TestBinaryOpHelpers(t *testing.T) {
+	if !OpEq.IsComparison() || !OpLike.IsComparison() || OpAdd.IsComparison() || OpAnd.IsComparison() {
+		t.Error("IsComparison misreports")
+	}
+	if !strings.Contains(OpAnd.String(), "AND") || OpDiv.String() != "/" {
+		t.Error("BinaryOp.String")
+	}
+}

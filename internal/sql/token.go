@@ -1,0 +1,50 @@
+// Package sql implements the front-end of the InsightNotes+ query
+// language: a lexer, an AST, and a recursive-descent parser for the SQL
+// dialect used throughout the paper — standard SELECT queries extended
+// with summary manipulation expressions on the tuple's $ variable
+// (e.g. r.$.getSummaryObject('ClassBird1').getLabelValue('Disease')),
+// the extended ALTER TABLE ... ADD [INDEXABLE] command of Section 4, and
+// the ZOOM IN command for drilling from summaries to raw annotations.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol  // ( ) , . $ * + - / etc.
+	TokCompare // = <> != < <= > >=
+)
+
+// Token is one lexical unit. Keywords are TokIdent; the parser matches
+// them case-insensitively.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// SyntaxError is a parse error with position context.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Message)
+}

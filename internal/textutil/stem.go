@@ -1,0 +1,248 @@
+package textutil
+
+// Stem reduces an English word to its stem using the classic Porter
+// stemming algorithm (Porter, 1980). Input must be lowercase; words
+// shorter than three characters are returned unchanged, as in the
+// original definition.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	s := &stemmer{b: []byte(word), k: len(word) - 1}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b[:s.k+1])
+}
+
+// stemmer holds the working buffer. b[0..k] is the current word; j marks
+// the stem end during condition checks, as in Porter's reference code.
+type stemmer struct {
+	b []byte
+	k int
+	j int
+}
+
+// cons reports whether b[i] is a consonant.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	default:
+		return true
+	}
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j]:
+// <c><v>       -> 0, <c>vc<v>  -> 1, <c>vcvc<v> -> 2, ...
+func (s *stemmer) m() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doubleC(i int) bool {
+	return i >= 1 && s.b[i] == s.b[i-1] && s.cons(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant where the
+// final consonant is not w, x, or y — the *o condition of the paper.
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the word ends with suffix, setting j to the stem
+// end when it does.
+func (s *stemmer) ends(suffix string) bool {
+	l := len(suffix)
+	if l > s.k+1 {
+		return false
+	}
+	if string(s.b[s.k+1-l:s.k+1]) != suffix {
+		return false
+	}
+	s.j = s.k - l
+	return true
+}
+
+// setTo replaces the suffix after j with repl.
+func (s *stemmer) setTo(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+	s.k = s.j + len(repl)
+}
+
+// r applies setTo when m() > 0.
+func (s *stemmer) r(repl string) {
+	if s.m() > 0 {
+		s.setTo(repl)
+	}
+}
+
+// step1ab removes plurals and -ed / -ing suffixes.
+func (s *stemmer) step1ab() {
+	if s.b[s.k] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.k -= 2
+		case s.ends("ies"):
+			s.setTo("i")
+		case s.b[s.k-1] != 's':
+			s.k--
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.k--
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.k = s.j
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleC(s.k):
+			if c := s.b[s.k]; c != 'l' && c != 's' && c != 'z' {
+				s.k--
+			}
+		default:
+			s.j = s.k
+			if s.m() == 1 && s.cvc(s.k) {
+				s.setTo("e")
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is another vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones, e.g. -ization -> -ize.
+func (s *stemmer) step2() {
+	pairs := []struct{ suf, repl string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"bli", "ble"}, {"alli", "al"},
+		{"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"}, {"logi", "log"},
+	}
+	for _, p := range pairs {
+		if s.ends(p.suf) {
+			s.r(p.repl)
+			return
+		}
+	}
+}
+
+// step3 handles -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	pairs := []struct{ suf, repl string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if s.ends(p.suf) {
+			s.r(p.repl)
+			return
+		}
+	}
+}
+
+// step4 strips -ant, -ence etc. in context <c>vcvc<v>.
+func (s *stemmer) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, suf := range suffixes {
+		if !s.ends(suf) {
+			continue
+		}
+		if suf == "ion" && !(s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't')) {
+			continue // "ion" only after s or t
+		}
+		if s.m() > 1 {
+			s.k = s.j
+		}
+		return
+	}
+}
+
+// step5 removes a final -e and reduces -ll under m() > 1.
+func (s *stemmer) step5() {
+	s.j = s.k
+	if s.b[s.k] == 'e' {
+		a := s.m()
+		if a > 1 || (a == 1 && !s.cvc(s.k-1)) {
+			s.k--
+		}
+	}
+	if s.b[s.k] == 'l' && s.doubleC(s.k) && s.m() > 1 {
+		s.k--
+	}
+}

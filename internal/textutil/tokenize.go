@@ -1,0 +1,85 @@
+// Package textutil provides the text-processing plumbing shared by the
+// summarization techniques: tokenization, stopword removal, a Porter-style
+// stemmer, sentence splitting, and hashed term-frequency vectors.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens. Tokens are maximal
+// runs of letters and digits; everything else separates.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is a compact English stopword list tuned for annotation text.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`a an and are as at be but by for from
+		has have had he her his in is it its of on or she that the their
+		them then there these they this to was were what when where which
+		who will with would you your i we our us not no so if into about
+		over under between also can could may might been being do does did
+		than too very just some such only same most more any each other
+		after before while during both few all`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the (lowercase) token is a stopword.
+func IsStopword(token string) bool { return stopwords[token] }
+
+// Terms tokenizes text, removes stopwords and single-character tokens,
+// and stems the remainder — the canonical term pipeline used by the
+// classifier, the clusterer, and the LSA summarizer.
+func Terms(text string) []string {
+	tokens := Tokenize(text)
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if len(tok) < 2 || IsStopword(tok) {
+			continue
+		}
+		out = append(out, Stem(tok))
+	}
+	return out
+}
+
+// SplitSentences splits text into sentences on '.', '!', '?' boundaries,
+// trimming whitespace and dropping empties. Abbreviation handling is
+// deliberately simple: annotation prose, not legal text.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	for i, r := range text {
+		if r == '.' || r == '!' || r == '?' {
+			s := strings.TrimSpace(text[start : i+1])
+			if len(s) > 1 {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if tail := strings.TrimSpace(text[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}

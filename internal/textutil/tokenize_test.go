@@ -1,0 +1,265 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"swan-goose (Anser cygnoides)", []string{"swan", "goose", "anser", "cygnoides"}},
+		{"R2D2 beeped 3 times", []string{"r2d2", "beeped", "3", "times"}},
+		{"   spaces   ", []string{"spaces"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"disease", "bird", "anatomy"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+}
+
+func TestTermsPipeline(t *testing.T) {
+	got := Terms("The birds were eating stonewort near the lake.")
+	// stopwords removed, rest stemmed
+	want := []string{"bird", "eat", "stonewort", "near", "lake"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+	if len(Terms("the of and a I")) != 0 {
+		t.Error("pure stopwords must yield no terms")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("First sentence. Second one! Third? trailing tail")
+	want := []string{"First sentence.", "Second one!", "Third?", "trailing tail"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitSentences = %v, want %v", got, want)
+	}
+	if got := SplitSentences(""); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+	if got := SplitSentences("no punctuation at all"); len(got) != 1 {
+		t.Errorf("single fragment: %v", got)
+	}
+}
+
+func TestStemKnownPairs(t *testing.T) {
+	// Vectors from Porter's reference vocabulary.
+	cases := map[string]string{
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"callousness":  "callous",
+		"formaliti":    "formal",
+		"sensitiviti":  "sensit",
+		"sensibiliti":  "sensibl",
+		"triplicate":   "triplic",
+		"formative":    "form",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"gyroscopic":   "gyroscop",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"homologou":    "homolog",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "at", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q", w, got)
+		}
+	}
+}
+
+// Property: stems are never empty and never longer than the input, and
+// inflected forms of the same lemma map to the same stem (the property
+// the classifier and clusterer actually rely on).
+func TestStemShapeAndConflation(t *testing.T) {
+	words := []string{
+		"observations", "migrations", "diseases", "behaviors", "anatomy",
+		"feeding", "nesting", "colorful", "habitats", "breeding",
+		"classification", "summaries", "annotations", "clustering",
+	}
+	for _, w := range words {
+		s := Stem(w)
+		if s == "" || len(s) > len(w) {
+			t.Errorf("Stem(%q) = %q: bad shape", w, s)
+		}
+	}
+	groups := [][]string{
+		{"migrate", "migrated", "migrating", "migrates"},
+		{"observing", "observed", "observes"},
+		{"cluster", "clusters", "clustered", "clustering"},
+	}
+	for _, g := range groups {
+		first := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != first {
+				t.Errorf("conflation: Stem(%q)=%q != Stem(%q)=%q", w, got, g[0], first)
+			}
+		}
+	}
+}
+
+func TestHashVectorProperties(t *testing.T) {
+	v := HashVector("birds eating stonewort in the lake", 32)
+	if len(v) != 32 {
+		t.Fatalf("dim = %d", len(v))
+	}
+	if n := v.Norm(); n < 0.999 || n > 1.001 {
+		t.Errorf("norm = %f, want 1", n)
+	}
+	// Same text → same vector; distance 0.
+	w := HashVector("birds eating stonewort in the lake", 32)
+	if v.Distance(w) != 0 {
+		t.Error("identical texts must embed identically")
+	}
+	// Stopword-only text embeds to zero vector, norm stays 0.
+	z := HashVector("the of and", 32)
+	if z.Norm() != 0 {
+		t.Error("stopword-only text should embed to zero")
+	}
+}
+
+func TestHashVectorDiscriminates(t *testing.T) {
+	a := HashVector("disease infection parasite symptoms", 64)
+	b := HashVector("disease infection parasite sick", 64)
+	c := HashVector("wingspan plumage feathers beak", 64)
+	if a.Distance(b) >= a.Distance(c) {
+		t.Errorf("similar texts farther than dissimilar: %f vs %f",
+			a.Distance(b), a.Distance(c))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4}
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %f", v.Norm())
+	}
+	w := v.CloneVec()
+	w.Normalize()
+	if w.Norm() < 0.999 || w.Norm() > 1.001 {
+		t.Errorf("normalized norm = %f", w.Norm())
+	}
+	if v[0] != 3 {
+		t.Error("CloneVec aliases")
+	}
+	u := Vector{1, 0}
+	if got := u.Dot(Vector{0, 1}); got != 0 {
+		t.Errorf("Dot = %f", got)
+	}
+	if got := (Vector{0, 0}).DistanceSq(Vector{3, 4}); got != 25 {
+		t.Errorf("DistanceSq = %f", got)
+	}
+	u.Add(Vector{1, 2})
+	if u[0] != 2 || u[1] != 2 {
+		t.Errorf("Add: %v", u)
+	}
+	u.Scale(0.5)
+	if u[0] != 1 || u[1] != 1 {
+		t.Errorf("Scale: %v", u)
+	}
+	zero := Vector{0, 0}
+	zero.Normalize() // must not NaN
+	if zero[0] != 0 {
+		t.Error("zero normalize changed values")
+	}
+}
+
+// Property: tokenization output is always lowercase and non-empty tokens.
+func TestTokenizePropertyLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package textutil
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Vector is a dense embedding of a piece of text, produced by hashing
+// terms into a fixed number of dimensions (the "hashing trick"). It gives
+// the clusterer a metric space without an external embedding model.
+type Vector []float64
+
+// HashVector embeds text into dim dimensions: each term increments the
+// bucket chosen by its FNV hash, with a sign derived from a second hash
+// bit to reduce collisions' bias; the result is L2-normalized.
+func HashVector(text string, dim int) Vector {
+	v := make(Vector, dim)
+	for _, term := range Terms(text) {
+		h := fnv.New64a()
+		h.Write([]byte(term))
+		sum := h.Sum64()
+		bucket := int(sum % uint64(dim))
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		v[bucket] += sign
+	}
+	v.Normalize()
+	return v
+}
+
+// Normalize scales v to unit L2 norm (no-op on the zero vector).
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Norm returns the L2 norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of v and w (which must share length).
+func (v Vector) Dot(w Vector) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// DistanceSq returns the squared Euclidean distance between v and w.
+func (v Vector) DistanceSq(w Vector) float64 {
+	s := 0.0
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between v and w.
+func (v Vector) Distance(w Vector) float64 { return math.Sqrt(v.DistanceSq(w)) }
+
+// Add accumulates w into v.
+func (v Vector) Add(w Vector) {
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Scale multiplies v by c in place.
+func (v Vector) Scale(c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// CloneVec returns a copy of v.
+func (v Vector) CloneVec() Vector { return append(Vector(nil), v...) }

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuildSmallDataset(t *testing.T) {
+	ds, err := Build(Config{Seed: 3, Birds: 30, AvgAnnotationsPerBird: 6, SynonymsPerBird: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Birds) != 30 || len(ds.Syns) != 60 {
+		t.Fatalf("birds=%d syns=%d", len(ds.Birds), len(ds.Syns))
+	}
+	if ds.DB.AnnotationCount() == 0 {
+		t.Fatal("no annotations generated")
+	}
+	birds, err := ds.DB.Table("Birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if birds.Len() != 30 || birds.Schema.Len() != 12 {
+		t.Errorf("Birds table: %d tuples, %d cols", birds.Len(), birds.Schema.Len())
+	}
+	if !birds.HasInstance("ClassBird1") || !birds.HasInstance("TextSummary1") {
+		t.Error("summary instances not linked")
+	}
+	syns, err := ds.DB.Table("Synonyms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syns.HasInstance("ClassBird1") {
+		t.Error("Synonyms must NOT have ClassBird1 (Figure 14 precondition)")
+	}
+	if !syns.HasInstance("TextSummary1") {
+		t.Error("Synonyms should have TextSummary1")
+	}
+	// Every bird carries a classifier summary covering all generated
+	// annotations.
+	for i, oid := range ds.Birds {
+		set := birds.GetSummaries(oid)
+		if set == nil {
+			t.Fatalf("bird %d has no summaries", i)
+		}
+		obj := set.Get("ClassBird1")
+		total := 0
+		for _, n := range ds.Labels[i] {
+			total += n
+		}
+		if obj.TotalCount() != total {
+			t.Fatalf("bird %d: classified %d != generated %d", i, obj.TotalCount(), total)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, Birds: 10, AvgAnnotationsPerBird: 4, SkipSynonyms: true}
+	a, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DB.AnnotationCount() != b.DB.AnnotationCount() {
+		t.Errorf("annotation counts differ: %d vs %d", a.DB.AnnotationCount(), b.DB.AnnotationCount())
+	}
+	ta, _ := a.DB.Table("Birds")
+	tb, _ := b.DB.Table("Birds")
+	for i := range a.Birds {
+		sa, sb := ta.GetSummaries(a.Birds[i]), tb.GetSummaries(b.Birds[i])
+		if !sa.Equal(sb) {
+			t.Fatalf("bird %d summaries differ:\n%s\n%s", i, sa, sb)
+		}
+	}
+}
+
+func TestAnnotationTextShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	short := AnnotationText(rng, "Disease", false)
+	if len(short) < 150 {
+		t.Errorf("short annotation below paper minimum: %d chars", len(short))
+	}
+	long := AnnotationText(rng, "Behavior", true)
+	if len(long) <= 1000 {
+		t.Errorf("long annotation too short: %d chars", len(long))
+	}
+	if len(long) > 8000 {
+		t.Errorf("annotation exceeds paper maximum: %d", len(long))
+	}
+	if !strings.Contains(strings.ToLower(short), "infection") &&
+		!strings.Contains(strings.ToLower(short), "disease") &&
+		!strings.Contains(strings.ToLower(short), "parasite") &&
+		!strings.Contains(strings.ToLower(short), "flu") &&
+		!strings.Contains(strings.ToLower(short), "sick") &&
+		!strings.Contains(strings.ToLower(short), "virus") &&
+		!strings.Contains(strings.ToLower(short), "lesion") {
+		t.Errorf("disease annotation lacks category vocabulary: %q", short)
+	}
+}
+
+func TestAddAnnotationsIncremental(t *testing.T) {
+	ds, err := Build(Config{Seed: 2, Birds: 5, AvgAnnotationsPerBird: 3, SkipSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ds.DB.AnnotationCount()
+	rng := rand.New(rand.NewSource(11))
+	if err := ds.AddAnnotations(rng, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.DB.AnnotationCount(); got != before+7 {
+		t.Errorf("count = %d, want %d", got, before+7)
+	}
+}
+
+func TestBuildVersionTable(t *testing.T) {
+	ds, err := Build(Config{Seed: 4, Birds: 12, AvgAnnotationsPerBird: 5, SkipSynonyms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := map[int]bool{2: true, 7: true}
+	if err := ds.BuildVersionTable("BirdsV2", diff); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT v1.id FROM Birds v1, BirdsV2 v2
+	      WHERE v1.id = v2.id
+	      AND v1.$.getSummaryObject('ClassBird1').getLabelValue('Disease')
+	       <> v2.$.getSummaryObject('ClassBird1').getLabelValue('Disease')`
+	res, err := ds.DB.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(diff) {
+		t.Fatalf("version diff found %d birds, want %d\n%s", len(res.Rows), len(diff), res)
+	}
+	found := map[int64]bool{}
+	for _, r := range res.Rows {
+		found[r.Tuple.Values[0].Int] = true
+	}
+	if !found[3] || !found[8] { // ids are 1-based indexes
+		t.Errorf("wrong diff set: %v", found)
+	}
+}
