@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build vet test race
+
+# check is the full CI gate: static analysis, a clean build, and the
+# test suite under the race detector.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

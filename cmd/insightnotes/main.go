@@ -17,9 +17,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -59,7 +62,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Println(`InsightNotes+ shell — \help for help, \quit to exit`)
+	// Ctrl-C cancels the in-flight statement (via ExecContext) instead of
+	// killing the shell; at the prompt it is a no-op with a hint.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+
+	fmt.Println(`InsightNotes+ shell — \help for help, \quit to exit (Ctrl-C cancels a running query)`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -79,9 +87,13 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		res, err := db.Exec(line)
+		res, err := execInterruptible(db, sigCh, line)
 		if err != nil {
-			fmt.Println("error:", err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("cancelled (%v)\n", time.Since(start).Round(time.Microsecond))
+			} else {
+				fmt.Println("error:", err)
+			}
 			continue
 		}
 		if len(res.Columns) > 0 {
@@ -89,6 +101,28 @@ func main() {
 		}
 		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
 	}
+}
+
+// execInterruptible runs one statement under a context cancelled by
+// SIGINT. Interrupts delivered while the shell was idle are drained
+// first so a stale Ctrl-C cannot kill the next statement.
+func execInterruptible(db *engine.DB, sigCh <-chan os.Signal, line string) (*engine.Result, error) {
+	select {
+	case <-sigCh:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sigCh:
+			cancel()
+		case <-done:
+		}
+	}()
+	return db.ExecContext(ctx, line)
 }
 
 // meta handles backslash commands; it returns false to exit.

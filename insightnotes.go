@@ -30,8 +30,10 @@ import (
 	"io"
 
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/optimizer"
+	"repro/internal/pager"
 )
 
 // DB is an InsightNotes+ database instance. See the engine methods:
@@ -50,15 +52,51 @@ func Open(cfg Config) *DB { return engine.New(cfg) }
 // snapshot is a logical dump (schemas, instances, trained models,
 // tuples, annotations, index declarations); loading replays it through
 // the normal engine paths, re-deriving summaries, statistics, and
-// indexes deterministically.
+// indexes deterministically. Transient storage faults during replay
+// are absorbed by bounded retry with backoff (engine.SnapshotRetry).
 func Load(r io.Reader) (*DB, error) { return engine.Load(r) }
+
+// LoadWithConfig is Load with an explicit configuration (statement
+// timeout, default budget, fault policy) for the reconstructed
+// database.
+func LoadWithConfig(r io.Reader, cfg Config) (*DB, error) { return engine.LoadWithConfig(r, cfg) }
 
 // Options steers the optimizer per query; the zero value enables all
 // optimizations. The knobs mirror the paper's ablations: Disable (no
 // rewrites), NoSummaryIndex, UseBaseline, BaselineReconstruct,
-// ConventionalPointers, ForceJoin ("nl"/"index"), ForceSort
-// ("mem"/"disk").
+// ConventionalPointers, ForceJoin ("nl"/"index"/"hash"), ForceSort
+// ("mem"/"disk"). Budget attaches a per-query resource limit.
 type Options = optimizer.Options
+
+// Budget is a per-query resource-limit template: pipeline breakers
+// (Sort, HashJoin, GroupBy, Distinct) charge buffered rows/bytes and
+// sort-spill bytes against it. Sort degrades gracefully (spills
+// earlier); hash-based operators fail fast with ErrBudgetExceeded.
+// Install one per query via Options.Budget or database-wide via
+// Config.Budget / DB.SetDefaultBudget.
+type Budget = exec.Budget
+
+// NewBudget builds a budget; zero fields are unlimited.
+func NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes int64) *Budget {
+	return exec.NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes)
+}
+
+// ErrBudgetExceeded is the sentinel wrapped by every budget violation;
+// match with errors.Is.
+var ErrBudgetExceeded = exec.ErrBudgetExceeded
+
+// QueryError reports a statement that failed inside execution: it
+// names the failing operator and carries the optimized plan fragment.
+// Context cancellation is never wrapped in a QueryError.
+type QueryError = engine.QueryError
+
+// FaultPolicy configures deterministic storage-fault injection (see
+// Config.Faults and the pager package); FaultError is the typed error
+// every injected fault surfaces as.
+type FaultPolicy = pager.FaultPolicy
+
+// FaultError is a single injected storage fault.
+type FaultError = pager.FaultError
 
 // Result is a query result; Rows carry data values and the propagated
 // summary sets.

@@ -1,11 +1,17 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/pager"
 )
 
 // TestConcurrentQueriesAndWrites drives parallel readers (summary
@@ -86,5 +92,99 @@ func TestConcurrentQueriesAndWrites(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentCancellationAndFaults races read-only queries against
+// random cancellation and fault-policy toggling. Every error a worker
+// sees must be a context error, a typed fault, or a budget violation —
+// never a panic — and afterwards the index invariants must hold:
+// P4 (index and brute-force scans agree) and P6 (B+Tree validity).
+// Run with -race.
+func TestConcurrentCancellationAndFaults(t *testing.T) {
+	db, _ := testDB(t, 20)
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT id FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') >= 2`
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+
+	// Query workers under randomized deadlines and budgets.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{
+				q,
+				`SELECT family, count(*) FROM Birds GROUP BY family`,
+				`SELECT r.id, s.id FROM Birds r, Birds s WHERE r.family = s.family ORDER BY r.id`,
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+(w+i)%40)*100*time.Microsecond)
+				var opts *optimizer.Options
+				if i%3 == 0 {
+					opts = &optimizer.Options{Budget: exec.NewBudget(int64(10+i%50), 0, 1<<30)}
+				}
+				_, err := db.QueryContext(ctx, queries[i%len(queries)], opts)
+				cancel()
+				if err != nil &&
+					!errors.Is(err, context.Canceled) &&
+					!errors.Is(err, context.DeadlineExceeded) &&
+					!errors.Is(err, exec.ErrBudgetExceeded) {
+					var fe *pager.FaultError
+					if !errors.As(err, &fe) {
+						errs <- fmt.Errorf("worker %d: unexpected error class: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Fault toggler: install and lift deterministic read-fault policies
+	// while queries run (DML stays quiet during the fault phase).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 60; i++ {
+			db.Accountant().SetFaultPolicy(&pager.FaultPolicy{EveryKthRead: 11 + i%7})
+			time.Sleep(500 * time.Microsecond)
+			db.Accountant().SetFaultPolicy(nil)
+			time.Sleep(300 * time.Microsecond)
+			db.Accountant().SetReadDelay(time.Duration(i%3) * 50 * time.Microsecond)
+		}
+		db.Accountant().SetReadDelay(0)
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Invariants after the storm.
+	if err := db.SummaryIndex("Birds", "ClassBird1").Tree().Validate(); err != nil {
+		t.Fatalf("P6 violated: %v", err)
+	}
+	withIdx, err := db.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, err := db.Query(q, &optimizer.Options{NoSummaryIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withIdx.Rows) != len(noIdx.Rows) {
+		t.Fatalf("P4 violated: index %d rows, scan %d rows", len(withIdx.Rows), len(noIdx.Rows))
 	}
 }

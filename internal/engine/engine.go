@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/mining/bayes"
 	"repro/internal/model"
@@ -21,6 +24,15 @@ import (
 type Config struct {
 	// PageCap is the records-per-page parameter B (default 64).
 	PageCap int
+	// StatementTimeout bounds each query's execution when the caller's
+	// context carries no deadline of its own (0 = no default timeout).
+	StatementTimeout time.Duration
+	// Budget is the default per-query resource-limit template (see
+	// optimizer.Options.Budget); nil means unlimited.
+	Budget *exec.Budget
+	// Faults installs a deterministic pager fault-injection policy on
+	// the database's I/O accountant (testing/chaos harnesses only).
+	Faults *pager.FaultPolicy
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -42,12 +54,29 @@ type DB struct {
 	// summaryIdx / baselineIdx: table -> instance -> index.
 	summaryIdx  map[string]map[string]*index.SummaryBTree
 	baselineIdx map[string]map[string]*index.Baseline
+
+	// stmtTimeout is the default per-statement deadline in nanoseconds
+	// (0 = none); defaultBudget is the default per-query resource-limit
+	// template. Both are atomics so they can be tuned while queries run.
+	stmtTimeout   atomic.Int64
+	defaultBudget atomic.Pointer[exec.Budget]
 }
 
 // New creates an empty database.
 func New(cfg Config) *DB {
 	acct := &pager.Accountant{}
-	return &DB{
+	if cfg.Faults != nil {
+		acct.SetFaultPolicy(cfg.Faults)
+	}
+	return newDB(cfg, acct)
+}
+
+// newDB wires a database around an existing accountant. Split from New
+// so snapshot loading can retry replay attempts against one accountant
+// (keeping fault-injection counters, e.g. FailFirstWrites, monotonic
+// across attempts).
+func newDB(cfg Config, acct *pager.Accountant) *DB {
+	db := &DB{
 		cat:         catalog.New(acct, cfg.PageCap),
 		acct:        acct,
 		instances:   make(map[string]*catalog.SummaryInstance),
@@ -55,7 +84,23 @@ func New(cfg Config) *DB {
 		summaryIdx:  make(map[string]map[string]*index.SummaryBTree),
 		baselineIdx: make(map[string]map[string]*index.Baseline),
 	}
+	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
+	db.defaultBudget.Store(cfg.Budget)
+	return db
 }
+
+// SetStatementTimeout changes the default per-statement deadline applied
+// to queries whose context has no deadline (0 disables it). Safe to call
+// while queries are running; in-flight statements keep their deadline.
+func (db *DB) SetStatementTimeout(d time.Duration) { db.stmtTimeout.Store(int64(d)) }
+
+// StatementTimeout returns the current default per-statement deadline.
+func (db *DB) StatementTimeout() time.Duration { return time.Duration(db.stmtTimeout.Load()) }
+
+// SetDefaultBudget changes the default per-query resource-limit template
+// (nil = unlimited). Safe to call while queries are running; each query
+// snapshots the template at start.
+func (db *DB) SetDefaultBudget(b *exec.Budget) { db.defaultBudget.Store(b) }
 
 // Accountant exposes the shared I/O accountant (benchmarks reset and
 // read it around measured operations).

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,29 +26,25 @@ type Result struct {
 }
 
 // Query parses, plans, optimizes, executes one SELECT statement. opts
-// may be nil for default optimization.
+// may be nil for default optimization. Equivalent to QueryContext with
+// context.Background() (the DB statement timeout, if set, still
+// applies).
 func (db *DB) Query(query string, opts *optimizer.Options) (*Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*sql.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("engine: Query expects SELECT; use Exec for %T", stmt)
-	}
-	return db.RunSelect(sel, opts)
+	return db.QueryContext(context.Background(), query, opts)
 }
 
 // RunSelect plans and executes an already-parsed SELECT.
 func (db *DB) RunSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(sel, opts)
+	return db.RunSelectContext(context.Background(), sel, opts)
 }
 
 // runSelect is the unlocked implementation (callers hold the shared
-// lock).
-func (db *DB) runSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
+// lock and have already layered the statement timeout onto ctx). The
+// deferred recover is the planning-time backstop: cost estimation and
+// access-path probing may touch index pages, so injected storage
+// faults can surface before the executor's own guards are in place.
+func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, err error) {
+	defer recoverInto("Planner", &err)
 	var o optimizer.Options
 	if opts != nil {
 		o = *opts
@@ -62,7 +59,8 @@ func (db *DB) runSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(it)
+	qc := exec.NewQueryCtx(ctx, db.newQueryBudget(opts))
+	rows, err := executeGuarded(qc, it, optimized)
 	if err != nil {
 		return nil, err
 	}
@@ -124,34 +122,9 @@ func (db *DB) optimizerEnv(propagate bool) *optimizer.Env {
 // Exec runs any statement: SELECT returns a Result; ALTER TABLE ADD
 // [INDEXABLE] / DROP manages instance links; ZOOM IN returns the raw
 // annotations behind qualifying summaries (as a Result of zoom rows).
+// Equivalent to ExecContext with context.Background().
 func (db *DB) Exec(query string) (*Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	switch s := stmt.(type) {
-	case *sql.SelectStmt:
-		return db.RunSelect(s, nil)
-	case *sql.AlterStmt:
-		if s.Add {
-			if err := db.LinkInstance(s.Table, s.Instance, s.Indexable); err != nil {
-				return nil, err
-			}
-		} else {
-			if err := db.UnlinkInstance(s.Table, s.Instance); err != nil {
-				return nil, err
-			}
-		}
-		return &Result{}, nil
-	case *sql.ZoomStmt:
-		zooms, err := db.zoom(s)
-		if err != nil {
-			return nil, err
-		}
-		return zoomResult(zooms), nil
-	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
-	}
+	return db.ExecContext(context.Background(), query)
 }
 
 // ValueStrings renders a result row's data values.

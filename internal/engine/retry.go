@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/pager"
+)
+
+// RetryPolicy bounds retry loops around storage operations that may hit
+// transient, injected, or environmental I/O faults.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (minimum 1).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per retry.
+	Backoff time.Duration
+}
+
+// SnapshotRetry governs snapshot Save/Load. Transient pager faults
+// (e.g. a FaultPolicy's FailFirstReads window) are absorbed by bounded
+// retry with exponential backoff; persistent faults surface after
+// Attempts tries.
+var SnapshotRetry = RetryPolicy{Attempts: 5, Backoff: time.Millisecond}
+
+// withRetry runs fn up to p.Attempts times, retrying only on transient
+// storage faults (*pager.FaultError, whether returned or panicked —
+// runRecovering converts the panic form). Any other error returns
+// immediately.
+func withRetry(p RetryPolicy, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = runRecovering(fn)
+		var fe *pager.FaultError
+		if err == nil || !errors.As(err, &fe) {
+			return err
+		}
+		if i < attempts-1 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("engine: giving up after %d attempts: %w", attempts, err)
+}
+
+// runRecovering invokes fn, converting a panicked *pager.FaultError
+// (the storage layers' fault surface — see pager.FaultError) into an
+// ordinary error. Unrelated panics propagate.
+func runRecovering(fn func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		cause, ok := r.(error)
+		var fe *pager.FaultError
+		if !ok || !errors.As(cause, &fe) {
+			panic(r)
+		}
+		err = cause
+	}()
+	return fn()
+}

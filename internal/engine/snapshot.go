@@ -11,6 +11,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mining/bayes"
 	"repro/internal/model"
+	"repro/internal/pager"
 )
 
 // The snapshot format is a LOGICAL dump: schemas, instance definitions,
@@ -68,9 +69,30 @@ type snapshot struct {
 // reconstructs an equivalent database (same schemas, tuples, summaries,
 // statistics, and indexes; OIDs and annotation IDs are reassigned
 // deterministically).
+//
+// The snapshot is assembled in memory under SnapshotRetry, so transient
+// storage faults during the table/annotation scans are retried with
+// backoff; only then is the result encoded to w in one pass (a writer
+// cannot be rewound, so encoding is never retried).
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	var snap *snapshot
+	err := withRetry(SnapshotRetry, func() error {
+		var berr error
+		snap, berr = db.buildSnapshot()
+		return berr
+	})
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// buildSnapshot assembles the logical dump (callers hold the shared
+// lock). Its heap scans charge pager reads, so it may fail — or panic
+// *pager.FaultError — under fault injection; withRetry absorbs both.
+func (db *DB) buildSnapshot() (*snapshot, error) {
 	snap := snapshot{Version: 1, PageCap: db.pageCap()}
 
 	// Instance registry, sorted for determinism.
@@ -93,7 +115,7 @@ func (db *DB) Save(w io.Writer) error {
 	for _, name := range db.cat.TableNames() {
 		t, err := db.cat.Table(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := snapshotTable{Name: t.Name, DataIdx: t.DataIndexedColumns()}
 		for _, c := range t.Schema.Columns {
@@ -149,7 +171,7 @@ func (db *DB) Save(w io.Writer) error {
 		})
 	}
 
-	return gob.NewEncoder(w).Encode(&snap)
+	return &snap, nil
 }
 
 // pageCap recovers the configured records-per-page parameter.
@@ -164,6 +186,19 @@ func (db *DB) pageCap() int {
 
 // Load reconstructs a database from a snapshot produced by Save.
 func Load(r io.Reader) (*DB, error) {
+	return LoadWithConfig(r, Config{})
+}
+
+// LoadWithConfig is Load with an explicit configuration for the
+// reconstructed database (statement timeout, default budget, fault
+// policy; PageCap comes from the snapshot itself).
+//
+// Replay runs under SnapshotRetry: a transient storage fault discards
+// the half-built database and replays the decoded snapshot from
+// scratch. All attempts share one pager accountant, so fault-injection
+// state (FailFirstWrites windows in particular) progresses across
+// attempts instead of re-arming each try.
+func LoadWithConfig(r io.Reader, cfg Config) (*DB, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
@@ -171,13 +206,29 @@ func Load(r io.Reader) (*DB, error) {
 	if snap.Version != 1 {
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
 	}
-	db := New(Config{PageCap: snap.PageCap})
+	cfg.PageCap = snap.PageCap
+	acct := &pager.Accountant{}
+	if cfg.Faults != nil {
+		acct.SetFaultPolicy(cfg.Faults)
+	}
+	var db *DB
+	err := withRetry(SnapshotRetry, func() error {
+		db = newDB(cfg, acct)
+		return db.replaySnapshot(&snap)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
 
+// replaySnapshot rebuilds state through the normal engine paths.
+func (db *DB) replaySnapshot(snap *snapshot) error {
 	// Instances and classifier models.
 	for i := range snap.Instances {
 		def := snap.Instances[i].Def
 		if err := db.registerInstance(&def); err != nil {
-			return nil, err
+			return err
 		}
 		if st := snap.Instances[i].ClassifierState; st != nil {
 			db.classifiers[strings.ToLower(def.Name)] = bayes.FromState(st)
@@ -193,17 +244,17 @@ func Load(r io.Reader) (*DB, error) {
 			cols[i] = model.Column{Name: c.Name, Kind: c.Kind}
 		}
 		if _, err := db.CreateTable(st.Name, model.NewSchema("", cols...)); err != nil {
-			return nil, err
+			return err
 		}
 		for _, inst := range st.Instances {
 			if err := db.LinkInstance(st.Name, inst, false); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, tu := range st.Tuples {
 			newOID, err := db.Insert(st.Name, tu.Values...)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			oidMap[tu.OID] = newOID
 			tableOf[tu.OID] = st.Name
@@ -219,12 +270,12 @@ func Load(r io.Reader) (*DB, error) {
 		}
 		ann, err := db.AddAnnotation(table, oidMap[a.TupleOID], a.Text, a.Columns, a.Author)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, oldOID := range a.Extra {
 			if t2 := tableOf[oldOID]; t2 != "" {
 				if err := db.AttachAnnotation(t2, oidMap[oldOID], ann.ID); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
@@ -234,19 +285,19 @@ func Load(r io.Reader) (*DB, error) {
 	for _, st := range snap.Tables {
 		for _, col := range st.DataIdx {
 			if err := db.CreateDataIndex(st.Name, col); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, inst := range st.SummaryIdx {
 			if err := db.CreateSummaryIndex(st.Name, inst); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, inst := range st.BaselineIdx {
 			if err := db.CreateBaselineIndex(st.Name, inst); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return db, nil
+	return nil
 }

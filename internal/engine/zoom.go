@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -31,12 +32,18 @@ func (db *DB) ZoomIn(table, instance, label, where string) ([]ZoomResult, error)
 		}
 		stmt.Where = e
 	}
-	return db.zoom(stmt)
+	return db.zoomContext(context.Background(), stmt)
 }
 
-func (db *DB) zoom(stmt *sql.ZoomStmt) ([]ZoomResult, error) {
+// zoomContext runs a ZOOM IN under ctx. The annotation fetches behind
+// each summary read the heap, so the loop is guarded against injected
+// pager faults and ticks ctx between tuples.
+func (db *DB) zoomContext(ctx context.Context, stmt *sql.ZoomStmt) (zooms []ZoomResult, err error) {
+	ctx, cancel := db.applyTimeout(ctx)
+	defer cancel()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	defer recoverInto("Zoom", &err)
 	t, err := db.cat.Table(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -51,12 +58,15 @@ func (db *DB) zoom(stmt *sql.ZoomStmt) ([]ZoomResult, error) {
 		Limit:     -1,
 		Propagate: true,
 	}
-	res, err := db.runSelect(sel, nil)
+	res, err := db.runSelect(ctx, sel, nil)
 	if err != nil {
 		return nil, err
 	}
 	var out []ZoomResult
 	for _, row := range res.Rows {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		obj := row.Tuple.Summaries.Get(stmt.Instance)
 		if obj == nil {
 			continue

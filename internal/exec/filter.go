@@ -22,6 +22,7 @@ type PredicateFilter struct {
 	Lookup  model.AnnotationLookup
 
 	ev *Evaluator
+	qc *QueryCtx
 }
 
 // NewFilter builds a σ node.
@@ -34,14 +35,22 @@ func NewSummarySelect(in Iterator, pred sql.Expr, lookup model.AnnotationLookup)
 	return &PredicateFilter{Input: in, Pred: pred, Summary: true, Lookup: lookup}
 }
 
+// SetContext installs the per-query lifecycle and forwards it below.
+func (f *PredicateFilter) SetContext(qc *QueryCtx) {
+	f.qc = qc
+	SetIterContext(f.Input, qc)
+}
+
 // Open opens the input.
-func (f *PredicateFilter) Open() error {
+func (f *PredicateFilter) Open() (err error) {
+	defer recoverOp("Filter", &err)
 	f.ev = &Evaluator{Schema: f.Input.Schema(), Lookup: f.Lookup}
 	return f.Input.Open()
 }
 
 // Next returns the next qualifying row.
-func (f *PredicateFilter) Next() (*Row, error) {
+func (f *PredicateFilter) Next() (row *Row, err error) {
+	defer recoverOp("Filter", &err)
 	for {
 		row, err := f.Input.Next()
 		if err != nil || row == nil {
@@ -72,6 +81,14 @@ type SummaryFilter struct {
 	Instances []string
 	// Types keeps objects whose type is listed (empty = any).
 	Types []model.SummaryType
+
+	qc *QueryCtx
+}
+
+// SetContext installs the per-query lifecycle and forwards it below.
+func (f *SummaryFilter) SetContext(qc *QueryCtx) {
+	f.qc = qc
+	SetIterContext(f.Input, qc)
 }
 
 // NewSummaryFilter builds an F node.
@@ -112,7 +129,8 @@ func (f *SummaryFilter) Keep(o *model.SummaryObject) bool {
 func (f *SummaryFilter) Open() error { return f.Input.Open() }
 
 // Next filters the next row's summary set.
-func (f *SummaryFilter) Next() (*Row, error) {
+func (f *SummaryFilter) Next() (res *Row, err error) {
+	defer recoverOp("SummaryFilter", &err)
 	row, err := f.Input.Next()
 	if err != nil || row == nil {
 		return nil, err

@@ -30,6 +30,15 @@ type GroupBy struct {
 	out    *model.Schema
 	groups []*groupState
 	pos    int
+	qc     *QueryCtx
+
+	chargedRows, chargedBytes int64
+}
+
+// SetContext installs the per-query lifecycle and forwards it below.
+func (g *GroupBy) SetContext(qc *QueryCtx) {
+	g.qc = qc
+	SetIterContext(g.Input, qc)
 }
 
 type groupState struct {
@@ -79,13 +88,19 @@ func NewGroupBy(in Iterator, keys []sql.Expr, aggs []AggSpec, lookup model.Annot
 		out: GroupBySchema(in.Schema(), keys, aggs)}
 }
 
-// Open drains the input into group states.
-func (g *GroupBy) Open() error {
+// Open drains the input into group states. GroupBy is a pipeline
+// breaker: every retained group is charged against the query budget,
+// and the operator fails fast with ErrBudgetExceeded when the buffer
+// limit is hit (high-cardinality groupings are the risk; per-group
+// aggregate state is constant-size).
+func (g *GroupBy) Open() (err error) {
+	defer recoverOp("GroupBy", &err)
 	ev := &Evaluator{Schema: g.Input.Schema(), Lookup: g.Lookup}
 	if err := g.Input.Open(); err != nil {
 		return err
 	}
 	defer g.Input.Close()
+	budget := g.qc.Budget()
 
 	byKey := map[string]*groupState{}
 	var order []string
@@ -111,6 +126,12 @@ func (g *GroupBy) Open() error {
 		key := kb.String()
 		gs, ok := byKey[key]
 		if !ok {
+			rb := approxRowBytes(row) + int64(len(g.Aggs))*64
+			if cerr := budget.ChargeBuffered("GroupBy", 1, rb); cerr != nil {
+				return cerr
+			}
+			g.chargedRows++
+			g.chargedBytes += rb
 			gs = &groupState{
 				keyVals: keyVals,
 				row:     row,
@@ -172,7 +193,11 @@ func (g *GroupBy) Open() error {
 }
 
 // Next emits the next group.
-func (g *GroupBy) Next() (*Row, error) {
+func (g *GroupBy) Next() (res *Row, err error) {
+	defer recoverOp("GroupBy", &err)
+	if err := g.qc.tick(); err != nil {
+		return nil, err
+	}
 	if g.pos >= len(g.groups) {
 		return nil, nil
 	}
@@ -213,8 +238,14 @@ func (g *GroupBy) Next() (*Row, error) {
 	return out, nil
 }
 
-// Close is a no-op (input closed at Open).
-func (g *GroupBy) Close() error { g.groups = nil; return nil }
+// Close releases the group states and their budget charge (the input
+// was closed at Open).
+func (g *GroupBy) Close() error {
+	g.groups = nil
+	g.qc.Budget().ReleaseBuffered(g.chargedRows, g.chargedBytes)
+	g.chargedRows, g.chargedBytes = 0, 0
+	return nil
+}
 
 // Schema returns the group-keys + aggregates schema.
 func (g *GroupBy) Schema() *model.Schema { return g.out }

@@ -33,6 +33,17 @@ type HashJoin struct {
 	cur          *Row
 	matches      []*Row
 	matchPos     int
+	qc           *QueryCtx
+
+	chargedRows, chargedBytes int64
+}
+
+// SetContext installs the per-query lifecycle and forwards it to both
+// inputs.
+func (j *HashJoin) SetContext(qc *QueryCtx) {
+	j.qc = qc
+	SetIterContext(j.Left, qc)
+	SetIterContext(j.Right, qc)
 }
 
 // NewHashJoin builds a hash join.
@@ -45,14 +56,20 @@ func NewHashJoin(left, right Iterator, leftKey, rightKey sql.Expr,
 	}
 }
 
-// Open drains and hashes the build (right) side.
-func (j *HashJoin) Open() error {
+// Open drains and hashes the build (right) side. The build side is
+// what a hash join buffers, so every retained row is charged against
+// the query budget; unlike Sort there is no graceful degradation — a
+// build side over budget fails fast with ErrBudgetExceeded, and the
+// optimizer's sort/NL-based plans are the fallback.
+func (j *HashJoin) Open() (err error) {
+	defer recoverOp("HashJoin", &err)
 	j.leftAliases = schemaAliases(j.Left.Schema())
 	j.rightAliases = schemaAliases(j.Right.Schema())
 	j.leftEv = &Evaluator{Schema: j.Left.Schema(), Lookup: j.Lookup}
 	j.combinedEv = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
 	rightEv := &Evaluator{Schema: j.Right.Schema(), Lookup: j.Lookup}
 
+	budget := j.qc.Budget()
 	rows, err := Collect(j.Right)
 	if err != nil {
 		return err
@@ -66,6 +83,12 @@ func (j *HashJoin) Open() error {
 		if key.IsNull() {
 			continue // NULL keys never join
 		}
+		rb := approxRowBytes(row)
+		if cerr := budget.ChargeBuffered("HashJoin", 1, rb); cerr != nil {
+			return cerr
+		}
+		j.chargedRows++
+		j.chargedBytes += rb
 		k := hashKey(key)
 		j.table[k] = append(j.table[k], row)
 	}
@@ -83,7 +106,8 @@ func hashKey(v model.Value) string {
 }
 
 // Next returns the next joined row.
-func (j *HashJoin) Next() (*Row, error) {
+func (j *HashJoin) Next() (res *Row, err error) {
+	defer recoverOp("HashJoin", &err)
 	for {
 		if j.cur == nil {
 			var err error
@@ -106,6 +130,9 @@ func (j *HashJoin) Next() (*Row, error) {
 			j.matchPos = 0
 		}
 		for j.matchPos < len(j.matches) {
+			if err := j.qc.tick(); err != nil {
+				return nil, err
+			}
 			right := j.matches[j.matchPos]
 			j.matchPos++
 			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)
@@ -127,10 +154,13 @@ func (j *HashJoin) Next() (*Row, error) {
 	}
 }
 
-// Close releases the hash table and closes the outer input.
+// Close releases the hash table (and its budget charge) and closes the
+// outer input.
 func (j *HashJoin) Close() error {
 	j.table = nil
 	j.matches = nil
+	j.qc.Budget().ReleaseBuffered(j.chargedRows, j.chargedBytes)
+	j.chargedRows, j.chargedBytes = 0, 0
 	return j.Left.Close()
 }
 

@@ -34,6 +34,7 @@ type SummaryIndexScan struct {
 	schema *model.Schema
 	hits   []heap.RID
 	pos    int
+	qc     *QueryCtx
 }
 
 // NewSummaryIndexScan builds the scan.
@@ -47,9 +48,16 @@ func NewSummaryIndexScan(t *catalog.Table, alias string, idx *index.SummaryBTree
 		schema: t.Schema.Rename(alias)}
 }
 
+// SetContext installs the per-query lifecycle.
+func (s *SummaryIndexScan) SetContext(qc *QueryCtx) { s.qc = qc }
+
 // Open probes the index and materializes the hit list (the paper's
 // implementation collects qualifying pointers from the leaf chain).
-func (s *SummaryIndexScan) Open() error {
+func (s *SummaryIndexScan) Open() (err error) {
+	defer recoverOp("SummaryIndexScan", &err)
+	if err := s.qc.check(); err != nil {
+		return err
+	}
 	s.hits = s.Index.Search(s.Label, s.Op, s.Constant)
 	if s.Descending {
 		for i, j := 0, len(s.hits)-1; i < j; i, j = i+1, j-1 {
@@ -61,8 +69,12 @@ func (s *SummaryIndexScan) Open() error {
 }
 
 // Next fetches the next qualifying data tuple.
-func (s *SummaryIndexScan) Next() (*Row, error) {
+func (s *SummaryIndexScan) Next() (row *Row, err error) {
+	defer recoverOp("SummaryIndexScan", &err)
 	for s.pos < len(s.hits) {
+		if err := s.qc.tick(); err != nil {
+			return nil, err
+		}
 		rid := s.hits[s.pos]
 		s.pos++
 		if s.ConventionalPointers {
@@ -133,6 +145,7 @@ type BaselineIndexScan struct {
 	schema *model.Schema
 	oids   []int64
 	pos    int
+	qc     *QueryCtx
 }
 
 // NewBaselineIndexScan builds the scan.
@@ -146,16 +159,27 @@ func NewBaselineIndexScan(t *catalog.Table, alias string, idx *index.Baseline,
 		schema: t.Schema.Rename(alias)}
 }
 
+// SetContext installs the per-query lifecycle.
+func (s *BaselineIndexScan) SetContext(qc *QueryCtx) { s.qc = qc }
+
 // Open probes the derived index.
-func (s *BaselineIndexScan) Open() error {
+func (s *BaselineIndexScan) Open() (err error) {
+	defer recoverOp("BaselineIndexScan", &err)
+	if err := s.qc.check(); err != nil {
+		return err
+	}
 	s.oids = s.Index.Search(s.Label, s.Op, s.Constant)
 	s.pos = 0
 	return nil
 }
 
 // Next joins the next normalized hit back to the data table.
-func (s *BaselineIndexScan) Next() (*Row, error) {
+func (s *BaselineIndexScan) Next() (row *Row, err error) {
+	defer recoverOp("BaselineIndexScan", &err)
 	for s.pos < len(s.oids) {
+		if err := s.qc.tick(); err != nil {
+			return nil, err
+		}
 		oid := s.oids[s.pos]
 		s.pos++
 		rid, ok := s.Table.DiskTupleLoc(oid) // extra OID-index join
@@ -200,6 +224,7 @@ type DataIndexScan struct {
 	schema *model.Schema
 	hits   []heap.RID
 	pos    int
+	qc     *QueryCtx
 }
 
 // NewDataIndexScan builds the scan; the column must have a data index.
@@ -211,8 +236,15 @@ func NewDataIndexScan(t *catalog.Table, alias, column string, key model.Value, p
 		Propagate: propagate, schema: t.Schema.Rename(alias)}
 }
 
+// SetContext installs the per-query lifecycle.
+func (s *DataIndexScan) SetContext(qc *QueryCtx) { s.qc = qc }
+
 // Open probes the column index.
-func (s *DataIndexScan) Open() error {
+func (s *DataIndexScan) Open() (err error) {
+	defer recoverOp("DataIndexScan", &err)
+	if err := s.qc.check(); err != nil {
+		return err
+	}
 	s.hits = nil
 	s.pos = 0
 	idx := s.Table.DataIndex(s.Column)
@@ -226,8 +258,12 @@ func (s *DataIndexScan) Open() error {
 }
 
 // Next fetches the next matching tuple.
-func (s *DataIndexScan) Next() (*Row, error) {
+func (s *DataIndexScan) Next() (row *Row, err error) {
+	defer recoverOp("DataIndexScan", &err)
 	for s.pos < len(s.hits) {
+		if err := s.qc.tick(); err != nil {
+			return nil, err
+		}
 		rid := s.hits[s.pos]
 		s.pos++
 		if row, ok := fetchRow(s.Table, s.Alias, rid, s.Propagate); ok {

@@ -11,9 +11,13 @@ type Iterator interface {
 	Schema() *model.Schema
 }
 
-// Collect drains an iterator into a slice, handling Open/Close.
+// Collect drains an iterator into a slice, handling Open/Close. Close
+// runs even when Open fails, so resources a partially-successful Open
+// acquired (spilled sort runs, budget charges) are released on every
+// path.
 func Collect(it Iterator) ([]*Row, error) {
 	if err := it.Open(); err != nil {
+		it.Close()
 		return nil, err
 	}
 	defer it.Close()
@@ -37,6 +41,7 @@ type sliceIter struct {
 	schema *model.Schema
 	rows   []*Row
 	pos    int
+	qc     *QueryCtx
 }
 
 // NewSliceIter builds an iterator over pre-materialized rows.
@@ -44,9 +49,15 @@ func NewSliceIter(schema *model.Schema, rows []*Row) Iterator {
 	return &sliceIter{schema: schema, rows: rows}
 }
 
-func (s *sliceIter) Open() error { s.pos = 0; return nil }
+// SetContext installs the per-query lifecycle.
+func (s *sliceIter) SetContext(qc *QueryCtx) { s.qc = qc }
+
+func (s *sliceIter) Open() error { s.pos = 0; return s.qc.check() }
 
 func (s *sliceIter) Next() (*Row, error) {
+	if err := s.qc.tick(); err != nil {
+		return nil, err
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}

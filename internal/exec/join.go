@@ -72,6 +72,15 @@ type NLJoin struct {
 	cur          *Row
 	innerPos     int
 	ev           *Evaluator
+	qc           *QueryCtx
+}
+
+// SetContext installs the per-query lifecycle and forwards it to both
+// inputs.
+func (j *NLJoin) SetContext(qc *QueryCtx) {
+	j.qc = qc
+	SetIterContext(j.Left, qc)
+	SetIterContext(j.Right, qc)
 }
 
 // NewNLJoin builds a block nested-loop join.
@@ -81,11 +90,11 @@ func NewNLJoin(left, right Iterator, on sql.Expr, propagate bool, lookup model.A
 }
 
 // Open materializes the inner input.
-func (j *NLJoin) Open() error {
+func (j *NLJoin) Open() (err error) {
+	defer recoverOp("NLJoin", &err)
 	j.leftAliases = schemaAliases(j.Left.Schema())
 	j.rightAliases = schemaAliases(j.Right.Schema())
 	j.ev = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
-	var err error
 	j.inner, err = Collect(j.Right)
 	if err != nil {
 		return err
@@ -95,8 +104,11 @@ func (j *NLJoin) Open() error {
 	return j.Left.Open()
 }
 
-// Next returns the next joined row.
-func (j *NLJoin) Next() (*Row, error) {
+// Next returns the next joined row. The inner match loop ticks the
+// query context per candidate pair: a large cross product must remain
+// cancellable between output rows, not only between outer rows.
+func (j *NLJoin) Next() (res *Row, err error) {
+	defer recoverOp("NLJoin", &err)
 	for {
 		if j.cur == nil {
 			var err error
@@ -110,6 +122,9 @@ func (j *NLJoin) Next() (*Row, error) {
 			j.innerPos = 0
 		}
 		for j.innerPos < len(j.inner) {
+			if err := j.qc.tick(); err != nil {
+				return nil, err
+			}
 			right := j.inner[j.innerPos]
 			j.innerPos++
 			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)
@@ -168,6 +183,15 @@ type IndexJoin struct {
 	cur          *Row
 	matches      []*Row
 	matchPos     int
+	qc           *QueryCtx
+}
+
+// SetContext installs the per-query lifecycle and forwards it to the
+// outer input (inner index probes are built per outer row and receive
+// it at creation).
+func (j *IndexJoin) SetContext(qc *QueryCtx) {
+	j.qc = qc
+	SetIterContext(j.Left, qc)
 }
 
 // NewIndexJoin builds an index join.
@@ -187,7 +211,8 @@ func NewIndexJoin(left Iterator, inner *catalog.Table, innerAlias, innerCol stri
 }
 
 // Open opens the outer input.
-func (j *IndexJoin) Open() error {
+func (j *IndexJoin) Open() (err error) {
+	defer recoverOp("IndexJoin", &err)
 	j.leftAliases = schemaAliases(j.Left.Schema())
 	j.rightAliases = []string{strings.ToLower(j.InnerAlias)}
 	j.outerEv = &Evaluator{Schema: j.Left.Schema(), Lookup: j.Lookup}
@@ -197,7 +222,8 @@ func (j *IndexJoin) Open() error {
 }
 
 // Next returns the next joined row.
-func (j *IndexJoin) Next() (*Row, error) {
+func (j *IndexJoin) Next() (res *Row, err error) {
+	defer recoverOp("IndexJoin", &err)
 	for {
 		if j.cur == nil {
 			var err error
@@ -213,6 +239,7 @@ func (j *IndexJoin) Next() (*Row, error) {
 				return nil, err
 			}
 			scan := NewDataIndexScan(j.InnerTable, j.InnerAlias, j.InnerCol, key, j.FetchSummaries)
+			SetIterContext(scan, j.qc)
 			j.matches, err = Collect(scan)
 			if err != nil {
 				return nil, err
@@ -220,6 +247,9 @@ func (j *IndexJoin) Next() (*Row, error) {
 			j.matchPos = 0
 		}
 		for j.matchPos < len(j.matches) {
+			if err := j.qc.tick(); err != nil {
+				return nil, err
+			}
 			right := j.matches[j.matchPos]
 			j.matchPos++
 			combined := joinRow(j.cur, right, j.leftAliases, j.rightAliases)

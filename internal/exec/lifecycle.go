@@ -1,0 +1,283 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/pager"
+)
+
+// This file is the query-lifecycle layer of the executor: per-query
+// cancellation (context threading through the Volcano protocol), the
+// resource governor the pipeline-breaking operators charge against,
+// and panic isolation at operator granularity.
+
+// ---------------------------------------------------------------------
+// Context threading
+
+// QueryCtx carries one query's lifecycle state — the cancellation
+// context and the resource budget — shared by every operator of a
+// compiled plan tree. Queries execute on a single goroutine, so the
+// poll counter needs no synchronization. A nil *QueryCtx disables both
+// concerns; operators constructed directly (tests, internal rescans)
+// keep working without one.
+type QueryCtx struct {
+	ctx    context.Context
+	budget *Budget
+	ticks  uint
+	done   error // first observed cancellation, cached
+}
+
+// NewQueryCtx builds the lifecycle state for one query. ctx may be nil
+// (treated as Background); budget may be nil (unlimited).
+func NewQueryCtx(ctx context.Context, budget *Budget) *QueryCtx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &QueryCtx{ctx: ctx, budget: budget}
+}
+
+// Context returns the query's context (Background for nil receivers).
+func (q *QueryCtx) Context() context.Context {
+	if q == nil || q.ctx == nil {
+		return context.Background()
+	}
+	return q.ctx
+}
+
+// Budget returns the query's resource budget, possibly nil.
+func (q *QueryCtx) Budget() *Budget {
+	if q == nil {
+		return nil
+	}
+	return q.budget
+}
+
+// tickEvery is how many tick() calls pass between context polls:
+// polling the context takes a lock, which is too hot per row on
+// scan-heavy plans, and one poll per 64 rows still cancels a query
+// well within one operator batch (external-sort runs default to 1024
+// rows).
+const tickEvery = 64
+
+// tick is the per-row cancellation check operators call from Next. The
+// first call always polls, so an already-cancelled query stops before
+// producing a single row.
+func (q *QueryCtx) tick() error {
+	if q == nil || q.ctx == nil {
+		return nil
+	}
+	if q.done != nil {
+		return q.done
+	}
+	q.ticks++
+	if q.ticks%tickEvery != 1 {
+		return nil
+	}
+	if err := q.ctx.Err(); err != nil {
+		q.done = err
+	}
+	return q.done
+}
+
+// check is the unconditional poll used at Open boundaries.
+func (q *QueryCtx) check() error {
+	if q == nil || q.ctx == nil {
+		return nil
+	}
+	if q.done != nil {
+		return q.done
+	}
+	if err := q.ctx.Err(); err != nil {
+		q.done = err
+	}
+	return q.done
+}
+
+// ContextSetter is implemented by every physical operator: SetContext
+// installs the per-query lifecycle on the operator and its children.
+type ContextSetter interface {
+	SetContext(*QueryCtx)
+}
+
+// SetIterContext installs qc on an iterator when it supports one
+// (no-op otherwise) — the recursive step operators use on children.
+func SetIterContext(it Iterator, qc *QueryCtx) {
+	if cs, ok := it.(ContextSetter); ok {
+		cs.SetContext(qc)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Resource governor
+
+// ErrBudgetExceeded is the sentinel every budget violation wraps;
+// errors.Is(err, ErrBudgetExceeded) identifies them through any
+// wrapping layer.
+var ErrBudgetExceeded = errors.New("exec: query budget exceeded")
+
+// BudgetError reports which operator exhausted which resource.
+type BudgetError struct {
+	Op       string
+	Resource string // "buffered rows", "buffered bytes", "spill bytes"
+	Need     int64  // total the charge would have reached
+	Limit    int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%v: %s needs %d %s (limit %d)",
+		ErrBudgetExceeded, e.Op, e.Need, e.Resource, e.Limit)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// Budget is a per-query resource governor: it caps what the
+// pipeline-breaking operators (Sort, HashJoin, GroupBy, Distinct) may
+// buffer in memory, and how many temp-file bytes Sort may spill. Zero
+// limits mean unlimited. Charges are check-then-commit: a failed
+// charge leaves the budget unchanged, which lets Sort respond to
+// buffer pressure by spilling instead of failing. A Budget belongs to
+// one query; the engine creates a fresh one per statement from its
+// configured spec.
+type Budget struct {
+	MaxBufferedRows  int64
+	MaxBufferedBytes int64
+	MaxSpillBytes    int64
+
+	bufRows, bufBytes, spillBytes int64
+}
+
+// NewBudget builds a budget; any zero limit is unlimited.
+func NewBudget(maxRows, maxBytes, maxSpill int64) *Budget {
+	return &Budget{MaxBufferedRows: maxRows, MaxBufferedBytes: maxBytes, MaxSpillBytes: maxSpill}
+}
+
+// ChargeBuffered charges rows/bytes of in-memory buffering, or returns
+// a *BudgetError (committing nothing) when a limit would be exceeded.
+func (b *Budget) ChargeBuffered(op string, rows, bytes int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxBufferedRows > 0 && b.bufRows+rows > b.MaxBufferedRows {
+		return &BudgetError{Op: op, Resource: "buffered rows", Need: b.bufRows + rows, Limit: b.MaxBufferedRows}
+	}
+	if b.MaxBufferedBytes > 0 && b.bufBytes+bytes > b.MaxBufferedBytes {
+		return &BudgetError{Op: op, Resource: "buffered bytes", Need: b.bufBytes + bytes, Limit: b.MaxBufferedBytes}
+	}
+	b.bufRows += rows
+	b.bufBytes += bytes
+	return nil
+}
+
+// ReleaseBuffered returns buffered charges (operators release what
+// they charged when they spill or close).
+func (b *Budget) ReleaseBuffered(rows, bytes int64) {
+	if b == nil {
+		return
+	}
+	b.bufRows -= rows
+	b.bufBytes -= bytes
+}
+
+// ChargeSpill charges temp-file bytes, or returns a *BudgetError
+// (committing nothing) when the spill limit would be exceeded.
+func (b *Budget) ChargeSpill(op string, bytes int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxSpillBytes > 0 && b.spillBytes+bytes > b.MaxSpillBytes {
+		return &BudgetError{Op: op, Resource: "spill bytes", Need: b.spillBytes + bytes, Limit: b.MaxSpillBytes}
+	}
+	b.spillBytes += bytes
+	return nil
+}
+
+// ReleaseSpill returns spill charges (on temp-file removal).
+func (b *Budget) ReleaseSpill(bytes int64) {
+	if b == nil {
+		return
+	}
+	b.spillBytes -= bytes
+}
+
+// BufferedRows reports the rows currently charged (for tests/metrics).
+func (b *Budget) BufferedRows() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.bufRows
+}
+
+// SpillBytes reports the temp-file bytes currently charged.
+func (b *Budget) SpillBytes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.spillBytes
+}
+
+// approxRowBytes estimates a row's in-memory footprint for budget
+// accounting: value payloads plus fixed per-row and per-summary-object
+// overheads. Exactness doesn't matter; monotonicity with real usage
+// does.
+func approxRowBytes(r *Row) int64 {
+	const rowOverhead, valueOverhead, summaryOverhead = 64, 16, 96
+	n := int64(rowOverhead)
+	if r == nil || r.Tuple == nil {
+		return n
+	}
+	for _, v := range r.Tuple.Values {
+		n += valueOverhead + int64(len(v.Text))
+	}
+	n += int64(len(r.Tuple.Summaries)) * summaryOverhead
+	return n
+}
+
+// ---------------------------------------------------------------------
+// Panic isolation
+
+// OpError wraps a panic recovered inside a physical operator, naming
+// the operator so the engine can report which plan fragment failed.
+// Unwrap exposes the cause, so errors.Is/As see through it — injected
+// *pager.FaultError values in particular.
+type OpError struct {
+	Op    string
+	Value any    // the recovered panic value
+	Stack []byte // stack at recovery (nil for typed storage faults)
+	err   error
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("exec: %s: %v", e.Op, e.err) }
+
+func (e *OpError) Unwrap() error { return e.err }
+
+// recoverOp is deferred by every operator's Open/Next: it converts an
+// escaping panic into an *OpError assigned to *err. Injected pager
+// faults arrive here as *pager.FaultError panic values (the storage
+// layers have no error returns); any other panic value keeps its stack
+// for diagnosis. Errors from child operators are ordinary returns, so
+// the innermost guarded operator names the failure.
+func recoverOp(op string, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	e := &OpError{Op: op, Value: r}
+	switch v := r.(type) {
+	case *OpError:
+		// A re-raised child failure: keep the inner attribution.
+		*err = v
+		return
+	case *pager.FaultError:
+		e.err = v
+	case error:
+		e.err = v
+		e.Stack = debug.Stack()
+	default:
+		e.err = fmt.Errorf("panic: %v", r)
+		e.Stack = debug.Stack()
+	}
+	*err = e
+}

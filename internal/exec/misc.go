@@ -11,10 +11,17 @@ type Limit struct {
 	Input Iterator
 	N     int
 	seen  int
+	qc    *QueryCtx
 }
 
 // NewLimit builds a LIMIT node.
 func NewLimit(in Iterator, n int) *Limit { return &Limit{Input: in, N: n} }
+
+// SetContext installs the per-query lifecycle and forwards it below.
+func (l *Limit) SetContext(qc *QueryCtx) {
+	l.qc = qc
+	SetIterContext(l.Input, qc)
+}
 
 // Open opens the input.
 func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
@@ -47,6 +54,9 @@ type Distinct struct {
 
 	rows []*Row
 	pos  int
+	qc   *QueryCtx
+
+	chargedRows, chargedBytes int64
 }
 
 // NewDistinct builds the node.
@@ -54,12 +64,23 @@ func NewDistinct(in Iterator, lookup model.AnnotationLookup) *Distinct {
 	return &Distinct{Input: in, Lookup: lookup}
 }
 
-// Open drains the input, collapsing duplicates.
-func (d *Distinct) Open() error {
+// SetContext installs the per-query lifecycle and forwards it below.
+func (d *Distinct) SetContext(qc *QueryCtx) {
+	d.qc = qc
+	SetIterContext(d.Input, qc)
+}
+
+// Open drains the input, collapsing duplicates. Distinct is a
+// pipeline breaker: every retained row is charged against the query
+// budget, and the operator fails fast with ErrBudgetExceeded when the
+// buffer limit is hit.
+func (d *Distinct) Open() (err error) {
+	defer recoverOp("Distinct", &err)
 	if err := d.Input.Open(); err != nil {
 		return err
 	}
 	defer d.Input.Close()
+	budget := d.qc.Budget()
 	byKey := map[string]int{}
 	d.rows = nil
 	for {
@@ -83,6 +104,12 @@ func (d *Distinct) Open() error {
 			d.rows[i] = merged
 			continue
 		}
+		rb := approxRowBytes(row)
+		if cerr := budget.ChargeBuffered("Distinct", 1, rb); cerr != nil {
+			return cerr
+		}
+		d.chargedRows++
+		d.chargedBytes += rb
 		byKey[key] = len(d.rows)
 		d.rows = append(d.rows, row)
 	}
@@ -92,6 +119,9 @@ func (d *Distinct) Open() error {
 
 // Next emits the next distinct row.
 func (d *Distinct) Next() (*Row, error) {
+	if err := d.qc.tick(); err != nil {
+		return nil, err
+	}
 	if d.pos >= len(d.rows) {
 		return nil, nil
 	}
@@ -100,8 +130,13 @@ func (d *Distinct) Next() (*Row, error) {
 	return r, nil
 }
 
-// Close releases state.
-func (d *Distinct) Close() error { d.rows = nil; return nil }
+// Close releases buffered rows and their budget charge.
+func (d *Distinct) Close() error {
+	d.rows = nil
+	d.qc.Budget().ReleaseBuffered(d.chargedRows, d.chargedBytes)
+	d.chargedRows, d.chargedBytes = 0, 0
+	return nil
+}
 
 // Schema returns the input schema.
 func (d *Distinct) Schema() *model.Schema { return d.Input.Schema() }

@@ -19,6 +19,7 @@ type Project struct {
 	Lookup model.AnnotationLookup
 
 	ev *Evaluator
+	qc *QueryCtx
 }
 
 // NewProject builds a projection with a pre-computed output schema.
@@ -26,14 +27,22 @@ func NewProject(in Iterator, exprs []sql.Expr, out *model.Schema, lookup model.A
 	return &Project{Input: in, Exprs: exprs, Out: out, Lookup: lookup}
 }
 
+// SetContext installs the per-query lifecycle and forwards it below.
+func (p *Project) SetContext(qc *QueryCtx) {
+	p.qc = qc
+	SetIterContext(p.Input, qc)
+}
+
 // Open opens the input.
-func (p *Project) Open() error {
+func (p *Project) Open() (err error) {
+	defer recoverOp("Project", &err)
 	p.ev = &Evaluator{Schema: p.Input.Schema(), Lookup: p.Lookup}
 	return p.Input.Open()
 }
 
 // Next projects the next row.
-func (p *Project) Next() (*Row, error) {
+func (p *Project) Next() (res *Row, err error) {
+	defer recoverOp("Project", &err)
 	row, err := p.Input.Next()
 	if err != nil || row == nil {
 		return nil, err
@@ -70,6 +79,14 @@ type SummaryEffectProject struct {
 	// Annotations fetches a tuple's raw annotations.
 	Annotations func(tupleOID int64) []*model.Annotation
 	Lookup      model.AnnotationLookup
+
+	qc *QueryCtx
+}
+
+// SetContext installs the per-query lifecycle and forwards it below.
+func (p *SummaryEffectProject) SetContext(qc *QueryCtx) {
+	p.qc = qc
+	SetIterContext(p.Input, qc)
 }
 
 // NewSummaryEffectProject builds the node. keptColumns are matched
@@ -88,7 +105,8 @@ func NewSummaryEffectProject(in Iterator, keptColumns []string,
 func (p *SummaryEffectProject) Open() error { return p.Input.Open() }
 
 // Next rewrites the next row's summaries.
-func (p *SummaryEffectProject) Next() (*Row, error) {
+func (p *SummaryEffectProject) Next() (res *Row, err error) {
+	defer recoverOp("SummaryEffectProject", &err)
 	row, err := p.Input.Next()
 	if err != nil || row == nil {
 		return nil, err

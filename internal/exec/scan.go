@@ -17,6 +17,7 @@ type SeqScan struct {
 
 	schema *model.Schema
 	cursor *heap.Cursor[[]model.Value]
+	qc     *QueryCtx
 }
 
 // NewSeqScan builds a sequential scan.
@@ -28,14 +29,25 @@ func NewSeqScan(t *catalog.Table, alias string, propagate bool) *SeqScan {
 		schema: t.Schema.Rename(alias)}
 }
 
+// SetContext installs the per-query lifecycle.
+func (s *SeqScan) SetContext(qc *QueryCtx) { s.qc = qc }
+
 // Open positions the scan at the first tuple.
-func (s *SeqScan) Open() error {
+func (s *SeqScan) Open() (err error) {
+	defer recoverOp("SeqScan", &err)
+	if err := s.qc.check(); err != nil {
+		return err
+	}
 	s.cursor = s.Table.Data.Cursor()
 	return nil
 }
 
 // Next returns the next tuple.
-func (s *SeqScan) Next() (*Row, error) {
+func (s *SeqScan) Next() (row *Row, err error) {
+	defer recoverOp("SeqScan", &err)
+	if err := s.qc.tick(); err != nil {
+		return nil, err
+	}
 	_, oid, values, ok := s.cursor.Next()
 	if !ok {
 		return nil, nil

@@ -37,7 +37,25 @@ type Sort struct {
 	runs   []*runReader // external path
 	merger *runHeap
 	files  []*os.File
+
+	qc *QueryCtx
+	// spilled records that an in-memory sort degraded to external under
+	// budget pressure (observable by tests and EXPLAIN ANALYZE-style
+	// tooling).
+	spilled bool
+	// Committed budget charges, released on spill (buffered) or Close.
+	chargedRows, chargedBytes, chargedSpill int64
 }
+
+// SetContext installs the per-query lifecycle and forwards it below.
+func (s *Sort) SetContext(qc *QueryCtx) {
+	s.qc = qc
+	SetIterContext(s.Input, qc)
+}
+
+// Spilled reports whether an in-memory sort degraded to external runs
+// under budget pressure.
+func (s *Sort) Spilled() bool { return s.spilled }
 
 // NewSort builds an in-memory sort.
 func NewSort(in Iterator, keys []SortKey, lookup model.AnnotationLookup) *Sort {
@@ -89,68 +107,85 @@ func (s *Sort) lessKeys(a, b []model.Value) bool {
 	return false
 }
 
-// Open materializes and sorts the input.
-func (s *Sort) Open() error {
+// Open materializes and sorts the input. Sort is the pipeline breaker
+// that degrades gracefully under the resource governor: an in-memory
+// sort that hits the buffer budget spills its buffer as a sorted run
+// and continues externally; only the temp-file budget is a hard limit.
+// Cleanup is exhaustive — every early return and panic path (a
+// mid-Open flush failure in particular) removes already-spilled run
+// files and returns budget charges.
+func (s *Sort) Open() (err error) {
+	defer recoverOp("Sort", &err)
+	opened := false
+	defer func() {
+		if !opened {
+			s.cleanup()
+		}
+	}()
+	if err := s.qc.check(); err != nil {
+		return err
+	}
 	ev := &Evaluator{Schema: s.Input.Schema(), Lookup: s.Lookup}
 	if err := s.Input.Open(); err != nil {
 		return err
 	}
 	defer s.Input.Close()
 
-	if s.Mem {
-		var keyed []keyedRow
-		for {
-			row, err := s.Input.Next()
-			if err != nil {
-				return err
-			}
-			if row == nil {
-				break
-			}
-			keys, err := s.computeKeys(ev, row)
-			if err != nil {
-				return err
-			}
-			keyed = append(keyed, keyedRow{Keys: keys, Row: row})
-		}
-		sort.SliceStable(keyed, func(i, j int) bool { return s.lessKeys(keyed[i].Keys, keyed[j].Keys) })
-		s.rows = make([]*Row, len(keyed))
-		for i, k := range keyed {
-			s.rows[i] = k.Row
-		}
-		s.pos = 0
-		return nil
+	budget := s.qc.Budget()
+	mem := s.Mem
+	runLen := s.RunLen
+	if runLen <= 0 {
+		runLen = 1024
 	}
 
-	// External: produce sorted runs.
-	var run []keyedRow
+	// buf is the current in-memory set: all rows on the memory path, the
+	// current run on the external path. bufBytes mirrors its charge.
+	var buf []keyedRow
+	var bufBytes int64
 	flush := func() error {
-		if len(run) == 0 {
+		if len(buf) == 0 {
 			return nil
 		}
-		sort.SliceStable(run, func(i, j int) bool { return s.lessKeys(run[i].Keys, run[j].Keys) })
+		sort.SliceStable(buf, func(i, j int) bool { return s.lessKeys(buf[i].Keys, buf[j].Keys) })
 		f, err := os.CreateTemp("", "insightnotes-sortrun-*.gob")
 		if err != nil {
 			return err
 		}
+		discard := func() {
+			f.Close()
+			os.Remove(f.Name())
+		}
 		enc := gob.NewEncoder(f)
-		for i := range run {
-			if err := enc.Encode(&run[i]); err != nil {
-				f.Close()
-				os.Remove(f.Name())
+		for i := range buf {
+			if err := enc.Encode(&buf[i]); err != nil {
+				discard()
 				return fmt.Errorf("exec: encoding sort run: %w", err)
 			}
 		}
+		info, err := f.Stat()
+		if err != nil {
+			discard()
+			return err
+		}
+		if cerr := budget.ChargeSpill("Sort", info.Size()); cerr != nil {
+			discard()
+			return cerr
+		}
+		s.chargedSpill += info.Size()
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			f.Close()
-			os.Remove(f.Name())
+			discard()
 			return err
 		}
 		s.files = append(s.files, f)
 		s.runs = append(s.runs, &runReader{dec: gob.NewDecoder(f)})
-		run = run[:0]
+		// The flushed rows no longer live in memory: return their charge.
+		budget.ReleaseBuffered(int64(len(buf)), bufBytes)
+		s.chargedRows -= int64(len(buf))
+		s.chargedBytes -= bufBytes
+		buf, bufBytes = buf[:0], 0
 		return nil
 	}
+
 	for {
 		row, err := s.Input.Next()
 		if err != nil {
@@ -163,13 +198,41 @@ func (s *Sort) Open() error {
 		if err != nil {
 			return err
 		}
-		run = append(run, keyedRow{Keys: keys, Row: row})
-		if len(run) >= s.RunLen {
+		rb := approxRowBytes(row)
+		if cerr := budget.ChargeBuffered("Sort", 1, rb); cerr != nil {
+			// Buffer pressure: spill the buffer as a sorted run and
+			// continue externally instead of failing.
+			if err := flush(); err != nil {
+				return err
+			}
+			mem = false
+			s.spilled = true
+			if cerr := budget.ChargeBuffered("Sort", 1, rb); cerr != nil {
+				return cerr // a single row exceeds the budget
+			}
+		}
+		s.chargedRows++
+		s.chargedBytes += rb
+		buf = append(buf, keyedRow{Keys: keys, Row: row})
+		bufBytes += rb
+		if !mem && len(buf) >= runLen {
 			if err := flush(); err != nil {
 				return err
 			}
 		}
 	}
+
+	if mem && len(s.runs) == 0 {
+		sort.SliceStable(buf, func(i, j int) bool { return s.lessKeys(buf[i].Keys, buf[j].Keys) })
+		s.rows = make([]*Row, len(buf))
+		for i, k := range buf {
+			s.rows[i] = k.Row
+		}
+		s.pos = 0
+		opened = true
+		return nil
+	}
+
 	if err := flush(); err != nil {
 		return err
 	}
@@ -181,12 +244,16 @@ func (s *Sort) Open() error {
 			heap.Push(s.merger, r)
 		}
 	}
+	opened = true
 	return nil
 }
 
 // Next returns the next row in order.
 func (s *Sort) Next() (*Row, error) {
-	if s.Mem {
+	if err := s.qc.tick(); err != nil {
+		return nil, err
+	}
+	if s.merger == nil {
 		if s.pos >= len(s.rows) {
 			return nil, nil
 		}
@@ -194,7 +261,7 @@ func (s *Sort) Next() (*Row, error) {
 		s.pos++
 		return r, nil
 	}
-	if s.merger == nil || s.merger.Len() == 0 {
+	if s.merger.Len() == 0 {
 		return nil, nil
 	}
 	top := s.merger.items[0]
@@ -207,8 +274,10 @@ func (s *Sort) Next() (*Row, error) {
 	return row, nil
 }
 
-// Close removes any spilled run files.
-func (s *Sort) Close() error {
+// cleanup removes spilled run files and returns every outstanding
+// budget charge; it is idempotent and shared by Close and Open's
+// failure paths.
+func (s *Sort) cleanup() {
 	s.rows = nil
 	s.runs = nil
 	s.merger = nil
@@ -218,6 +287,16 @@ func (s *Sort) Close() error {
 		os.Remove(name)
 	}
 	s.files = nil
+	if b := s.qc.Budget(); b != nil {
+		b.ReleaseBuffered(s.chargedRows, s.chargedBytes)
+		b.ReleaseSpill(s.chargedSpill)
+	}
+	s.chargedRows, s.chargedBytes, s.chargedSpill = 0, 0, 0
+}
+
+// Close removes any spilled run files and returns budget charges.
+func (s *Sort) Close() error {
+	s.cleanup()
 	return nil
 }
 

@@ -45,6 +45,13 @@ type Options struct {
 	ForceSort string
 	// SortRunLen sizes external-sort runs (rows; 0 = default).
 	SortRunLen int
+	// Budget is a per-query resource-limit template overriding the DB
+	// default: pipeline breakers (Sort, HashJoin, GroupBy, Distinct)
+	// charge buffered rows/bytes and spill bytes against it. The engine
+	// copies the limits into a fresh accounting instance per query, so a
+	// single Options value is safe to reuse across queries. nil means
+	// the engine default (unlimited unless configured).
+	Budget *exec.Budget
 }
 
 // Env supplies the optimizer and compiler with catalog context.

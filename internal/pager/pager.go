@@ -32,8 +32,11 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d", s.PageReads, s.PageWrites)
 }
 
-// Accountant tracks page I/O. The zero value is ready to use. Counting is
-// safe for concurrent use; SetReadDelay is not (configure before use).
+// Accountant tracks page I/O. The zero value is ready to use. All
+// methods are safe for concurrent use: the counters, the read delay,
+// and the fault policy are read and written atomically, so
+// SetReadDelay and SetFaultPolicy may be called while readers are
+// in flight.
 type Accountant struct {
 	reads  atomic.Int64
 	writes atomic.Int64
@@ -41,9 +44,15 @@ type Accountant struct {
 	// readDelay, when non-zero, is slept per page read to simulate a
 	// disk-resident database. Nanoseconds.
 	readDelay atomic.Int64
+
+	// fault, when non-nil, injects failures and latency into every
+	// accounted operation (see FaultPolicy).
+	fault atomic.Pointer[faultInjector]
 }
 
-// Read charges n page reads.
+// Read charges n page reads. With a fault policy installed, a faulted
+// read panics with a *FaultError (see FaultError for why this layer
+// panics instead of returning an error).
 func (a *Accountant) Read(n int) {
 	if a == nil {
 		return
@@ -52,17 +61,30 @@ func (a *Accountant) Read(n int) {
 	if d := a.readDelay.Load(); d > 0 {
 		time.Sleep(time.Duration(d) * time.Duration(n))
 	}
+	if fi := a.fault.Load(); fi != nil {
+		for i := 0; i < n; i++ {
+			fi.onOp("read")
+		}
+	}
 }
 
-// Write charges n page writes.
+// Write charges n page writes, subject to the installed fault policy
+// like Read.
 func (a *Accountant) Write(n int) {
 	if a == nil {
 		return
 	}
 	a.writes.Add(int64(n))
+	if fi := a.fault.Load(); fi != nil {
+		for i := 0; i < n; i++ {
+			fi.onOp("write")
+		}
+	}
 }
 
-// SetReadDelay configures the simulated per-page read latency.
+// SetReadDelay configures the simulated per-page read latency. The
+// delay is stored atomically, so it is safe to adjust while queries
+// are reading.
 func (a *Accountant) SetReadDelay(d time.Duration) {
 	a.readDelay.Store(int64(d))
 }
