@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race bench-smoke
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -17,3 +17,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench-smoke regenerates one representative figure at the reduced quick
+# scale and writes a machine-readable BENCH_smoke.json snapshot (figures
+# + engine metrics) so perf regressions show up as diffs between runs.
+bench-smoke:
+	$(GO) run ./cmd/benchreport -quick -fig 10 -json BENCH_smoke.json

@@ -7,6 +7,7 @@
 //	benchreport -fig 10         # one figure
 //	benchreport -birds 1000 -grid 10,25,50,100,200
 //	benchreport -quick          # reduced grid for a fast smoke run
+//	benchreport -json out.json  # also write a machine-readable snapshot
 package main
 
 import (
@@ -27,7 +28,9 @@ func main() {
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
 	seed := flag.Int64("seed", 1, "generator seed")
+	jsonPath := flag.String("json", "", "also write a JSON snapshot (figures + engine metrics) to this path")
 	flag.Parse()
+	runStart := time.Now()
 
 	scale := bench.DefaultScale()
 	if *quick {
@@ -72,6 +75,7 @@ func main() {
 	}
 
 	ran := false
+	var tables []*bench.Table
 	for _, r := range runners {
 		match := *fig == 0
 		for _, f := range r.figs {
@@ -90,9 +94,29 @@ func main() {
 		}
 		fmt.Print(tbl.String())
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		tables = append(tables, tbl)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "no such figure: %d (valid: 2, 7..16)\n", *fig)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		snap := &bench.Snapshot{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Scale:       scale,
+			Figures:     tables,
+			Engine:      h.EngineMetrics(),
+			ElapsedMS:   time.Since(runStart).Milliseconds(),
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		if err := snap.Write(f); err != nil {
+			f.Close()
+			log.Fatalf("snapshot: %v", err)
+		}
+		f.Close()
+		fmt.Printf("snapshot written to %s\n", *jsonPath)
 	}
 }

@@ -7,12 +7,13 @@
 //	\tables             list tables
 //	\explain <query>    show the optimized plan without running it
 //	\stats <table>      show maintained summary statistics
+//	\metrics            show engine query telemetry
 //	\load <birds> <avg> load/replace the bird workload
 //	\quit               exit
 //
 // Everything else is executed as a statement: SELECT (results and
-// propagated summaries are printed), ALTER TABLE ... ADD [INDEXABLE],
-// and ZOOM IN ON ...
+// propagated summaries are printed), EXPLAIN [ANALYZE] SELECT ...,
+// ALTER TABLE ... ADD [INDEXABLE], and ZOOM IN ON ...
 package main
 
 import (
@@ -87,13 +88,31 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		res, err := execInterruptible(db, sigCh, line)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				fmt.Printf("cancelled (%v)\n", time.Since(start).Round(time.Microsecond))
+		if q, analyze, isExplain := explainPrefix(line); isExplain {
+			if analyze {
+				ap, err := withInterrupt(sigCh, func(ctx context.Context) (*engine.AnalyzedPlan, error) {
+					return db.ExplainAnalyzeContext(ctx, q, nil)
+				})
+				if err != nil {
+					reportError(err, start)
+					continue
+				}
+				fmt.Print(ap.String())
 			} else {
-				fmt.Println("error:", err)
+				plan, err := db.Explain(q, nil)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Print(plan)
 			}
+			continue
+		}
+		res, err := withInterrupt(sigCh, func(ctx context.Context) (*engine.Result, error) {
+			return db.ExecContext(ctx, line)
+		})
+		if err != nil {
+			reportError(err, start)
 			continue
 		}
 		if len(res.Columns) > 0 {
@@ -103,10 +122,42 @@ func main() {
 	}
 }
 
-// execInterruptible runs one statement under a context cancelled by
-// SIGINT. Interrupts delivered while the shell was idle are drained
-// first so a stale Ctrl-C cannot kill the next statement.
-func execInterruptible(db *engine.DB, sigCh <-chan os.Signal, line string) (*engine.Result, error) {
+// explainPrefix recognizes an EXPLAIN [ANALYZE] statement prefix
+// (case-insensitive) and returns the underlying query.
+func explainPrefix(line string) (query string, analyze, ok bool) {
+	rest, ok := trimKeyword(line, "explain")
+	if !ok {
+		return "", false, false
+	}
+	if r, isAnalyze := trimKeyword(rest, "analyze"); isAnalyze {
+		return r, true, true
+	}
+	return rest, false, true
+}
+
+// trimKeyword strips one leading keyword followed by whitespace.
+func trimKeyword(s, kw string) (string, bool) {
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return s, false
+	}
+	if rest := s[len(kw):]; rest[0] == ' ' || rest[0] == '\t' {
+		return strings.TrimSpace(rest), true
+	}
+	return s, false
+}
+
+func reportError(err error, start time.Time) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Printf("cancelled (%v)\n", time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Println("error:", err)
+	}
+}
+
+// withInterrupt runs one statement under a context cancelled by SIGINT.
+// Interrupts delivered while the shell was idle are drained first so a
+// stale Ctrl-C cannot kill the next statement.
+func withInterrupt[T any](sigCh <-chan os.Signal, run func(context.Context) (T, error)) (T, error) {
 	select {
 	case <-sigCh:
 	default:
@@ -122,7 +173,7 @@ func execInterruptible(db *engine.DB, sigCh <-chan os.Signal, line string) (*eng
 		case <-done:
 		}
 	}()
-	return db.ExecContext(ctx, line)
+	return run(ctx)
 }
 
 // meta handles backslash commands; it returns false to exit.
@@ -136,9 +187,11 @@ func meta(db *engine.DB, line string, load func(int, int) error) bool {
   SELECT ... FROM ... [WHERE ...] [GROUP BY ...] [ORDER BY ...] [LIMIT n] [WITHOUT SUMMARIES]
     summary expressions: r.$.getSummaryObject('Inst').getLabelValue('Label'),
     $.getSize(), obj.containsUnion('kw', ...), obj.getSnippet(i), obj.getGroupSize(i)
+  EXPLAIN SELECT ...          show the optimized plan without running it
+  EXPLAIN ANALYZE SELECT ...  run it, annotating each operator with actuals
   ALTER TABLE t ADD [INDEXABLE] instance | ALTER TABLE t DROP instance
   ZOOM IN ON table.instance [LABEL 'label'] [WHERE expr]
-meta: \tables  \stats <table>  \explain <query>  \load <birds> <avg>  \quit`)
+meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  \quit`)
 	case `\tables`:
 		for _, name := range db.Catalog().TableNames() {
 			t, _ := db.Table(name)
@@ -165,6 +218,8 @@ meta: \tables  \stats <table>  \explain <query>  \load <birds> <avg>  \quit`)
 		for _, si := range t.Instances {
 			fmt.Printf("  %s: %s\n", si.Name, t.Stats(si.Name))
 		}
+	case `\metrics`:
+		fmt.Print(db.Metrics().String())
 	case `\explain`:
 		q := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 		plan, err := db.Explain(q, nil)

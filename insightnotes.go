@@ -39,7 +39,7 @@ import (
 // DB is an InsightNotes+ database instance. See the engine methods:
 // CreateTable, Insert, AddAnnotation, DefineClassifier / DefineSnippet /
 // DefineCluster, Query, Exec (SELECT / ALTER TABLE / ZOOM IN), Explain,
-// and ZoomIn.
+// ExplainAnalyze, Metrics, and ZoomIn.
 type DB = engine.DB
 
 // Config tunes a database instance.
@@ -101,6 +101,22 @@ type FaultError = pager.FaultError
 // Result is a query result; Rows carry data values and the propagated
 // summary sets.
 type Result = engine.Result
+
+// AnalyzedPlan is the output of DB.ExplainAnalyze / ExplainAnalyzeContext:
+// the executed query's result plus the optimized plan tree annotated
+// with cost-model estimates and measured per-operator runtime stats
+// (rows, Next calls, wall time, page/node I/O, buffering and spill).
+// Its String method renders the EXPLAIN ANALYZE report.
+type AnalyzedPlan = engine.AnalyzedPlan
+
+// OpStats is one operator's measured runtime counters inside an
+// AnalyzedPlan.
+type OpStats = exec.OpStats
+
+// Metrics is the engine-level telemetry snapshot returned by DB.Metrics:
+// statement counts and outcomes (cancellations, budget violations,
+// injected faults), a latency histogram, and cumulative page/node I/O.
+type Metrics = engine.Metrics
 
 // ZoomResult is one tuple's zoom-in answer.
 type ZoomResult = engine.ZoomResult

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// Snapshot is a machine-readable record of one benchmark run: the scale,
+// every regenerated figure, and the engine telemetry of each grid
+// point's database (query counts, latency histogram, cumulative page and
+// B-Tree node I/O). cmd/benchreport -json writes one; CI's bench-smoke
+// target keeps a BENCH_*.json artifact per run so perf regressions show
+// up as diffs, not anecdotes.
+type Snapshot struct {
+	// GeneratedAt is an RFC 3339 timestamp supplied by the writer.
+	GeneratedAt string `json:"generated_at,omitempty"`
+	Scale       Scale  `json:"scale"`
+	// Figures are the regenerated tables, in run order.
+	Figures []*Table `json:"figures"`
+	// Engine maps annotations-per-bird grid points to the telemetry of
+	// that dataset's database after the run.
+	Engine map[int]engine.Metrics `json:"engine_metrics"`
+	// ElapsedMS is the whole run's wall time in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Write renders the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// EngineMetrics snapshots the telemetry of every dataset the harness has
+// materialized so far, keyed by grid point.
+func (h *Harness) EngineMetrics() map[int]engine.Metrics {
+	out := make(map[int]engine.Metrics, len(h.cache))
+	for avg, e := range h.cache {
+		out[avg] = e.ds.DB.Metrics()
+	}
+	return out
+}

@@ -91,7 +91,7 @@ func upperBound(n *node, key string) int {
 // node is one page read.
 func (t *Tree) descendLower(key string) *node {
 	n := t.root
-	t.acct.Read(1)
+	t.acct.ReadNode(1)
 	for !n.leaf {
 		// Separator keys[i] is the minimum key of children[i+1]: route to
 		// children[i] where i = first separator > key... for leftmost
@@ -101,7 +101,7 @@ func (t *Tree) descendLower(key string) *node {
 		// duplicate may still live at the end of children[i]'s subtree, so
 		// descend into children[i].
 		n = n.children[i]
-		t.acct.Read(1)
+		t.acct.ReadNode(1)
 	}
 	return n
 }
@@ -143,7 +143,7 @@ func (t *Tree) ScanRange(from, to string, fn func(key string, val int64) bool) {
 		}
 		n = n.next
 		if n != nil {
-			t.acct.Read(1)
+			t.acct.ReadNode(1)
 		}
 		from = "" // subsequent leaves start at position 0
 	}
@@ -161,7 +161,7 @@ func (t *Tree) ScanFrom(from string, fn func(key string, val int64) bool) {
 		}
 		n = n.next
 		if n != nil {
-			t.acct.Read(1)
+			t.acct.ReadNode(1)
 		}
 		from = ""
 	}
@@ -183,7 +183,7 @@ func (t *Tree) Insert(key string, val int64) {
 		}
 		t.root = newRoot
 		t.nodes++
-		t.acct.Write(1)
+		t.acct.WriteNode(1)
 	}
 	t.size++
 }
@@ -191,7 +191,7 @@ func (t *Tree) Insert(key string, val int64) {
 // insert descends into n; on child split it absorbs the new separator.
 // Returns a (separator, right sibling) pair when n itself splits.
 func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
-	t.acct.Read(1)
+	t.acct.ReadNode(1)
 	if n.leaf {
 		i := upperBound(n, key)
 		n.keys = append(n.keys, "")
@@ -200,7 +200,7 @@ func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
 		n.vals = append(n.vals, 0)
 		copy(n.vals[i+1:], n.vals[i:])
 		n.vals[i] = val
-		t.acct.Write(1)
+		t.acct.WriteNode(1)
 		if len(n.keys) > t.order {
 			return t.splitLeaf(n)
 		}
@@ -217,7 +217,7 @@ func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
 	n.children = append(n.children, nil)
 	copy(n.children[ci+2:], n.children[ci+1:])
 	n.children[ci+1] = right
-	t.acct.Write(1)
+	t.acct.WriteNode(1)
 	if len(n.keys) > t.order {
 		return t.splitInternal(n)
 	}
@@ -236,7 +236,7 @@ func (t *Tree) splitLeaf(n *node) (string, *node) {
 	n.vals = n.vals[:mid:mid]
 	n.next = right
 	t.nodes++
-	t.acct.Write(2)
+	t.acct.WriteNode(2)
 	return right.keys[0], right
 }
 
@@ -250,7 +250,7 @@ func (t *Tree) splitInternal(n *node) (string, *node) {
 	n.keys = n.keys[:mid:mid]
 	n.children = n.children[: mid+1 : mid+1]
 	t.nodes++
-	t.acct.Write(2)
+	t.acct.WriteNode(2)
 	return sep, right
 }
 
@@ -276,13 +276,13 @@ func (t *Tree) Delete(key string, val int64) bool {
 // children; it reports whether a removal happened. The caller handles
 // n's own underflow.
 func (t *Tree) delete(n *node, key string, val int64) bool {
-	t.acct.Read(1)
+	t.acct.ReadNode(1)
 	if n.leaf {
 		for i := lowerBound(n, key); i < len(n.keys) && n.keys[i] == key; i++ {
 			if n.vals[i] == val {
 				n.keys = append(n.keys[:i], n.keys[i+1:]...)
 				n.vals = append(n.vals[:i], n.vals[i+1:]...)
-				t.acct.Write(1)
+				t.acct.WriteNode(1)
 				return true
 			}
 		}
@@ -330,7 +330,7 @@ func (t *Tree) fixChild(n *node, ci int) {
 			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
 			left.children = left.children[:len(left.children)-1]
 		}
-		t.acct.Write(3)
+		t.acct.WriteNode(3)
 		return
 	}
 	// Try borrowing from the right sibling.
@@ -350,7 +350,7 @@ func (t *Tree) fixChild(n *node, ci int) {
 			child.children = append(child.children, right.children[0])
 			right.children = right.children[1:]
 		}
-		t.acct.Write(3)
+		t.acct.WriteNode(3)
 		return
 	}
 	// Merge with a sibling.
@@ -377,7 +377,7 @@ func (t *Tree) mergeChildren(n *node, i int) {
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 	t.nodes--
-	t.acct.Write(2)
+	t.acct.WriteNode(2)
 }
 
 // --- validation -----------------------------------------------------------

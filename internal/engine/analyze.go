@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/pager"
+	"repro/internal/sql"
+)
+
+// AnalyzedPlan is the output of EXPLAIN ANALYZE: the query's result plus
+// the optimized plan tree annotated with cost-model estimates and the
+// per-operator runtime stats recorded during this execution.
+type AnalyzedPlan struct {
+	// Result is the executed query's full output (EXPLAIN ANALYZE runs
+	// the statement for real).
+	Result *Result
+	// Root is the annotated plan tree (estimates + actuals per node).
+	Root *optimizer.AnalyzedNode
+	// Wall is the end-to-end statement time: parse-to-last-row, including
+	// planning.
+	Wall time.Duration
+	// IO is the whole-statement page/node delta on the shared accountant.
+	// Under concurrent queries it may include a neighbor's traffic — the
+	// accountant is engine-wide, as are the per-operator deltas.
+	IO pager.Stats
+}
+
+// String renders the annotated plan tree followed by an execution
+// footer, in the spirit of Postgres's EXPLAIN ANALYZE output.
+func (p *AnalyzedPlan) String() string {
+	return p.Root.String() +
+		fmt.Sprintf("Execution: rows=%d time=%s io=%s\n",
+			len(p.Result.Rows), p.Wall.Round(time.Microsecond), p.IO)
+}
+
+// ExplainAnalyze executes one SELECT with per-operator instrumentation
+// and returns the annotated plan. Equivalent to ExplainAnalyzeContext
+// with context.Background().
+func (db *DB) ExplainAnalyze(query string, opts *optimizer.Options) (*AnalyzedPlan, error) {
+	return db.ExplainAnalyzeContext(context.Background(), query, opts)
+}
+
+// ExplainAnalyzeContext parses, plans, and EXECUTES the statement with a
+// stats collector attached: every compiled operator is wrapped in a
+// recorder measuring rows, Next calls, wall time, accountant I/O deltas,
+// and buffering/spill charges. The plain query path pays none of this —
+// recorders exist only when a collector is installed. Cancellation,
+// statement timeouts, budgets, and fault isolation behave exactly as in
+// QueryContext.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, query string, opts *optimizer.Options) (*AnalyzedPlan, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN ANALYZE expects SELECT, got %T", stmt)
+	}
+	ctx, cancel := db.applyTimeout(ctx)
+	defer cancel()
+
+	var o optimizer.Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Collector = exec.NewStatsCollector(db.acct)
+
+	start := time.Now()
+	db.mu.RLock()
+	io0 := db.acct.Stats()
+	res, resolver, err := db.runSelectResolved(ctx, sel, &o)
+	io1 := db.acct.Stats()
+	var root *optimizer.AnalyzedNode
+	if err == nil {
+		root = optimizer.Annotate(res.Plan, resolver, db.optimizerEnv(sel.Propagate), o)
+	}
+	db.mu.RUnlock()
+	wall := time.Since(start)
+
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	db.metrics.record(wall, rows, err)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyzedPlan{Result: res, Root: root, Wall: wall, IO: io1.Sub(io0)}, nil
+}

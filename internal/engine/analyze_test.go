@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+)
+
+// The acceptance scenario: EXPLAIN ANALYZE on a summary-predicate query
+// renders every operator with its cost-model estimate next to the
+// measured rows, Next calls, wall time, and page/node I/O.
+func TestExplainAnalyzeSummaryPredicate(t *testing.T) {
+	db, _ := testDB(t, 40)
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT id, name FROM Birds r
+	      WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+	      ORDER BY name`
+	ap, err := db.ExplainAnalyze(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := db.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.Result.Rows) == 0 || len(ap.Result.Rows) != len(plain.Rows) {
+		t.Fatalf("analyzed run returned %d rows, plain run %d", len(ap.Result.Rows), len(plain.Rows))
+	}
+
+	out := ap.String()
+	for _, want := range []string{
+		"est rows=", "actual rows=", "nexts=", "time=", "io self=", "Execution: rows=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Root actuals match the result; the whole tree executed.
+	if ap.Root.Stats == nil {
+		t.Fatalf("root has no runtime stats:\n%s", out)
+	}
+	if got := ap.Root.Stats.Rows; got != int64(len(ap.Result.Rows)) {
+		t.Errorf("root actual rows = %d, result has %d", got, len(ap.Result.Rows))
+	}
+	executed := 0
+	ap.Root.Walk(func(n *optimizer.AnalyzedNode) {
+		if n.Stats != nil {
+			executed++
+			if n.Stats.NextCalls < n.Stats.Rows {
+				t.Errorf("%s: %d Next calls produced %d rows",
+					n.Node.Describe(), n.Stats.NextCalls, n.Stats.Rows)
+			}
+		}
+	})
+	if executed < 2 {
+		t.Errorf("only %d executed operators annotated:\n%s", executed, out)
+	}
+	if ap.Wall <= 0 {
+		t.Errorf("non-positive wall time %v", ap.Wall)
+	}
+	if ap.IO.PageReads <= 0 {
+		t.Errorf("statement-level I/O delta empty: %+v", ap.IO)
+	}
+	// The predicate took the index path, and the index probe surfaced
+	// B-Tree node accesses in its operator line.
+	if !strings.Contains(out, "SummaryBTreeScan") {
+		t.Fatalf("plan does not use the summary index:\n%s", out)
+	}
+	sawNodes := false
+	ap.Root.Walk(func(n *optimizer.AnalyzedNode) {
+		if n.Stats != nil && n.Stats.IO.NodeAccesses() > 0 {
+			sawNodes = true
+		}
+	})
+	if !sawNodes {
+		t.Errorf("no operator recorded B-Tree node accesses:\n%s", out)
+	}
+}
+
+// The instrumented run must return exactly what the plain run returns —
+// the recorders are transparent decorators.
+func TestExplainAnalyzeMatchesPlainQuery(t *testing.T) {
+	db, _ := testDB(t, 25)
+	for _, q := range []string{
+		`SELECT id FROM Birds b WHERE b.family = 'Corvidae'`,
+		`SELECT family FROM Birds b GROUP BY family`,
+		`SELECT DISTINCT family FROM Birds b ORDER BY family`,
+		`SELECT r.id, s.id FROM Birds r, Birds s WHERE r.family = s.family LIMIT 10`,
+	} {
+		ap, err := db.ExplainAnalyze(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		plain, err := db.Query(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(ap.Result.Rows) != len(plain.Rows) {
+			t.Errorf("%s: analyzed %d rows, plain %d", q, len(ap.Result.Rows), len(plain.Rows))
+		}
+	}
+}
+
+func TestExplainAnalyzeRejectsNonSelect(t *testing.T) {
+	db, _ := testDB(t, 5)
+	if _, err := db.ExplainAnalyze(`ALTER TABLE Birds DROP ClassBird1`, nil); err == nil {
+		t.Fatal("expected error for non-SELECT statement")
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	db, _ := testDB(t, 20)
+	base := db.Metrics()
+
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(`SELECT id FROM Birds b`, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One cancellation (pre-cancelled context)...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, slowJoinQuery, nil); err == nil {
+		t.Fatal("pre-cancelled query succeeded")
+	}
+	// ...and one budget violation.
+	tight := &optimizer.Options{Budget: exec.NewBudget(5, 0, 0)}
+	if _, err := db.Query(`SELECT DISTINCT id FROM Birds`, tight); err == nil {
+		t.Fatal("tight-budget query succeeded")
+	}
+	// EXPLAIN ANALYZE statements count as queries too.
+	if _, err := db.ExplainAnalyze(`SELECT id FROM Birds b`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	m := db.Metrics()
+	if got := m.Queries - base.Queries; got != 6 {
+		t.Errorf("queries delta = %d, want 6", got)
+	}
+	if got := m.RowsReturned - base.RowsReturned; got != 4*20 {
+		t.Errorf("rows delta = %d, want 80", got)
+	}
+	if got := m.Failures - base.Failures; got != 2 {
+		t.Errorf("failures delta = %d, want 2", got)
+	}
+	if got := m.Cancellations - base.Cancellations; got != 1 {
+		t.Errorf("cancellations delta = %d, want 1", got)
+	}
+	if got := m.BudgetFailures - base.BudgetFailures; got != 1 {
+		t.Errorf("budget failures delta = %d, want 1", got)
+	}
+	var bucketSum int64
+	for _, c := range m.LatencyCounts {
+		bucketSum += c
+	}
+	if bucketSum != m.Queries {
+		t.Errorf("latency buckets sum to %d, queries = %d", bucketSum, m.Queries)
+	}
+	if len(m.LatencyCounts) != len(m.LatencyBounds)+1 {
+		t.Errorf("bucket shape: %d counts for %d bounds", len(m.LatencyCounts), len(m.LatencyBounds))
+	}
+	if m.TotalQueryTime <= 0 {
+		t.Errorf("non-positive total query time %v", m.TotalQueryTime)
+	}
+	if m.IO.PageReads <= 0 {
+		t.Errorf("metrics snapshot missing accountant I/O: %+v", m.IO)
+	}
+	for _, want := range []string{"queries=", "latency:", "io:"} {
+		if !strings.Contains(m.String(), want) {
+			t.Errorf("Metrics.String missing %q:\n%s", want, m.String())
+		}
+	}
+}

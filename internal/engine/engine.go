@@ -60,6 +60,9 @@ type DB struct {
 	// template. Both are atomics so they can be tuned while queries run.
 	stmtTimeout   atomic.Int64
 	defaultBudget atomic.Pointer[exec.Budget]
+
+	// metrics is the always-on query telemetry (see Metrics).
+	metrics metricCounters
 }
 
 // New creates an empty database.

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wallTimeRe matches the volatile wall-time fields of EXPLAIN ANALYZE
+// output; everything else (estimates, cardinalities, page/node I/O) is
+// deterministic for a fixed dataset and asserted byte-for-byte.
+var wallTimeRe = regexp.MustCompile(`time=[^ )\n]+`)
+
+// compareGolden checks got against testdata/<name>.golden; set
+// UPDATE_GOLDEN=1 to regenerate the files instead.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenDB is the shared fixture for the formatting goldens: 40 birds
+// with a Summary-BTree, so plans cover index scans, sorts, and limits.
+func goldenDB(t *testing.T) *DB {
+	t.Helper()
+	db, _ := testDB(t, 40)
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestExplainGolden(t *testing.T) {
+	db := goldenDB(t)
+	for name, q := range map[string]string{
+		"explain_index": `SELECT id, name FROM Birds r
+		  WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+		  ORDER BY name`,
+		"explain_join": `SELECT r.id, s.id FROM Birds r, Birds s
+		  WHERE r.family = s.family AND r.id < 5`,
+		"explain_group": `SELECT family FROM Birds b GROUP BY family ORDER BY family LIMIT 2`,
+	} {
+		out, err := db.Explain(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compareGolden(t, name, out)
+	}
+}
+
+func TestExplainAnalyzeGolden(t *testing.T) {
+	db := goldenDB(t)
+	for name, q := range map[string]string{
+		"analyze_index": `SELECT id, name FROM Birds r
+		  WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+		  ORDER BY name LIMIT 3`,
+		"analyze_scan": `SELECT id FROM Birds b WHERE b.family = 'Corvidae'`,
+	} {
+		ap, err := db.ExplainAnalyze(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compareGolden(t, name, wallTimeRe.ReplaceAllString(ap.String(), "time=<t>"))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/optimizer"
@@ -58,9 +59,16 @@ func (db *DB) QueryContext(ctx context.Context, query string, opts *optimizer.Op
 func (db *DB) RunSelectContext(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
 	ctx, cancel := db.applyTimeout(ctx)
 	defer cancel()
+	start := time.Now()
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.runSelect(ctx, sel, opts)
+	res, err := db.runSelect(ctx, sel, opts)
+	db.mu.RUnlock()
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	db.metrics.record(time.Since(start), rows, err)
+	return res, err
 }
 
 // ExecContext is Exec with cancellation for the query-shaped statements

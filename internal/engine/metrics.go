@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/pager"
+)
+
+// latencyBounds are the upper bounds of the query-latency histogram
+// buckets; a final unbounded bucket catches everything slower.
+var latencyBounds = [numLatencyBuckets - 1]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// numLatencyBuckets includes the final unbounded overflow bucket.
+const numLatencyBuckets = 6
+
+// metricCounters is the DB's always-on query telemetry. Everything is
+// atomic — queries record concurrently under the shared lock — and
+// recording is a handful of adds, so the per-query overhead is noise.
+type metricCounters struct {
+	queries     atomic.Int64
+	rows        atomic.Int64
+	failures    atomic.Int64
+	cancels     atomic.Int64
+	budgetFails atomic.Int64
+	faultFails  atomic.Int64
+	queryNanos  atomic.Int64
+	latency     [numLatencyBuckets]atomic.Int64
+}
+
+// record classifies one finished statement. Cancellations and deadline
+// expiries count separately from hard failures; budget violations and
+// injected storage faults are recognized through any wrapping layer.
+func (m *metricCounters) record(d time.Duration, rows int, err error) {
+	m.queries.Add(1)
+	m.queryNanos.Add(int64(d))
+	bucket := len(latencyBounds)
+	for i, b := range &latencyBounds {
+		if d <= b {
+			bucket = i
+			break
+		}
+	}
+	m.latency[bucket].Add(1)
+	if err == nil {
+		m.rows.Add(int64(rows))
+		return
+	}
+	m.failures.Add(1)
+	var fe *pager.FaultError
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		m.cancels.Add(1)
+	case errors.Is(err, exec.ErrBudgetExceeded):
+		m.budgetFails.Add(1)
+	case errors.As(err, &fe):
+		m.faultFails.Add(1)
+	}
+}
+
+// Metrics is an engine-level telemetry snapshot: statement counts and
+// outcomes, a fixed-bucket latency histogram, and the cumulative page
+// I/O of the shared accountant. The benchmark harness embeds it in its
+// JSON snapshots; the shell prints it via \metrics.
+type Metrics struct {
+	// Queries counts executed SELECT statements (EXPLAIN ANALYZE
+	// included).
+	Queries int64
+	// RowsReturned totals result rows of successful queries.
+	RowsReturned int64
+	// Failures counts statements that returned an error, including the
+	// classified categories below.
+	Failures int64
+	// Cancellations counts context cancellations and deadline expiries.
+	Cancellations int64
+	// BudgetFailures counts resource-budget violations.
+	BudgetFailures int64
+	// FaultFailures counts injected storage faults that surfaced.
+	FaultFailures int64
+	// TotalQueryTime is the summed wall time of all statements.
+	TotalQueryTime time.Duration
+	// LatencyBounds are the histogram buckets' inclusive upper bounds;
+	// LatencyCounts has one extra final entry for the overflow bucket.
+	LatencyBounds []time.Duration
+	LatencyCounts []int64
+	// IO is the accountant's cumulative page/node counters.
+	IO pager.Stats
+}
+
+// Metrics snapshots the engine telemetry.
+func (db *DB) Metrics() Metrics {
+	m := &db.metrics
+	out := Metrics{
+		Queries:        m.queries.Load(),
+		RowsReturned:   m.rows.Load(),
+		Failures:       m.failures.Load(),
+		Cancellations:  m.cancels.Load(),
+		BudgetFailures: m.budgetFails.Load(),
+		FaultFailures:  m.faultFails.Load(),
+		TotalQueryTime: time.Duration(m.queryNanos.Load()),
+		LatencyBounds:  append([]time.Duration(nil), latencyBounds[:]...),
+		IO:             db.acct.Stats(),
+	}
+	out.LatencyCounts = make([]int64, len(m.latency))
+	for i := range m.latency {
+		out.LatencyCounts[i] = m.latency[i].Load()
+	}
+	return out
+}
+
+// String renders the snapshot as a compact multi-line report.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries=%d rows=%d failures=%d (cancelled=%d budget=%d faults=%d)\n",
+		m.Queries, m.RowsReturned, m.Failures, m.Cancellations, m.BudgetFailures, m.FaultFailures)
+	b.WriteString("latency:")
+	for i, c := range m.LatencyCounts {
+		if i < len(m.LatencyBounds) {
+			fmt.Fprintf(&b, " <%s=%d", m.LatencyBounds[i], c)
+		} else {
+			fmt.Fprintf(&b, " slower=%d", c)
+		}
+	}
+	fmt.Fprintf(&b, " total=%s\n", m.TotalQueryTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "io: %s\n", m.IO)
+	return b.String()
+}

@@ -43,7 +43,15 @@ func (db *DB) RunSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, 
 // deferred recover is the planning-time backstop: cost estimation and
 // access-path probing may touch index pages, so injected storage
 // faults can surface before the executor's own guards are in place.
-func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, err error) {
+func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
+	res, _, err := db.runSelectResolved(ctx, sel, opts)
+	return res, err
+}
+
+// runSelectResolved additionally returns the alias resolver so
+// ExplainAnalyze can re-annotate the optimized plan with cost-model
+// estimates after execution.
+func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, r *plan.AliasResolver, err error) {
 	defer recoverInto("Planner", &err)
 	var o optimizer.Options
 	if opts != nil {
@@ -52,17 +60,17 @@ func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimize
 	builder := &plan.Builder{Cat: db.cat}
 	root, resolver, err := builder.Build(sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	env := db.optimizerEnv(sel.Propagate)
 	it, optimized, err := optimizer.Plan(root, resolver, env, o)
 	if err != nil {
-		return nil, err
+		return nil, resolver, err
 	}
 	qc := exec.NewQueryCtx(ctx, db.newQueryBudget(opts))
 	rows, err := executeGuarded(qc, it, optimized)
 	if err != nil {
-		return nil, err
+		return nil, resolver, err
 	}
 	if !sel.Propagate {
 		// Predicates may have needed summaries internally (the compiler
@@ -78,7 +86,7 @@ func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimize
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}, nil
+	return &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}, resolver, nil
 }
 
 // Explain returns the optimized logical plan as text.

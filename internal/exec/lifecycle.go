@@ -147,6 +147,11 @@ type Budget struct {
 	MaxSpillBytes    int64
 
 	bufRows, bufBytes, spillBytes int64
+
+	// Monotonic totals of everything ever charged (never released) —
+	// the counters EXPLAIN ANALYZE snapshots to attribute buffering and
+	// spill volume to individual operators.
+	totBufRows, totBufBytes, totSpillBytes int64
 }
 
 // NewBudget builds a budget; any zero limit is unlimited.
@@ -168,6 +173,8 @@ func (b *Budget) ChargeBuffered(op string, rows, bytes int64) error {
 	}
 	b.bufRows += rows
 	b.bufBytes += bytes
+	b.totBufRows += rows
+	b.totBufBytes += bytes
 	return nil
 }
 
@@ -191,6 +198,7 @@ func (b *Budget) ChargeSpill(op string, bytes int64) error {
 		return &BudgetError{Op: op, Resource: "spill bytes", Need: b.spillBytes + bytes, Limit: b.MaxSpillBytes}
 	}
 	b.spillBytes += bytes
+	b.totSpillBytes += bytes
 	return nil
 }
 
@@ -200,6 +208,17 @@ func (b *Budget) ReleaseSpill(bytes int64) {
 		return
 	}
 	b.spillBytes -= bytes
+}
+
+// ChargeTotals reports the monotonic charge counters: rows and bytes
+// ever buffered, and temp-file bytes ever spilled. Unlike the live
+// counters these never decrease, so a before/after snapshot attributes
+// charges to one operator's execution window.
+func (b *Budget) ChargeTotals() (bufRows, bufBytes, spillBytes int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	return b.totBufRows, b.totBufBytes, b.totSpillBytes
 }
 
 // BufferedRows reports the rows currently charged (for tests/metrics).

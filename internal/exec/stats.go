@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/pager"
+)
+
+// This file is the EXPLAIN ANALYZE instrumentation layer: a lightweight
+// per-operator stats recorder attached by wrapping each physical
+// operator in a statsIter. The non-ANALYZE path never allocates a
+// wrapper, so ordinary queries pay nothing; an ANALYZE run pays two
+// accountant snapshots (a handful of atomic loads) per Volcano call.
+
+// OpStats accumulates one operator's runtime metrics. All figures are
+// inclusive of the operator's children — the Volcano protocol means a
+// parent's Next() drives its subtree — mirroring how EXPLAIN ANALYZE
+// reports actual time in mainstream engines. Exclusive ("self") numbers
+// are derived at render time by subtracting child totals.
+type OpStats struct {
+	// Name is the physical operator (SeqScan, HashJoin, ...).
+	Name string
+
+	// Opens counts Open calls (rescans re-open; 1 for ordinary plans).
+	Opens int64
+	// NextCalls counts Next invocations, including the final EOS call.
+	NextCalls int64
+	// Rows counts non-nil rows emitted.
+	Rows int64
+
+	// OpenWall/NextWall/CloseWall are cumulative wall time inside each
+	// phase, inclusive of children.
+	OpenWall  time.Duration
+	NextWall  time.Duration
+	CloseWall time.Duration
+
+	// IO is the pager-counter delta (heap page and B-Tree node accesses)
+	// observed while this subtree was running.
+	IO pager.Stats
+
+	// BufferedRows/BufferedBytes/SpillBytes are resource-budget charges
+	// (monotonic totals) attributed to this subtree — sort buffers and
+	// spill files, hash tables, aggregation state.
+	BufferedRows  int64
+	BufferedBytes int64
+	SpillBytes    int64
+}
+
+// Wall is the total wall time across all phases (inclusive).
+func (s *OpStats) Wall() time.Duration { return s.OpenWall + s.NextWall + s.CloseWall }
+
+// String renders the actual-side metrics compactly.
+func (s *OpStats) String() string {
+	out := fmt.Sprintf("rows=%d nexts=%d time=%s io=%d+%d",
+		s.Rows, s.NextCalls, s.Wall().Round(time.Microsecond), s.IO.PageReads, s.IO.PageWrites)
+	if n := s.IO.NodeAccesses(); n > 0 {
+		out += fmt.Sprintf(" nodes=%d", n)
+	}
+	if s.SpillBytes > 0 {
+		out += fmt.Sprintf(" spill=%dB", s.SpillBytes)
+	}
+	if s.BufferedRows > 0 {
+		out += fmt.Sprintf(" buffered=%d", s.BufferedRows)
+	}
+	return out
+}
+
+// StatsCollector owns the per-operator recorders of one instrumented
+// query. Keys are opaque (the optimizer uses logical plan nodes), so the
+// executor stays free of plan dependencies. A nil collector disables
+// instrumentation everywhere.
+type StatsCollector struct {
+	// Acct is the I/O accountant sampled around operator calls; nil
+	// disables I/O deltas but keeps row/time accounting.
+	Acct *pager.Accountant
+
+	stats map[any]*OpStats
+	order []*OpStats
+}
+
+// NewStatsCollector builds a collector sampling the given accountant.
+func NewStatsCollector(acct *pager.Accountant) *StatsCollector {
+	return &StatsCollector{Acct: acct, stats: make(map[any]*OpStats)}
+}
+
+// Wrap instruments it under the given key, registering (and returning)
+// a recording wrapper. Wrapping the same key twice reuses its OpStats.
+func (c *StatsCollector) Wrap(key any, it Iterator) Iterator {
+	if c == nil {
+		return it
+	}
+	st, ok := c.stats[key]
+	if !ok {
+		st = &OpStats{Name: OpName(it)}
+		c.stats[key] = st
+		c.order = append(c.order, st)
+	}
+	return &statsIter{child: it, st: st, acct: c.Acct}
+}
+
+// Stats returns the recorder registered under key, or nil when the key's
+// plan node never compiled to an executed operator (eliminated sorts,
+// index-join inner sides).
+func (c *StatsCollector) Stats(key any) *OpStats {
+	if c == nil {
+		return nil
+	}
+	return c.stats[key]
+}
+
+// All returns every recorder in registration (compile) order.
+func (c *StatsCollector) All() []*OpStats {
+	if c == nil {
+		return nil
+	}
+	return c.order
+}
+
+// statsIter is the recording decorator around one physical operator.
+type statsIter struct {
+	child  Iterator
+	st     *OpStats
+	acct   *pager.Accountant
+	budget *Budget
+}
+
+// SetContext grabs the query budget for charge attribution and forwards
+// the lifecycle to the wrapped operator.
+func (w *statsIter) SetContext(qc *QueryCtx) {
+	w.budget = qc.Budget()
+	SetIterContext(w.child, qc)
+}
+
+// Unwrap exposes the wrapped operator (tests and OpName reach through).
+func (w *statsIter) Unwrap() Iterator { return w.child }
+
+// sample begins one measurement window.
+func (w *statsIter) sample() (time.Time, pager.Stats, [3]int64) {
+	var totals [3]int64
+	totals[0], totals[1], totals[2] = w.budget.ChargeTotals()
+	return time.Now(), w.acct.Stats(), totals
+}
+
+// commit closes a measurement window into the recorder.
+func (w *statsIter) commit(wall *time.Duration, start time.Time, io0 pager.Stats, b0 [3]int64) {
+	*wall += time.Since(start)
+	w.st.IO = w.st.IO.Add(w.acct.Stats().Sub(io0))
+	r, b, sp := w.budget.ChargeTotals()
+	w.st.BufferedRows += r - b0[0]
+	w.st.BufferedBytes += b - b0[1]
+	w.st.SpillBytes += sp - b0[2]
+}
+
+func (w *statsIter) Open() error {
+	start, io0, b0 := w.sample()
+	err := w.child.Open()
+	w.st.Opens++
+	w.commit(&w.st.OpenWall, start, io0, b0)
+	return err
+}
+
+func (w *statsIter) Next() (*Row, error) {
+	start, io0, b0 := w.sample()
+	row, err := w.child.Next()
+	w.st.NextCalls++
+	if row != nil {
+		w.st.Rows++
+	}
+	w.commit(&w.st.NextWall, start, io0, b0)
+	return row, err
+}
+
+func (w *statsIter) Close() error {
+	start, io0, b0 := w.sample()
+	err := w.child.Close()
+	w.commit(&w.st.CloseWall, start, io0, b0)
+	return err
+}
+
+func (w *statsIter) Schema() *model.Schema { return w.child.Schema() }
+
+// OpName names a physical operator for display. Wrappers are unwrapped;
+// unknown types fall back to their Go type name.
+func OpName(it Iterator) string {
+	switch op := it.(type) {
+	case *statsIter:
+		return OpName(op.child)
+	case *SeqScan:
+		return "SeqScan"
+	case *SummaryIndexScan:
+		return "SummaryIndexScan"
+	case *BaselineIndexScan:
+		return "BaselineIndexScan"
+	case *DataIndexScan:
+		return "DataIndexScan"
+	case *PredicateFilter:
+		if op.Summary {
+			return "SummarySelect"
+		}
+		return "Filter"
+	case *SummaryFilter:
+		return "SummaryFilter"
+	case *SummaryEffectProject:
+		return "SummaryProject"
+	case *Project:
+		return "Project"
+	case *Sort:
+		if op.Mem {
+			return "Sort"
+		}
+		return "ExternalSort"
+	case *HashJoin:
+		return "HashJoin"
+	case *IndexJoin:
+		return "IndexJoin"
+	case *NLJoin:
+		return "NLJoin"
+	case *GroupBy:
+		return "GroupBy"
+	case *Distinct:
+		return "Distinct"
+	case *Limit:
+		return "Limit"
+	case *sliceIter:
+		return "Materialize"
+	default:
+		return fmt.Sprintf("%T", it)
+	}
+}

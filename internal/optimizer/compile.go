@@ -32,8 +32,19 @@ func usesDollar(exprs ...sql.Expr) bool {
 }
 
 // compile lowers one node; need reports whether operators above n
-// require summary sets on n's output rows.
+// require summary sets on n's output rows. With a stats collector in
+// opts, every produced operator is wrapped in a per-operator runtime
+// recorder keyed by its logical node, so EXPLAIN ANALYZE can join
+// estimates and actuals over the plan tree.
 func compile(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
+	it, err := compileNode(n, env, opts, need)
+	if err != nil || opts.Collector == nil {
+		return it, err
+	}
+	return opts.Collector.Wrap(n, it), nil
+}
+
+func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
 		return exec.NewSeqScan(node.Table, node.Alias, need), nil

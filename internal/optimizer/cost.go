@@ -25,25 +25,51 @@ type Estimate struct {
 // cpuPerRow charges predicate evaluation relative to a page access.
 const cpuPerRow = 0.01
 
+// No-statistics fallback selectivities, the conventional defaults:
+// equality behaves like 1/NumDistinct for a moderately distinct column,
+// ranges like the standard one-third guess. Using one shared 0.1 for
+// both (the old behavior) made cold tables over-prefer the index path
+// on range predicates and under-prefer it on equality.
+const (
+	defaultEqSelectivity    = 0.005
+	defaultRangeSelectivity = 1.0 / 3
+)
+
+// defaultSelectivity is the no-statistics guess for a classifier
+// comparison operator.
+func defaultSelectivity(op index.CmpOp) float64 {
+	if op == index.OpEq {
+		return defaultEqSelectivity
+	}
+	return defaultRangeSelectivity
+}
+
 // selectivity of a classifier predicate from the label's statistics.
+// Range predicates are bounded by the label's observed domain [Min, Max]
+// on the open side: hard-coding 0 as the lower bound (the old OpLt/OpLe
+// behavior) collapses "label < c" to an empty range whenever the domain
+// is shifted below zero — the estimate reads 0 rows, so the optimizer
+// always picks the index probe even when half the table qualifies.
 func (rw *rewriter) selectivity(t *catalog.Table, cp *plan.ClassifierPredicate) float64 {
 	ls := t.Stats(cp.Instance).Label(cp.Label)
 	if ls.N() == 0 {
-		return 0.1 // no statistics: the standard default guess
+		return defaultSelectivity(cp.Op)
 	}
 	switch cp.Op {
 	case index.OpEq:
 		return ls.SelectivityEq(cp.Constant)
 	case index.OpLt:
-		return ls.SelectivityRange(0, cp.Constant-1)
+		return ls.SelectivityRange(ls.Min(), cp.Constant-1)
 	case index.OpLe:
-		return ls.SelectivityRange(0, cp.Constant)
+		return ls.SelectivityRange(ls.Min(), cp.Constant)
 	case index.OpGt:
+		// Symmetric audit of the open upper side: these already bound the
+		// range with ls.Max(), the domain's true top.
 		return ls.SelectivityRange(cp.Constant+1, ls.Max())
 	case index.OpGe:
 		return ls.SelectivityRange(cp.Constant, ls.Max())
 	}
-	return 0.1
+	return defaultRangeSelectivity
 }
 
 // indexBeatsScan compares a Summary-BTree (or baseline) probe against a
@@ -219,7 +245,7 @@ func (rw *rewriter) predSelectivity(pred sql.Expr, under plan.Node) float64 {
 	tables := tablesIn(under)
 	for _, c := range plan.Conjuncts(pred) {
 		if cp, ok := plan.MatchClassifierPredicate(c); ok {
-			s := 0.1
+			s := defaultSelectivity(cp.Op)
 			for _, t := range tables {
 				if t.HasInstance(cp.Instance) {
 					s = rw.selectivity(t, cp)

@@ -1,0 +1,99 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/plan"
+)
+
+// Regression for the range-bound bug: OpLt/OpLe used a hard-coded 0 as
+// the open lower bound instead of the label domain's true minimum. For
+// a domain shifted below zero, "label < c" collapsed to an empty range
+// (hi < 0 = lo), estimating 0 matching rows — so the optimizer chose
+// the index probe even when half the table qualifies.
+func TestSelectivityShiftedDomainRegression(t *testing.T) {
+	f := newOptFixture(t, 60, 0, false, 7)
+	// Shifted label domain [-10, 10], 5 objects per value: ~48% of
+	// objects sit below 0.
+	ls := f.r.Stats("C1").Label("Shifted")
+	for i := 0; i < 105; i++ {
+		ls.Add(-10 + i%21)
+	}
+
+	rw := &rewriter{env: f.env, opts: Options{UseBaseline: true}, resolver: nil}
+	cp := &plan.ClassifierPredicate{Instance: "C1", Label: "Shifted", Op: index.OpLt, Constant: 0}
+
+	sel := rw.selectivity(f.r, cp)
+	want := 10.0 / 21
+	if math.Abs(sel-want) > 0.1 {
+		t.Fatalf("selectivity(Shifted < 0) = %v, want ≈ %v (hard-coded 0 lower bound estimates 0)", sel, want)
+	}
+
+	// The half-the-table predicate must NOT take the (baseline) index
+	// path; a highly selective point predicate on the same label must.
+	if rw.indexBeatsScan(f.r, cp) {
+		t.Errorf("index chosen for ~48%% selectivity predicate on shifted domain")
+	}
+	eq := &plan.ClassifierPredicate{Instance: "C1", Label: "Shifted", Op: index.OpEq, Constant: -10}
+	if !rw.indexBeatsScan(f.r, eq) {
+		t.Errorf("index rejected for selective point predicate on shifted domain")
+	}
+
+	// End-to-end: access-path selection flips between the two
+	// predicates on the full rewrite pipeline.
+	f.buildBaselineIndex(f.r)
+	opts := Options{UseBaseline: true}
+	qRange := `SELECT r.a FROM R r WHERE r.$.getSummaryObject('C1').getLabelValue('Shifted') < 0`
+	if got := f.explain(qRange, opts); strings.Contains(got, "BaselineIndexScan") {
+		t.Errorf("range predicate over half the shifted domain picked the index:\n%s", got)
+	}
+	qPoint := `SELECT r.a FROM R r WHERE r.$.getSummaryObject('C1').getLabelValue('Shifted') = -10`
+	if got := f.explain(qPoint, opts); !strings.Contains(got, "BaselineIndexScan") {
+		t.Errorf("selective point predicate on the shifted domain skipped the index:\n%s", got)
+	}
+}
+
+// The symmetric upper-bound audit: OpGt/OpGe already close the range
+// with ls.Max(); a shifted domain must behave identically through them.
+func TestSelectivityShiftedDomainUpperBounds(t *testing.T) {
+	f := newOptFixture(t, 20, 0, false, 8)
+	ls := f.r.Stats("C1").Label("Shifted")
+	for i := 0; i < 105; i++ {
+		ls.Add(-10 + i%21)
+	}
+	rw := &rewriter{env: f.env, opts: Options{}, resolver: nil}
+	gt := &plan.ClassifierPredicate{Instance: "C1", Label: "Shifted", Op: index.OpGt, Constant: -1}
+	if sel := rw.selectivity(f.r, gt); math.Abs(sel-11.0/21) > 0.1 {
+		t.Errorf("selectivity(Shifted > -1) = %v, want ≈ %v", sel, 11.0/21)
+	}
+	ge := &plan.ClassifierPredicate{Instance: "C1", Label: "Shifted", Op: index.OpGe, Constant: 0}
+	if sel := rw.selectivity(f.r, ge); math.Abs(sel-11.0/21) > 0.1 {
+		t.Errorf("selectivity(Shifted >= 0) = %v, want ≈ %v", sel, 11.0/21)
+	}
+	le := &plan.ClassifierPredicate{Instance: "C1", Label: "Shifted", Op: index.OpLe, Constant: 10}
+	if sel := rw.selectivity(f.r, le); sel < 0.9 {
+		t.Errorf("selectivity(Shifted <= max) = %v, want ≈ 1", sel)
+	}
+}
+
+// Regression for the no-statistics fallback: equality and range
+// predicates both guessed 0.1; equality now uses a small
+// 1/NumDistinct-style default and ranges the conventional one-third.
+func TestSelectivityNoStatsDefaults(t *testing.T) {
+	f := newOptFixture(t, 10, 0, false, 9)
+	rw := &rewriter{env: f.env, opts: Options{}, resolver: nil}
+
+	eq := &plan.ClassifierPredicate{Instance: "C1", Label: "Cold", Op: index.OpEq, Constant: 3}
+	if sel := rw.selectivity(f.r, eq); sel != defaultEqSelectivity {
+		t.Errorf("cold equality selectivity = %v, want %v", sel, defaultEqSelectivity)
+	}
+	for _, op := range []index.CmpOp{index.OpLt, index.OpLe, index.OpGt, index.OpGe} {
+		cp := &plan.ClassifierPredicate{Instance: "C1", Label: "Cold", Op: op, Constant: 3}
+		if sel := rw.selectivity(f.r, cp); sel != defaultRangeSelectivity {
+			t.Errorf("cold %v selectivity = %v, want %v", op, sel, defaultRangeSelectivity)
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Options struct {
 	// single Options value is safe to reuse across queries. nil means
 	// the engine default (unlimited unless configured).
 	Budget *exec.Budget
+	// Collector, when non-nil, wraps every compiled operator in a
+	// runtime-stats recorder keyed by its logical plan node — the
+	// EXPLAIN ANALYZE instrumentation. A Collector belongs to one
+	// execution; do not reuse it across queries.
+	Collector *exec.StatsCollector
 }
 
 // Env supplies the optimizer and compiler with catalog context.

@@ -13,22 +13,48 @@ import (
 	"time"
 )
 
-// Stats is a snapshot of I/O counters.
+// Stats is a snapshot of I/O counters. NodeReads/NodeWrites are the
+// subset of PageReads/PageWrites charged by B-Tree node accesses
+// (descents and structure maintenance), so index traffic can be told
+// apart from heap traffic in EXPLAIN ANALYZE output.
 type Stats struct {
 	PageReads  int64
 	PageWrites int64
+	NodeReads  int64
+	NodeWrites int64
 }
 
 // Sub returns s - o, for measuring a single operation's cost.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{PageReads: s.PageReads - o.PageReads, PageWrites: s.PageWrites - o.PageWrites}
+	return Stats{
+		PageReads:  s.PageReads - o.PageReads,
+		PageWrites: s.PageWrites - o.PageWrites,
+		NodeReads:  s.NodeReads - o.NodeReads,
+		NodeWrites: s.NodeWrites - o.NodeWrites,
+	}
+}
+
+// Add returns s + o, for accumulating per-operation deltas.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		PageReads:  s.PageReads + o.PageReads,
+		PageWrites: s.PageWrites + o.PageWrites,
+		NodeReads:  s.NodeReads + o.NodeReads,
+		NodeWrites: s.NodeWrites + o.NodeWrites,
+	}
 }
 
 // Total returns reads + writes.
 func (s Stats) Total() int64 { return s.PageReads + s.PageWrites }
 
+// NodeAccesses returns the B-Tree node reads + writes.
+func (s Stats) NodeAccesses() int64 { return s.NodeReads + s.NodeWrites }
+
 // String renders the counters.
 func (s Stats) String() string {
+	if n := s.NodeAccesses(); n > 0 {
+		return fmt.Sprintf("reads=%d writes=%d nodes=%d", s.PageReads, s.PageWrites, n)
+	}
 	return fmt.Sprintf("reads=%d writes=%d", s.PageReads, s.PageWrites)
 }
 
@@ -40,6 +66,11 @@ func (s Stats) String() string {
 type Accountant struct {
 	reads  atomic.Int64
 	writes atomic.Int64
+
+	// nodeReads/nodeWrites mirror the subset of reads/writes charged
+	// through ReadNode/WriteNode (B-Tree node accesses).
+	nodeReads  atomic.Int64
+	nodeWrites atomic.Int64
 
 	// readDelay, when non-zero, is slept per page read to simulate a
 	// disk-resident database. Nanoseconds.
@@ -82,6 +113,25 @@ func (a *Accountant) Write(n int) {
 	}
 }
 
+// ReadNode charges n B-Tree node reads: an ordinary page read that is
+// additionally attributed to index traffic in Stats.
+func (a *Accountant) ReadNode(n int) {
+	if a == nil {
+		return
+	}
+	a.nodeReads.Add(int64(n))
+	a.Read(n)
+}
+
+// WriteNode charges n B-Tree node writes (see ReadNode).
+func (a *Accountant) WriteNode(n int) {
+	if a == nil {
+		return
+	}
+	a.nodeWrites.Add(int64(n))
+	a.Write(n)
+}
+
 // SetReadDelay configures the simulated per-page read latency. The
 // delay is stored atomically, so it is safe to adjust while queries
 // are reading.
@@ -94,7 +144,12 @@ func (a *Accountant) Stats() Stats {
 	if a == nil {
 		return Stats{}
 	}
-	return Stats{PageReads: a.reads.Load(), PageWrites: a.writes.Load()}
+	return Stats{
+		PageReads:  a.reads.Load(),
+		PageWrites: a.writes.Load(),
+		NodeReads:  a.nodeReads.Load(),
+		NodeWrites: a.nodeWrites.Load(),
+	}
 }
 
 // Reset zeroes the counters (the read delay is preserved).
@@ -104,4 +159,6 @@ func (a *Accountant) Reset() {
 	}
 	a.reads.Store(0)
 	a.writes.Store(0)
+	a.nodeReads.Store(0)
+	a.nodeWrites.Store(0)
 }

@@ -159,12 +159,12 @@ func MatchClassifierPredicate(e sql.Expr) (*ClassifierPredicate, bool) {
 	}
 	// Normalize: method chain on the left, constant on the right.
 	l, r, op := b.L, b.R, b.Op
-	if _, isLit := l.(*sql.Literal); isLit {
+	if _, isLit := intConstant(l); isLit {
 		l, r = r, l
 		op = flipCmp(op)
 	}
-	lit, ok := r.(*sql.Literal)
-	if !ok || lit.Value.Kind != model.KindInt {
+	constant, ok := intConstant(r)
+	if !ok {
 		return nil, false
 	}
 	alias, instance, label, ok := matchLabelChain(l)
@@ -187,7 +187,25 @@ func MatchClassifierPredicate(e sql.Expr) (*ClassifierPredicate, bool) {
 		return nil, false
 	}
 	return &ClassifierPredicate{Alias: alias, Instance: instance, Label: label,
-		Op: iop, Constant: int(lit.Value.Int)}, true
+		Op: iop, Constant: constant}, true
+}
+
+// intConstant folds an integer literal, possibly under arithmetic
+// negation (the parser represents "-10" as Neg(Literal 10)), so
+// predicates over shifted label domains match the index shape.
+func intConstant(e sql.Expr) (int, bool) {
+	switch v := e.(type) {
+	case *sql.Literal:
+		if v.Value.Kind != model.KindInt {
+			return 0, false
+		}
+		return int(v.Value.Int), true
+	case *sql.Neg:
+		if lit, ok := v.Expr.(*sql.Literal); ok && lit.Value.Kind == model.KindInt {
+			return -int(lit.Value.Int), true
+		}
+	}
+	return 0, false
 }
 
 // MatchLabelValueExpr recognizes the sort-key shape

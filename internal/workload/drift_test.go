@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// Workload-level estimate-vs-actual drift: representative queries run
+// under EXPLAIN ANALYZE, and every executed operator's estimated
+// cardinality must land within an order of magnitude of the measured
+// one. This is the guard the selectivity fixes feed — a re-broken range
+// bound (estimating ~0 rows for half the table) trips it immediately.
+func TestEstimateDriftWithinOrderOfMagnitude(t *testing.T) {
+	ds, err := Build(Config{Seed: 5, Birds: 80, AvgAnnotationsPerBird: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.DB.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT id FROM Birds b`,
+		`SELECT id FROM Birds b
+		   WHERE b.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2`,
+		`SELECT id FROM Birds b
+		   WHERE b.$.getSummaryObject('ClassBird1').getLabelValue('Disease') >= 1
+		   ORDER BY id`,
+		`SELECT b.id, s.synonym FROM Birds b, Synonyms s WHERE b.id = s.bird_id`,
+	}
+	const maxDrift = 10.0
+	for _, q := range queries {
+		ap, err := ds.DB.ExplainAnalyze(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		ap.Root.Walk(func(n *optimizer.AnalyzedNode) {
+			if n.Stats == nil {
+				return
+			}
+			// Clamp both sides to one row so empty/sub-row cardinalities
+			// compare on ratio without dividing by zero.
+			est, actual := n.Est.Rows, float64(n.Stats.Rows)
+			if est < 1 {
+				est = 1
+			}
+			if actual < 1 {
+				actual = 1
+			}
+			if est/actual > maxDrift || actual/est > maxDrift {
+				t.Errorf("%s\n  %s: estimated %.0f rows, actual %d (>%.0fx drift)",
+					q, n.Node.Describe(), n.Est.Rows, n.Stats.Rows, maxDrift)
+			}
+		})
+	}
+}
