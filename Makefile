@@ -18,8 +18,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench-smoke regenerates one representative figure at the reduced quick
-# scale and writes a machine-readable BENCH_smoke.json snapshot (figures
-# + engine metrics) so perf regressions show up as diffs between runs.
+# bench-smoke regenerates one representative figure plus the parallel
+# speedup grid at the reduced quick scale and writes a machine-readable
+# BENCH_smoke.json snapshot (figures + engine metrics) so perf
+# regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17 -json BENCH_smoke.json

@@ -5,6 +5,7 @@
 //
 //	benchreport                 # all figures at the default scale
 //	benchreport -fig 10         # one figure
+//	benchreport -fig 10,17      # several figures
 //	benchreport -birds 1000 -grid 10,25,50,100,200
 //	benchreport -quick          # reduced grid for a fast smoke run
 //	benchreport -json out.json  # also write a machine-readable snapshot
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "regenerate one figure (2, 7..16); 0 = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..17); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -52,6 +53,19 @@ func main() {
 	}
 	scale.Seed = *seed
 
+	want := map[int]bool{}
+	for _, part := range strings.Split(*fig, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			log.Fatalf("bad -fig element %q", part)
+		}
+		want[n] = true
+	}
+
 	h := bench.NewHarness(scale)
 	fmt.Printf("InsightNotes+ benchmark report — %d birds, grid %v (annotations/bird), seed %d\n",
 		scale.Birds, scale.AnnGrid, scale.Seed)
@@ -72,14 +86,15 @@ func main() {
 		{[]int{14}, bench.Fig14Rules25},
 		{[]int{15}, bench.Fig15Rule11},
 		{[]int{2, 16}, bench.Fig16CaseStudy},
+		{[]int{17}, bench.Fig17Parallel},
 	}
 
 	ran := false
 	var tables []*bench.Table
 	for _, r := range runners {
-		match := *fig == 0
+		match := len(want) == 0
 		for _, f := range r.figs {
-			if f == *fig {
+			if want[f] {
 				match = true
 			}
 		}
@@ -97,7 +112,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %d (valid: 2, 7..16)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..17)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

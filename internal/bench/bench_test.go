@@ -89,7 +89,7 @@ func TestAllFiguresSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 10 {
+	if len(tables) != 11 {
 		t.Fatalf("figures = %d", len(tables))
 	}
 	for _, tbl := range tables {

@@ -649,6 +649,7 @@ func AllFigures(h *Harness) ([]*Table, error) {
 		Fig07Storage, Fig08Bulk, Fig09Incremental, Fig10Selection,
 		Fig11TwoPredicates, Fig12DenormalizedPropagation,
 		Fig13BackwardPointers, Fig14Rules25, Fig15Rule11, Fig16CaseStudy,
+		Fig17Parallel,
 	}
 	var out []*Table
 	for _, run := range runners {

@@ -30,6 +30,11 @@ type Config struct {
 	// Budget is the default per-query resource-limit template (see
 	// optimizer.Options.Budget); nil means unlimited.
 	Budget *exec.Budget
+	// MaxParallelWorkers is the default cap on intra-query parallelism
+	// (see optimizer.Options.MaxParallelWorkers). 0 or 1 plans serial
+	// queries only; queries can override it per statement through their
+	// optimizer options.
+	MaxParallelWorkers int
 	// Faults installs a deterministic pager fault-injection policy on
 	// the database's I/O accountant (testing/chaos harnesses only).
 	Faults *pager.FaultPolicy
@@ -61,6 +66,10 @@ type DB struct {
 	stmtTimeout   atomic.Int64
 	defaultBudget atomic.Pointer[exec.Budget]
 
+	// maxParallel is the default intra-query parallelism cap applied to
+	// queries whose options leave MaxParallelWorkers at 0.
+	maxParallel atomic.Int64
+
 	// metrics is the always-on query telemetry (see Metrics).
 	metrics metricCounters
 }
@@ -89,6 +98,7 @@ func newDB(cfg Config, acct *pager.Accountant) *DB {
 	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.defaultBudget.Store(cfg.Budget)
+	db.maxParallel.Store(int64(cfg.MaxParallelWorkers))
 	return db
 }
 
@@ -104,6 +114,14 @@ func (db *DB) StatementTimeout() time.Duration { return time.Duration(db.stmtTim
 // (nil = unlimited). Safe to call while queries are running; each query
 // snapshots the template at start.
 func (db *DB) SetDefaultBudget(b *exec.Budget) { db.defaultBudget.Store(b) }
+
+// SetMaxParallelWorkers changes the default intra-query parallelism cap
+// (0 or 1 = serial planning). Safe to call while queries are running;
+// each query snapshots the cap at planning time.
+func (db *DB) SetMaxParallelWorkers(n int) { db.maxParallel.Store(int64(n)) }
+
+// MaxParallelWorkers returns the current default parallelism cap.
+func (db *DB) MaxParallelWorkers() int { return int(db.maxParallel.Load()) }
 
 // Accountant exposes the shared I/O accountant (benchmarks reset and
 // read it around measured operations).

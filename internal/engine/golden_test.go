@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"testing"
+
+	"repro/internal/optimizer"
 )
 
 // wallTimeRe matches the volatile wall-time fields of EXPLAIN ANALYZE
@@ -61,6 +63,87 @@ func TestExplainGolden(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		compareGolden(t, name, out)
+	}
+}
+
+// TestParallelExplainGolden pins the rendering of parallel plans: the
+// Gather exchange over a scan pipeline, the partial/final aggregation,
+// and the parallel hash-join build. goldenDB's Birds table spans 3
+// pages, so a worker cap of 4 yields a cost-chosen DOP of 3.
+func TestParallelExplainGolden(t *testing.T) {
+	db := goldenDB(t)
+	opts := &optimizer.Options{MaxParallelWorkers: 4}
+	for name, q := range map[string]string{
+		"explain_parallel_scan":  `SELECT id FROM Birds b WHERE b.family = 'Corvidae'`,
+		"explain_parallel_group": `SELECT family, count(*) FROM Birds b GROUP BY family`,
+	} {
+		out, err := db.Explain(q, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		compareGolden(t, name, out)
+	}
+	join, err := db.Explain(`SELECT r.id, s.id FROM Birds r, Birds s WHERE r.family = s.family`,
+		&optimizer.Options{MaxParallelWorkers: 4, ForceJoin: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "explain_parallel_join", join)
+}
+
+// TestParallelSerialGoldenIdentity runs every serial golden query with
+// an explicit worker cap of 1 and asserts the plans are byte-identical
+// to the default (parallelization off) — the DOP=1 contract.
+func TestParallelSerialGoldenIdentity(t *testing.T) {
+	db := goldenDB(t)
+	for _, q := range []string{
+		`SELECT id, name FROM Birds r
+		  WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+		  ORDER BY name`,
+		`SELECT r.id, s.id FROM Birds r, Birds s
+		  WHERE r.family = s.family AND r.id < 5`,
+		`SELECT family FROM Birds b GROUP BY family ORDER BY family LIMIT 2`,
+	} {
+		serial, err := db.Explain(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capped, err := db.Explain(q, &optimizer.Options{MaxParallelWorkers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != capped {
+			t.Errorf("MaxParallelWorkers=1 changes the plan:\n%s\nvs\n%s", capped, serial)
+		}
+	}
+}
+
+// TestParallelAnalyzeGolden pins EXPLAIN ANALYZE of a parallel
+// aggregation: the Gather node carries the per-worker row counts merged
+// across the fragment's workers. The whole fragment executes inside the
+// GroupBy's Open window, so even the I/O attribution is deterministic.
+func TestParallelAnalyzeGolden(t *testing.T) {
+	db := goldenDB(t)
+	ap, err := db.ExplainAnalyze(`SELECT family, count(*) FROM Birds b GROUP BY family`,
+		&optimizer.Options{MaxParallelWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "analyze_parallel", wallTimeRe.ReplaceAllString(ap.String(), "time=<t>"))
+
+	// The same statement must return the same data as the serial plan.
+	serial, err := db.Query(`SELECT family, count(*) FROM Birds b GROUP BY family`,
+		&optimizer.Options{MaxParallelWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.Result.Rows) != len(serial.Rows) {
+		t.Fatalf("parallel %d rows, serial %d", len(ap.Result.Rows), len(serial.Rows))
+	}
+	for i := range serial.Rows {
+		if ap.Result.Rows[i].Tuple.String() != serial.Rows[i].Tuple.String() {
+			t.Fatalf("row %d differs", i)
+		}
 	}
 }
 

@@ -37,6 +37,11 @@ type metricCounters struct {
 	faultFails  atomic.Int64
 	queryNanos  atomic.Int64
 	latency     [numLatencyBuckets]atomic.Int64
+
+	// parallelPlans/serialPlans classify planned SELECTs by whether the
+	// optimizer inserted any parallel fragment (Gather, parallel build).
+	parallelPlans atomic.Int64
+	serialPlans   atomic.Int64
 }
 
 // record classifies one finished statement. Cancellations and deadline
@@ -90,6 +95,10 @@ type Metrics struct {
 	FaultFailures int64
 	// TotalQueryTime is the summed wall time of all statements.
 	TotalQueryTime time.Duration
+	// ParallelPlans/SerialPlans count planned SELECTs that did / did not
+	// contain a parallel fragment.
+	ParallelPlans int64
+	SerialPlans   int64
 	// LatencyBounds are the histogram buckets' inclusive upper bounds;
 	// LatencyCounts has one extra final entry for the overflow bucket.
 	LatencyBounds []time.Duration
@@ -109,6 +118,8 @@ func (db *DB) Metrics() Metrics {
 		BudgetFailures: m.budgetFails.Load(),
 		FaultFailures:  m.faultFails.Load(),
 		TotalQueryTime: time.Duration(m.queryNanos.Load()),
+		ParallelPlans:  m.parallelPlans.Load(),
+		SerialPlans:    m.serialPlans.Load(),
 		LatencyBounds:  append([]time.Duration(nil), latencyBounds[:]...),
 		IO:             db.acct.Stats(),
 	}
@@ -124,6 +135,7 @@ func (m Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queries=%d rows=%d failures=%d (cancelled=%d budget=%d faults=%d)\n",
 		m.Queries, m.RowsReturned, m.Failures, m.Cancellations, m.BudgetFailures, m.FaultFailures)
+	fmt.Fprintf(&b, "plans: parallel=%d serial=%d\n", m.ParallelPlans, m.SerialPlans)
 	b.WriteString("latency:")
 	for i, c := range m.LatencyCounts {
 		if i < len(m.LatencyBounds) {

@@ -53,10 +53,7 @@ func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimize
 // estimates after execution.
 func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, r *plan.AliasResolver, err error) {
 	defer recoverInto("Planner", &err)
-	var o optimizer.Options
-	if opts != nil {
-		o = *opts
-	}
+	o := db.effectiveOptions(opts)
 	builder := &plan.Builder{Cat: db.cat}
 	root, resolver, err := builder.Build(sel)
 	if err != nil {
@@ -66,6 +63,11 @@ func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *
 	it, optimized, err := optimizer.Plan(root, resolver, env, o)
 	if err != nil {
 		return nil, resolver, err
+	}
+	if plan.IsParallel(optimized) {
+		db.metrics.parallelPlans.Add(1)
+	} else {
+		db.metrics.serialPlans.Add(1)
 	}
 	qc := exec.NewQueryCtx(ctx, db.newQueryBudget(opts))
 	rows, err := executeGuarded(qc, it, optimized)
@@ -99,10 +101,7 @@ func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("engine: Explain expects SELECT")
 	}
-	var o optimizer.Options
-	if opts != nil {
-		o = *opts
-	}
+	o := db.effectiveOptions(opts)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	builder := &plan.Builder{Cat: db.cat}
@@ -112,6 +111,20 @@ func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
 	}
 	optimized := optimizer.Optimize(root, resolver, db.optimizerEnv(sel.Propagate), o)
 	return plan.Explain(optimized), nil
+}
+
+// effectiveOptions copies the caller's optimizer options (nil = all
+// defaults) and resolves engine-level defaults: a zero
+// MaxParallelWorkers inherits the DB-wide cap.
+func (db *DB) effectiveOptions(opts *optimizer.Options) optimizer.Options {
+	var o optimizer.Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxParallelWorkers == 0 {
+		o.MaxParallelWorkers = db.MaxParallelWorkers()
+	}
+	return o
 }
 
 func (db *DB) optimizerEnv(propagate bool) *optimizer.Env {

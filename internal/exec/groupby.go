@@ -21,11 +21,19 @@ type AggSpec struct {
 // so an aggregated row still carries meaningful annotation summaries —
 // the behavior behind the case study's Q2, which counts behavior-related
 // annotations per bird family after grouping.
+//
+// The operator has two modes. With Input set it drains one child on the
+// query goroutine. With Workers set (parallel partial aggregation) each
+// worker iterator — one partition of the scan — is drained by its own
+// goroutine into a private accumulator, and the partials are merged in
+// partition order, which reproduces the serial plan's group order and
+// per-group summary merge order exactly.
 type GroupBy struct {
-	Input  Iterator
-	Keys   []sql.Expr
-	Aggs   []AggSpec
-	Lookup model.AnnotationLookup
+	Input   Iterator
+	Workers []Iterator
+	Keys    []sql.Expr
+	Aggs    []AggSpec
+	Lookup  model.AnnotationLookup
 
 	out    *model.Schema
 	groups []*groupState
@@ -36,9 +44,13 @@ type GroupBy struct {
 }
 
 // SetContext installs the per-query lifecycle and forwards it below.
+// Workers are not forwarded: each gets a derived per-worker context at
+// Open.
 func (g *GroupBy) SetContext(qc *QueryCtx) {
 	g.qc = qc
-	SetIterContext(g.Input, qc)
+	if g.Input != nil {
+		SetIterContext(g.Input, qc)
+	}
 }
 
 type groupState struct {
@@ -50,6 +62,7 @@ type groupState struct {
 	counts  []int64
 	mins    []model.Value
 	maxs    []model.Value
+	charge  int64 // bytes charged against the budget for this group
 }
 
 // GroupBySchema computes the aggregation output schema: the group keys
@@ -82,28 +95,203 @@ func GroupBySchema(inSchema *model.Schema, keys []sql.Expr, aggs []AggSpec) *mod
 	return out
 }
 
-// NewGroupBy builds the operator.
+// NewGroupBy builds the serial operator.
 func NewGroupBy(in Iterator, keys []sql.Expr, aggs []AggSpec, lookup model.AnnotationLookup) *GroupBy {
 	return &GroupBy{Input: in, Keys: keys, Aggs: aggs, Lookup: lookup,
 		out: GroupBySchema(in.Schema(), keys, aggs)}
 }
 
-// Open drains the input into group states. GroupBy is a pipeline
+// NewParallelGroupBy builds the parallel partial-aggregation operator:
+// every worker iterator is one partition of the input.
+func NewParallelGroupBy(workers []Iterator, keys []sql.Expr, aggs []AggSpec, lookup model.AnnotationLookup) *GroupBy {
+	return &GroupBy{Workers: workers, Keys: keys, Aggs: aggs, Lookup: lookup,
+		out: GroupBySchema(workers[0].Schema(), keys, aggs)}
+}
+
+// groupAcc is the aggregation accumulator shared by the serial and
+// parallel paths: a hash of group states in first-seen order, charging
+// the query budget for every retained group. Each accumulator is used
+// by one goroutine; parallel partials are combined with mergeFrom on
+// the coordinating goroutine afterwards.
+type groupAcc struct {
+	keys   []sql.Expr
+	aggs   []AggSpec
+	lookup model.AnnotationLookup
+	ev     *Evaluator
+	budget *Budget
+
+	byKey map[string]*groupState
+	order []string
+
+	chargedRows, chargedBytes int64
+}
+
+func newGroupAcc(schema *model.Schema, keys []sql.Expr, aggs []AggSpec,
+	lookup model.AnnotationLookup, budget *Budget) *groupAcc {
+	return &groupAcc{
+		keys: keys, aggs: aggs, lookup: lookup, budget: budget,
+		ev:    &Evaluator{Schema: schema, Lookup: lookup},
+		byKey: map[string]*groupState{},
+	}
+}
+
+// add folds one input row into the accumulator. GroupBy is a pipeline
 // breaker: every retained group is charged against the query budget,
 // and the operator fails fast with ErrBudgetExceeded when the buffer
 // limit is hit (high-cardinality groupings are the risk; per-group
 // aggregate state is constant-size).
+func (a *groupAcc) add(row *Row) error {
+	keyVals := make([]model.Value, len(a.keys))
+	var kb strings.Builder
+	for i, k := range a.keys {
+		v, err := a.ev.Eval(k, row)
+		if err != nil {
+			return err
+		}
+		keyVals[i] = v
+		kb.WriteString(v.SortKey())
+		kb.WriteByte(0)
+	}
+	key := kb.String()
+	gs, ok := a.byKey[key]
+	if !ok {
+		rb := approxRowBytes(row) + int64(len(a.aggs))*64
+		if cerr := a.budget.ChargeBuffered("GroupBy", 1, rb); cerr != nil {
+			return cerr
+		}
+		a.chargedRows++
+		a.chargedBytes += rb
+		gs = &groupState{
+			keyVals: keyVals,
+			row:     row,
+			sums:    make([]float64, len(a.aggs)),
+			isInt:   make([]bool, len(a.aggs)),
+			counts:  make([]int64, len(a.aggs)),
+			mins:    make([]model.Value, len(a.aggs)),
+			maxs:    make([]model.Value, len(a.aggs)),
+			charge:  rb,
+		}
+		for i := range gs.isInt {
+			gs.isInt[i] = true
+		}
+		a.byKey[key] = gs
+		a.order = append(a.order, key)
+	} else {
+		// Merge the new member's summaries into the group's (Q2
+		// semantics: an output tuple's annotations come from all its
+		// base tuples, without double counting).
+		gs.row = &Row{Tuple: gs.row.Tuple.ShallowWithValues(gs.row.Tuple.Values)}
+		gs.row.Tuple.Summaries = model.MergeSets(gs.row.Tuple.Summaries, row.Tuple.Summaries, a.lookup)
+	}
+	gs.count++
+	for ai, agg := range a.aggs {
+		if agg.Star || agg.Arg == nil {
+			continue
+		}
+		v, err := a.ev.Eval(agg.Arg, row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		gs.counts[ai]++
+		if v.IsNumeric() {
+			gs.sums[ai] += v.AsFloat()
+			if v.Kind == model.KindFloat {
+				gs.isInt[ai] = false
+			}
+		}
+		if gs.mins[ai].IsNull() {
+			gs.mins[ai], gs.maxs[ai] = v, v
+			continue
+		}
+		if c, err := v.Compare(gs.mins[ai]); err == nil && c < 0 {
+			gs.mins[ai] = v
+		}
+		if c, err := v.Compare(gs.maxs[ai]); err == nil && c > 0 {
+			gs.maxs[ai] = v
+		}
+	}
+	return nil
+}
+
+// mergeFrom folds another accumulator's partial states into a. Because
+// callers merge partials in partition order — and partitions are
+// consecutive page ranges — the resulting first-seen group order and
+// per-group summary merge order equal the serial plan's. Groups present
+// on both sides release the duplicate's budget charge.
+func (a *groupAcc) mergeFrom(o *groupAcc) {
+	for _, key := range o.order {
+		os := o.byKey[key]
+		gs, ok := a.byKey[key]
+		if !ok {
+			a.byKey[key] = os
+			a.order = append(a.order, key)
+			continue
+		}
+		mergeGroupState(gs, os, a.lookup)
+		a.budget.ReleaseBuffered(1, os.charge)
+		o.chargedRows--
+		o.chargedBytes -= os.charge
+	}
+	a.chargedRows += o.chargedRows
+	a.chargedBytes += o.chargedBytes
+}
+
+// mergeGroupState combines two partial states of the same group; dst is
+// the earlier partition's partial, so its first row and summary merge
+// order win, as in the serial fold.
+func mergeGroupState(dst, src *groupState, lookup model.AnnotationLookup) {
+	dst.row = &Row{Tuple: dst.row.Tuple.ShallowWithValues(dst.row.Tuple.Values)}
+	dst.row.Tuple.Summaries = model.MergeSets(dst.row.Tuple.Summaries, src.row.Tuple.Summaries, lookup)
+	dst.count += src.count
+	for i := range dst.sums {
+		dst.sums[i] += src.sums[i]
+		dst.isInt[i] = dst.isInt[i] && src.isInt[i]
+		dst.counts[i] += src.counts[i]
+		if dst.mins[i].IsNull() {
+			dst.mins[i] = src.mins[i]
+		} else if !src.mins[i].IsNull() {
+			if c, err := src.mins[i].Compare(dst.mins[i]); err == nil && c < 0 {
+				dst.mins[i] = src.mins[i]
+			}
+		}
+		if dst.maxs[i].IsNull() {
+			dst.maxs[i] = src.maxs[i]
+		} else if !src.maxs[i].IsNull() {
+			if c, err := src.maxs[i].Compare(dst.maxs[i]); err == nil && c > 0 {
+				dst.maxs[i] = src.maxs[i]
+			}
+		}
+	}
+}
+
+// states returns the group states in first-seen order.
+func (a *groupAcc) states() []*groupState {
+	out := make([]*groupState, len(a.order))
+	for i, k := range a.order {
+		out[i] = a.byKey[k]
+	}
+	return out
+}
+
+// Open builds the group states: serially from Input, or by draining the
+// Workers concurrently and merging their partials in partition order.
 func (g *GroupBy) Open() (err error) {
 	defer recoverOp("GroupBy", &err)
-	ev := &Evaluator{Schema: g.Input.Schema(), Lookup: g.Lookup}
+	if len(g.Workers) > 0 {
+		return g.openParallel()
+	}
 	if err := g.Input.Open(); err != nil {
 		return err
 	}
 	defer g.Input.Close()
-	budget := g.qc.Budget()
 
-	byKey := map[string]*groupState{}
-	var order []string
+	acc := newGroupAcc(g.Input.Schema(), g.Keys, g.Aggs, g.Lookup, g.qc.Budget())
+	// Keep the charge books on every exit path so Close releases
+	// whatever was committed before an error.
+	defer func() { g.chargedRows, g.chargedBytes = acc.chargedRows, acc.chargedBytes }()
 	for {
 		row, err := g.Input.Next()
 		if err != nil {
@@ -112,82 +300,11 @@ func (g *GroupBy) Open() (err error) {
 		if row == nil {
 			break
 		}
-		keyVals := make([]model.Value, len(g.Keys))
-		var kb strings.Builder
-		for i, k := range g.Keys {
-			v, err := ev.Eval(k, row)
-			if err != nil {
-				return err
-			}
-			keyVals[i] = v
-			kb.WriteString(v.SortKey())
-			kb.WriteByte(0)
-		}
-		key := kb.String()
-		gs, ok := byKey[key]
-		if !ok {
-			rb := approxRowBytes(row) + int64(len(g.Aggs))*64
-			if cerr := budget.ChargeBuffered("GroupBy", 1, rb); cerr != nil {
-				return cerr
-			}
-			g.chargedRows++
-			g.chargedBytes += rb
-			gs = &groupState{
-				keyVals: keyVals,
-				row:     row,
-				sums:    make([]float64, len(g.Aggs)),
-				isInt:   make([]bool, len(g.Aggs)),
-				counts:  make([]int64, len(g.Aggs)),
-				mins:    make([]model.Value, len(g.Aggs)),
-				maxs:    make([]model.Value, len(g.Aggs)),
-			}
-			for i := range gs.isInt {
-				gs.isInt[i] = true
-			}
-			byKey[key] = gs
-			order = append(order, key)
-		} else {
-			// Merge the new member's summaries into the group's (Q2
-			// semantics: an output tuple's annotations come from all its
-			// base tuples, without double counting).
-			gs.row = &Row{Tuple: gs.row.Tuple.ShallowWithValues(gs.row.Tuple.Values)}
-			gs.row.Tuple.Summaries = model.MergeSets(gs.row.Tuple.Summaries, row.Tuple.Summaries, g.Lookup)
-		}
-		gs.count++
-		for ai, a := range g.Aggs {
-			if a.Star || a.Arg == nil {
-				continue
-			}
-			v, err := ev.Eval(a.Arg, row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue
-			}
-			gs.counts[ai]++
-			if v.IsNumeric() {
-				gs.sums[ai] += v.AsFloat()
-				if v.Kind == model.KindFloat {
-					gs.isInt[ai] = false
-				}
-			}
-			if gs.mins[ai].IsNull() {
-				gs.mins[ai], gs.maxs[ai] = v, v
-				continue
-			}
-			if c, err := v.Compare(gs.mins[ai]); err == nil && c < 0 {
-				gs.mins[ai] = v
-			}
-			if c, err := v.Compare(gs.maxs[ai]); err == nil && c > 0 {
-				gs.maxs[ai] = v
-			}
+		if err := acc.add(row); err != nil {
+			return err
 		}
 	}
-	g.groups = make([]*groupState, len(order))
-	for i, k := range order {
-		g.groups[i] = byKey[k]
-	}
+	g.groups = acc.states()
 	g.pos = 0
 	return nil
 }

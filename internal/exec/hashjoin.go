@@ -15,6 +15,11 @@ import (
 // merges the joined tuples' summary sets without double counting.
 type HashJoin struct {
 	Left, Right Iterator
+	// Builds, when set, replaces Right with one build-side iterator per
+	// partition: the hash table is built partition-parallel and merged
+	// in partition order, so the per-key row order (and therefore the
+	// join output) matches the serial build exactly.
+	Builds []Iterator
 	// LeftKey/RightKey are the equi-join key expressions, evaluated
 	// against their own side.
 	LeftKey, RightKey sql.Expr
@@ -38,12 +43,14 @@ type HashJoin struct {
 	chargedRows, chargedBytes int64
 }
 
-// SetContext installs the per-query lifecycle and forwards it to both
-// inputs.
+// SetContext installs the per-query lifecycle and forwards it to the
+// inputs (parallel build partitions get derived contexts at Open).
 func (j *HashJoin) SetContext(qc *QueryCtx) {
 	j.qc = qc
 	SetIterContext(j.Left, qc)
-	SetIterContext(j.Right, qc)
+	if j.Right != nil {
+		SetIterContext(j.Right, qc)
+	}
 }
 
 // NewHashJoin builds a hash join.
@@ -56,17 +63,44 @@ func NewHashJoin(left, right Iterator, leftKey, rightKey sql.Expr,
 	}
 }
 
-// Open drains and hashes the build (right) side. The build side is
-// what a hash join buffers, so every retained row is charged against
-// the query budget; unlike Sort there is no graceful degradation — a
-// build side over budget fails fast with ErrBudgetExceeded, and the
-// optimizer's sort/NL-based plans are the fallback.
+// NewParallelHashJoin builds a hash join whose build side is one
+// iterator per partition, hashed concurrently.
+func NewParallelHashJoin(left Iterator, builds []Iterator, leftKey, rightKey sql.Expr,
+	residual sql.Expr, propagate bool, lookup model.AnnotationLookup) *HashJoin {
+	return &HashJoin{
+		Left: left, Builds: builds, LeftKey: leftKey, RightKey: rightKey,
+		Residual: residual, Propagate: propagate, Lookup: lookup,
+		schema: left.Schema().Concat(builds[0].Schema()),
+	}
+}
+
+// rightSchema is the build side's schema in either mode.
+func (j *HashJoin) rightSchema() *model.Schema {
+	if len(j.Builds) > 0 {
+		return j.Builds[0].Schema()
+	}
+	return j.Right.Schema()
+}
+
+// Open drains and hashes the build (right) side — partition-parallel
+// when Builds is set. The build side is what a hash join buffers, so
+// every retained row is charged against the query budget; unlike Sort
+// there is no graceful degradation — a build side over budget fails
+// fast with ErrBudgetExceeded, and the optimizer's sort/NL-based plans
+// are the fallback.
 func (j *HashJoin) Open() (err error) {
 	defer recoverOp("HashJoin", &err)
 	j.leftAliases = schemaAliases(j.Left.Schema())
-	j.rightAliases = schemaAliases(j.Right.Schema())
+	j.rightAliases = schemaAliases(j.rightSchema())
 	j.leftEv = &Evaluator{Schema: j.Left.Schema(), Lookup: j.Lookup}
 	j.combinedEv = &Evaluator{Schema: j.schema, Lookup: j.Lookup}
+	if len(j.Builds) > 0 {
+		if err := j.openParallelBuild(); err != nil {
+			return err
+		}
+		j.cur = nil
+		return j.Left.Open()
+	}
 	rightEv := &Evaluator{Schema: j.Right.Schema(), Lookup: j.Lookup}
 
 	budget := j.qc.Budget()

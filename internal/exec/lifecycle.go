@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 
 	"repro/internal/pager"
 )
@@ -19,15 +20,17 @@ import (
 
 // QueryCtx carries one query's lifecycle state — the cancellation
 // context and the resource budget — shared by every operator of a
-// compiled plan tree. Queries execute on a single goroutine, so the
-// poll counter needs no synchronization. A nil *QueryCtx disables both
-// concerns; operators constructed directly (tests, internal rescans)
-// keep working without one.
+// compiled plan tree. The poll counter and the cached cancellation
+// error are atomic, so a QueryCtx may be shared by the worker
+// goroutines of a parallel plan fragment (and any caller that moves an
+// iterator across goroutines is safe too). A nil *QueryCtx disables
+// both concerns; operators constructed directly (tests, internal
+// rescans) keep working without one.
 type QueryCtx struct {
 	ctx    context.Context
 	budget *Budget
-	ticks  uint
-	done   error // first observed cancellation, cached
+	ticks  atomic.Uint64
+	done   atomic.Pointer[error] // first observed cancellation, cached
 }
 
 // NewQueryCtx builds the lifecycle state for one query. ctx may be nil
@@ -64,22 +67,20 @@ const tickEvery = 64
 
 // tick is the per-row cancellation check operators call from Next. The
 // first call always polls, so an already-cancelled query stops before
-// producing a single row.
+// producing a single row. Safe for concurrent use: worker goroutines
+// of a parallel fragment share one counter, which only makes polling
+// slightly more frequent than 1/tickEvery per goroutine.
 func (q *QueryCtx) tick() error {
 	if q == nil || q.ctx == nil {
 		return nil
 	}
-	if q.done != nil {
-		return q.done
+	if p := q.done.Load(); p != nil {
+		return *p
 	}
-	q.ticks++
-	if q.ticks%tickEvery != 1 {
+	if q.ticks.Add(1)%tickEvery != 1 {
 		return nil
 	}
-	if err := q.ctx.Err(); err != nil {
-		q.done = err
-	}
-	return q.done
+	return q.poll()
 }
 
 // check is the unconditional poll used at Open boundaries.
@@ -87,13 +88,29 @@ func (q *QueryCtx) check() error {
 	if q == nil || q.ctx == nil {
 		return nil
 	}
-	if q.done != nil {
-		return q.done
+	if p := q.done.Load(); p != nil {
+		return *p
 	}
-	if err := q.ctx.Err(); err != nil {
-		q.done = err
+	return q.poll()
+}
+
+// poll consults the context and caches the first observed error. A
+// racing pair of pollers may both store — that's fine, ctx.Err() is
+// stable once non-nil.
+func (q *QueryCtx) poll() error {
+	err := q.ctx.Err()
+	if err != nil {
+		q.done.Store(&err)
 	}
-	return q.done
+	return err
+}
+
+// Child derives a per-worker lifecycle for one goroutine of a parallel
+// fragment: it shares the parent's budget (one governor per query) but
+// polls the given context, typically a cancellable child of the
+// parent's so a failing sibling can stop the whole fragment.
+func (q *QueryCtx) Child(ctx context.Context) *QueryCtx {
+	return NewQueryCtx(ctx, q.Budget())
 }
 
 // ContextSetter is implemented by every physical operator: SetContext
@@ -138,20 +155,22 @@ func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
 // buffer in memory, and how many temp-file bytes Sort may spill. Zero
 // limits mean unlimited. Charges are check-then-commit: a failed
 // charge leaves the budget unchanged, which lets Sort respond to
-// buffer pressure by spilling instead of failing. A Budget belongs to
-// one query; the engine creates a fresh one per statement from its
-// configured spec.
+// buffer pressure by spilling instead of failing. The commit is a CAS
+// loop, so the worker goroutines of a parallel fragment can charge one
+// shared budget without lost updates and without ever overshooting a
+// limit. A Budget belongs to one query; the engine creates a fresh one
+// per statement from its configured spec.
 type Budget struct {
 	MaxBufferedRows  int64
 	MaxBufferedBytes int64
 	MaxSpillBytes    int64
 
-	bufRows, bufBytes, spillBytes int64
+	bufRows, bufBytes, spillBytes atomic.Int64
 
 	// Monotonic totals of everything ever charged (never released) —
 	// the counters EXPLAIN ANALYZE snapshots to attribute buffering and
 	// spill volume to individual operators.
-	totBufRows, totBufBytes, totSpillBytes int64
+	totBufRows, totBufBytes, totSpillBytes atomic.Int64
 }
 
 // NewBudget builds a budget; any zero limit is unlimited.
@@ -159,22 +178,40 @@ func NewBudget(maxRows, maxBytes, maxSpill int64) *Budget {
 	return &Budget{MaxBufferedRows: maxRows, MaxBufferedBytes: maxBytes, MaxSpillBytes: maxSpill}
 }
 
+// chargeCAS atomically adds delta to ctr unless the result would exceed
+// limit (0 = unlimited). It reports the total the charge would have
+// reached and whether it committed.
+func chargeCAS(ctr *atomic.Int64, limit, delta int64) (need int64, ok bool) {
+	for {
+		cur := ctr.Load()
+		need = cur + delta
+		if limit > 0 && need > limit {
+			return need, false
+		}
+		if ctr.CompareAndSwap(cur, need) {
+			return need, true
+		}
+	}
+}
+
 // ChargeBuffered charges rows/bytes of in-memory buffering, or returns
 // a *BudgetError (committing nothing) when a limit would be exceeded.
+// Concurrent chargers may interleave, but the committed totals never
+// exceed either limit: a bytes-limit failure rolls the rows charge
+// back before returning.
 func (b *Budget) ChargeBuffered(op string, rows, bytes int64) error {
 	if b == nil {
 		return nil
 	}
-	if b.MaxBufferedRows > 0 && b.bufRows+rows > b.MaxBufferedRows {
-		return &BudgetError{Op: op, Resource: "buffered rows", Need: b.bufRows + rows, Limit: b.MaxBufferedRows}
+	if need, ok := chargeCAS(&b.bufRows, b.MaxBufferedRows, rows); !ok {
+		return &BudgetError{Op: op, Resource: "buffered rows", Need: need, Limit: b.MaxBufferedRows}
 	}
-	if b.MaxBufferedBytes > 0 && b.bufBytes+bytes > b.MaxBufferedBytes {
-		return &BudgetError{Op: op, Resource: "buffered bytes", Need: b.bufBytes + bytes, Limit: b.MaxBufferedBytes}
+	if need, ok := chargeCAS(&b.bufBytes, b.MaxBufferedBytes, bytes); !ok {
+		b.bufRows.Add(-rows)
+		return &BudgetError{Op: op, Resource: "buffered bytes", Need: need, Limit: b.MaxBufferedBytes}
 	}
-	b.bufRows += rows
-	b.bufBytes += bytes
-	b.totBufRows += rows
-	b.totBufBytes += bytes
+	b.totBufRows.Add(rows)
+	b.totBufBytes.Add(bytes)
 	return nil
 }
 
@@ -184,8 +221,8 @@ func (b *Budget) ReleaseBuffered(rows, bytes int64) {
 	if b == nil {
 		return
 	}
-	b.bufRows -= rows
-	b.bufBytes -= bytes
+	b.bufRows.Add(-rows)
+	b.bufBytes.Add(-bytes)
 }
 
 // ChargeSpill charges temp-file bytes, or returns a *BudgetError
@@ -194,11 +231,10 @@ func (b *Budget) ChargeSpill(op string, bytes int64) error {
 	if b == nil {
 		return nil
 	}
-	if b.MaxSpillBytes > 0 && b.spillBytes+bytes > b.MaxSpillBytes {
-		return &BudgetError{Op: op, Resource: "spill bytes", Need: b.spillBytes + bytes, Limit: b.MaxSpillBytes}
+	if need, ok := chargeCAS(&b.spillBytes, b.MaxSpillBytes, bytes); !ok {
+		return &BudgetError{Op: op, Resource: "spill bytes", Need: need, Limit: b.MaxSpillBytes}
 	}
-	b.spillBytes += bytes
-	b.totSpillBytes += bytes
+	b.totSpillBytes.Add(bytes)
 	return nil
 }
 
@@ -207,7 +243,7 @@ func (b *Budget) ReleaseSpill(bytes int64) {
 	if b == nil {
 		return
 	}
-	b.spillBytes -= bytes
+	b.spillBytes.Add(-bytes)
 }
 
 // ChargeTotals reports the monotonic charge counters: rows and bytes
@@ -218,7 +254,7 @@ func (b *Budget) ChargeTotals() (bufRows, bufBytes, spillBytes int64) {
 	if b == nil {
 		return 0, 0, 0
 	}
-	return b.totBufRows, b.totBufBytes, b.totSpillBytes
+	return b.totBufRows.Load(), b.totBufBytes.Load(), b.totSpillBytes.Load()
 }
 
 // BufferedRows reports the rows currently charged (for tests/metrics).
@@ -226,7 +262,7 @@ func (b *Budget) BufferedRows() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.bufRows
+	return b.bufRows.Load()
 }
 
 // SpillBytes reports the temp-file bytes currently charged.
@@ -234,7 +270,7 @@ func (b *Budget) SpillBytes() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.spillBytes
+	return b.spillBytes.Load()
 }
 
 // approxRowBytes estimates a row's in-memory footprint for budget

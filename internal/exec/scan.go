@@ -8,12 +8,24 @@ import (
 	"repro/internal/model"
 )
 
+// PartitionSpec selects one slice of a partitioned parallel scan:
+// partition Index of Of equal page-range shares. The zero value (Of 0
+// or 1) means "the whole table".
+type PartitionSpec struct {
+	Index int
+	Of    int
+}
+
 // SeqScan reads a table in physical order, optionally attaching each
 // tuple's summary set from R_SummaryStorage (summary propagation).
+// With a PartitionSpec set it reads only its page-range share, so Of
+// scans with Index 0..Of-1 together cover the table exactly once, in
+// partition order equal to the serial scan order.
 type SeqScan struct {
 	Table     *catalog.Table
 	Alias     string
 	Propagate bool
+	Part      PartitionSpec
 
 	schema *model.Schema
 	cursor *heap.Cursor[[]model.Value]
@@ -32,13 +44,20 @@ func NewSeqScan(t *catalog.Table, alias string, propagate bool) *SeqScan {
 // SetContext installs the per-query lifecycle.
 func (s *SeqScan) SetContext(qc *QueryCtx) { s.qc = qc }
 
-// Open positions the scan at the first tuple.
+// Open positions the scan at the first tuple of its partition.
 func (s *SeqScan) Open() (err error) {
 	defer recoverOp("SeqScan", &err)
 	if err := s.qc.check(); err != nil {
 		return err
 	}
-	s.cursor = s.Table.Data.Cursor()
+	if s.Part.Of > 1 {
+		pages := s.Table.Data.Pages()
+		start := pages * s.Part.Index / s.Part.Of
+		end := pages * (s.Part.Index + 1) / s.Part.Of
+		s.cursor = s.Table.Data.RangeCursor(start, end)
+	} else {
+		s.cursor = s.Table.Data.Cursor()
+	}
 	return nil
 }
 

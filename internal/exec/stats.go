@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/model"
@@ -71,11 +72,19 @@ func (s *OpStats) String() string {
 // query. Keys are opaque (the optimizer uses logical plan nodes), so the
 // executor stays free of plan dependencies. A nil collector disables
 // instrumentation everywhere.
+//
+// Registration (Wrap/WrapWorker) happens on the compiling goroutine;
+// during execution each recorder accumulates into private counters and
+// merges them into the shared per-key OpStats under mu at Close — so
+// the worker goroutines of a parallel fragment, which wrap the same
+// logical node once per partition, fold their rows and Next calls into
+// one OpStats without racing.
 type StatsCollector struct {
 	// Acct is the I/O accountant sampled around operator calls; nil
 	// disables I/O deltas but keeps row/time accounting.
 	Acct *pager.Accountant
 
+	mu    sync.Mutex
 	stats map[any]*OpStats
 	order []*OpStats
 }
@@ -91,13 +100,35 @@ func (c *StatsCollector) Wrap(key any, it Iterator) Iterator {
 	if c == nil {
 		return it
 	}
+	return &statsIter{child: it, st: c.register(key, it), coll: c, acct: c.Acct}
+}
+
+// WrapWorker instruments one worker's copy of a parallel plan fragment.
+// Worker recorders count rows, Next calls, and wall time only: the
+// accountant and budget are engine-/query-wide, so per-call deltas
+// sampled by concurrent goroutines would attribute a neighbor worker's
+// traffic nondeterministically. I/O for a parallel fragment is instead
+// observed by the enclosing serial operator's window (the parallel
+// GroupBy/HashJoin build runs entirely inside its own Open). All
+// workers wrapping the same key merge into one OpStats at Close.
+func (c *StatsCollector) WrapWorker(key any, it Iterator) Iterator {
+	if c == nil {
+		return it
+	}
+	return &statsIter{child: it, st: c.register(key, it), coll: c, worker: true}
+}
+
+// register finds or creates the shared OpStats for key.
+func (c *StatsCollector) register(key any, it Iterator) *OpStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	st, ok := c.stats[key]
 	if !ok {
 		st = &OpStats{Name: OpName(it)}
 		c.stats[key] = st
 		c.order = append(c.order, st)
 	}
-	return &statsIter{child: it, st: st, acct: c.Acct}
+	return st
 }
 
 // Stats returns the recorder registered under key, or nil when the key's
@@ -119,17 +150,26 @@ func (c *StatsCollector) All() []*OpStats {
 }
 
 // statsIter is the recording decorator around one physical operator.
+// It accumulates into the private acc and folds it into the shared
+// per-key OpStats under the collector's lock at Close, so recorders on
+// different goroutines (parallel workers) never write st concurrently.
 type statsIter struct {
 	child  Iterator
 	st     *OpStats
+	coll   *StatsCollector
 	acct   *pager.Accountant
 	budget *Budget
+	worker bool // rows/time only; skip I/O and budget attribution
+
+	acc OpStats // private accumulator, flushed at Close
 }
 
 // SetContext grabs the query budget for charge attribution and forwards
 // the lifecycle to the wrapped operator.
 func (w *statsIter) SetContext(qc *QueryCtx) {
-	w.budget = qc.Budget()
+	if !w.worker {
+		w.budget = qc.Budget()
+	}
 	SetIterContext(w.child, qc)
 }
 
@@ -139,43 +179,73 @@ func (w *statsIter) Unwrap() Iterator { return w.child }
 // sample begins one measurement window.
 func (w *statsIter) sample() (time.Time, pager.Stats, [3]int64) {
 	var totals [3]int64
+	if w.worker {
+		return time.Now(), pager.Stats{}, totals
+	}
 	totals[0], totals[1], totals[2] = w.budget.ChargeTotals()
 	return time.Now(), w.acct.Stats(), totals
 }
 
-// commit closes a measurement window into the recorder.
+// commit closes a measurement window into the accumulator.
 func (w *statsIter) commit(wall *time.Duration, start time.Time, io0 pager.Stats, b0 [3]int64) {
 	*wall += time.Since(start)
-	w.st.IO = w.st.IO.Add(w.acct.Stats().Sub(io0))
+	if w.worker {
+		return
+	}
+	w.acc.IO = w.acc.IO.Add(w.acct.Stats().Sub(io0))
 	r, b, sp := w.budget.ChargeTotals()
-	w.st.BufferedRows += r - b0[0]
-	w.st.BufferedBytes += b - b0[1]
-	w.st.SpillBytes += sp - b0[2]
+	w.acc.BufferedRows += r - b0[0]
+	w.acc.BufferedBytes += b - b0[1]
+	w.acc.SpillBytes += sp - b0[2]
+}
+
+// flush folds the private accumulator into the shared OpStats and
+// resets it, so repeated Open/Close cycles (rescans) keep adding up.
+func (w *statsIter) flush() {
+	w.coll.mu.Lock()
+	w.st.merge(&w.acc)
+	w.coll.mu.Unlock()
+	w.acc = OpStats{}
+}
+
+// merge adds o's counters into s.
+func (s *OpStats) merge(o *OpStats) {
+	s.Opens += o.Opens
+	s.NextCalls += o.NextCalls
+	s.Rows += o.Rows
+	s.OpenWall += o.OpenWall
+	s.NextWall += o.NextWall
+	s.CloseWall += o.CloseWall
+	s.IO = s.IO.Add(o.IO)
+	s.BufferedRows += o.BufferedRows
+	s.BufferedBytes += o.BufferedBytes
+	s.SpillBytes += o.SpillBytes
 }
 
 func (w *statsIter) Open() error {
 	start, io0, b0 := w.sample()
 	err := w.child.Open()
-	w.st.Opens++
-	w.commit(&w.st.OpenWall, start, io0, b0)
+	w.acc.Opens++
+	w.commit(&w.acc.OpenWall, start, io0, b0)
 	return err
 }
 
 func (w *statsIter) Next() (*Row, error) {
 	start, io0, b0 := w.sample()
 	row, err := w.child.Next()
-	w.st.NextCalls++
+	w.acc.NextCalls++
 	if row != nil {
-		w.st.Rows++
+		w.acc.Rows++
 	}
-	w.commit(&w.st.NextWall, start, io0, b0)
+	w.commit(&w.acc.NextWall, start, io0, b0)
 	return row, err
 }
 
 func (w *statsIter) Close() error {
 	start, io0, b0 := w.sample()
 	err := w.child.Close()
-	w.commit(&w.st.CloseWall, start, io0, b0)
+	w.commit(&w.acc.CloseWall, start, io0, b0)
+	w.flush()
 	return err
 }
 
@@ -212,13 +282,21 @@ func OpName(it Iterator) string {
 		}
 		return "ExternalSort"
 	case *HashJoin:
+		if len(op.Builds) > 0 {
+			return "ParallelHashJoin"
+		}
 		return "HashJoin"
 	case *IndexJoin:
 		return "IndexJoin"
 	case *NLJoin:
 		return "NLJoin"
 	case *GroupBy:
+		if len(op.Workers) > 0 {
+			return "ParallelGroupBy"
+		}
 		return "GroupBy"
+	case *Gather:
+		return "Gather"
 	case *Distinct:
 		return "Distinct"
 	case *Limit:

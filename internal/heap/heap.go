@@ -165,21 +165,38 @@ func (f *File[T]) Scan(fn func(rid RID, oid int64, val T) bool) {
 
 // Cursor is a pull-style iterator over a file's live records, charging
 // one page read per visited page. Mutating the file invalidates open
-// cursors.
+// cursors. Reads are pure, so any number of cursors may run
+// concurrently as long as the file is not mutated.
 type Cursor[T any] struct {
 	f        *File[T]
 	page     int
+	end      int // exclusive page bound
 	slot     int
 	readPage bool
 }
 
 // Cursor returns a cursor positioned before the first record.
-func (f *File[T]) Cursor() *Cursor[T] { return &Cursor[T]{f: f} }
+func (f *File[T]) Cursor() *Cursor[T] { return &Cursor[T]{f: f, end: len(f.pages)} }
+
+// RangeCursor returns a cursor over the half-open page range
+// [startPage, endPage), clamped to the file. Consecutive ranges
+// produced by splitting [0, Pages()) partition the file: every live
+// record is visited by exactly one cursor, in the same global order a
+// full Cursor would use — the basis of the executor's parallel scan.
+func (f *File[T]) RangeCursor(startPage, endPage int) *Cursor[T] {
+	if startPage < 0 {
+		startPage = 0
+	}
+	if endPage > len(f.pages) {
+		endPage = len(f.pages)
+	}
+	return &Cursor[T]{f: f, page: startPage, end: endPage}
+}
 
 // Next advances to the next live record, returning ok=false at the end.
 func (c *Cursor[T]) Next() (rid RID, oid int64, val T, ok bool) {
 	var zero T
-	for c.page < len(c.f.pages) {
+	for c.page < c.end {
 		p := c.f.pages[c.page]
 		if !c.readPage {
 			c.f.acct.Read(1)

@@ -35,19 +35,57 @@ func usesDollar(exprs ...sql.Expr) bool {
 // require summary sets on n's output rows. With a stats collector in
 // opts, every produced operator is wrapped in a per-operator runtime
 // recorder keyed by its logical node, so EXPLAIN ANALYZE can join
-// estimates and actuals over the plan tree.
+// estimates and actuals over the plan tree. Inside a parallel worker
+// the concurrency-safe worker recorders are used instead: all workers
+// of one fragment share the same logical nodes, so their rows and Next
+// calls merge into one OpStats per node.
 func compile(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
 	it, err := compileNode(n, env, opts, need)
 	if err != nil || opts.Collector == nil {
 		return it, err
 	}
+	if opts.inWorker {
+		return opts.Collector.WrapWorker(n, it), nil
+	}
 	return opts.Collector.Wrap(n, it), nil
+}
+
+// compileWorkers lowers a Gather fragment's child once per partition.
+// With wrapTop set (fragments consumed by a parallel aggregation or
+// hash build, where no exec.Gather exists) each worker's top iterator
+// is additionally recorded under the GatherNode itself, merging the
+// per-worker row counts the EXPLAIN ANALYZE goldens pin.
+func compileWorkers(g *plan.GatherNode, env *Env, opts Options, need bool, wrapTop bool) ([]exec.Iterator, error) {
+	workers := make([]exec.Iterator, g.DOP)
+	for i := range workers {
+		wopts := opts
+		wopts.inWorker = true
+		wopts.part = exec.PartitionSpec{Index: i, Of: g.DOP}
+		it, err := compile(g.Child, env, wopts, need)
+		if err != nil {
+			return nil, err
+		}
+		if wrapTop && opts.Collector != nil {
+			it = opts.Collector.WrapWorker(g, it)
+		}
+		workers[i] = it
+	}
+	return workers, nil
 }
 
 func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
-		return exec.NewSeqScan(node.Table, node.Alias, need), nil
+		s := exec.NewSeqScan(node.Table, node.Alias, need)
+		s.Part = opts.part
+		return s, nil
+
+	case *plan.GatherNode:
+		workers, err := compileWorkers(node, env, opts, need, false)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewGather(workers), nil
 
 	case *plan.SummaryIndexScanNode:
 		// The index answers its own predicate from itemized keys; the
@@ -113,6 +151,18 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 			j.FetchSummaries = childNeed
 			return j, nil
 		}
+		if node.UseHash && node.BuildDOP > 1 {
+			// Partition-parallel build: the join's Open drives one build
+			// iterator per page-range partition concurrently, folding the
+			// runs into the hash table in partition order.
+			g := &plan.GatherNode{Child: node.Right, DOP: node.BuildDOP}
+			builds, err := compileWorkers(g, env, opts, childNeed, false)
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewParallelHashJoin(left, builds, node.HashLeft, node.HashRight,
+				node.Residual, need, env.Lookup), nil
+		}
 		right, err := compile(node.Right, env, opts, childNeed)
 		if err != nil {
 			return nil, err
@@ -171,6 +221,18 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 			}
 		}
 		childNeed := need || usesDollar(append(aggExprs, node.Keys...)...)
+		if g, ok := node.Child.(*plan.GatherNode); ok && node.DOP > 1 && g.Partial {
+			// Parallel partial/final aggregation: no Gather operator is
+			// built — the GroupBy itself drives the workers, each folding
+			// its partition into per-group partial states merged in
+			// partition order. The worker tops are recorded under the
+			// GatherNode so EXPLAIN ANALYZE shows the fragment's rows.
+			workers, err := compileWorkers(g, env, opts, childNeed, true)
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewParallelGroupBy(workers, node.Keys, node.Aggs, env.Lookup), nil
+		}
 		child, err := compile(node.Child, env, opts, childNeed)
 		if err != nil {
 			return nil, err

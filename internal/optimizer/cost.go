@@ -231,6 +231,14 @@ func (rw *rewriter) estimate(n plan.Node) Estimate {
 		rows := math.Min(child.Rows, float64(node.N))
 		return Estimate{Rows: rows, Cost: child.Cost}
 
+	case *plan.GatherNode:
+		// The fragment's work divides across the workers; each worker
+		// pays the modeled startup overhead. This is the same formula
+		// chooseDOP minimized, so EXPLAIN shows why the DOP was picked.
+		child := rw.estimate(node.Child)
+		d := math.Max(1, float64(node.DOP))
+		return Estimate{Rows: child.Rows, Cost: child.Cost/d + parallelStartupCost*d}
+
 	default:
 		return Estimate{Rows: 1000, Cost: 1000}
 	}

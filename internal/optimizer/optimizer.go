@@ -45,6 +45,14 @@ type Options struct {
 	ForceSort string
 	// SortRunLen sizes external-sort runs (rows; 0 = default).
 	SortRunLen int
+	// MaxParallelWorkers caps the degree of intra-query parallelism the
+	// optimizer may plan: page-range-partitioned parallel scans stitched
+	// by a Gather exchange, partition-parallel hash-join builds, and
+	// parallel partial aggregation. 0 means the engine default; 1 (or a
+	// zero engine default) disables parallel planning entirely, compiling
+	// the exact serial plans. The planned DOP is cost-based and never
+	// exceeds the table's page count, so small tables stay serial.
+	MaxParallelWorkers int
 	// Budget is a per-query resource-limit template overriding the DB
 	// default: pipeline breakers (Sort, HashJoin, GroupBy, Distinct)
 	// charge buffered rows/bytes and spill bytes against it. The engine
@@ -57,6 +65,13 @@ type Options struct {
 	// EXPLAIN ANALYZE instrumentation. A Collector belongs to one
 	// execution; do not reuse it across queries.
 	Collector *exec.StatsCollector
+
+	// part/inWorker thread the compiler's parallel-fragment state: when
+	// compiling one worker's copy of a Gather subtree, part selects its
+	// scan partition and inWorker switches stats wrapping to the
+	// concurrency-safe worker recorders. Internal to the compiler.
+	part     exec.PartitionSpec
+	inWorker bool
 }
 
 // Env supplies the optimizer and compiler with catalog context.
@@ -95,6 +110,7 @@ func Optimize(root plan.Node, r *plan.AliasResolver, env *Env, opts Options) pla
 	root = rw.reorderSummaryJoins(root)
 	root = rw.chooseJoinImpl(root)
 	root = rw.eliminateSorts(root)
+	root = rw.parallelize(root)
 	return root
 }
 

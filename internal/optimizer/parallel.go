@@ -1,0 +1,144 @@
+package optimizer
+
+import (
+	"repro/internal/plan"
+)
+
+// This file is the optimizer's parallelization pass: it decides, per
+// plan fragment, whether intra-query parallelism pays off and inserts
+// the exchange (GatherNode) / parallel-build / partial-aggregation
+// markers the compiler lowers to the executor's worker pools. The pass
+// runs last, after all logical rewrites, so every other rule sees only
+// serial shapes; with MaxParallelWorkers <= 1 it is the identity and
+// the plan compiles exactly as before.
+
+// parallelStartupCost is the modeled per-worker overhead in page units
+// (goroutine spawn, channel setup, partial-state merge). The DOP chosen
+// minimizes cost/dop + startup*dop, so small fragments stay serial and
+// large ones stop adding workers when the marginal speedup no longer
+// covers the coordination.
+const parallelStartupCost = 8.0
+
+// parallelize walks the optimized plan and inserts parallel fragments
+// where the cost model approves:
+//
+//   - a GroupBy over a partitionable pipeline becomes a parallel
+//     partial/final aggregation (workers fold their partition into
+//     per-group partial states, merged in partition order);
+//   - a hash join whose build side is a partitionable pipeline builds
+//     its table partition-parallel;
+//   - any other partitionable pipeline is wrapped in a GatherNode and
+//     executed by a worker pool streaming rows in partition order.
+//
+// "Partitionable pipeline" means a chain of streaming operators over a
+// base-table scan — the shape that parallelizes by giving each worker a
+// page range. Index scans are not partitioned (a Summary-BTree probe is
+// already sub-linear), and pipeline breakers below the fragment would
+// break the partition-order determinism, so both stop the pattern.
+func (rw *rewriter) parallelize(n plan.Node) plan.Node {
+	if rw.opts.MaxParallelWorkers <= 1 {
+		return n
+	}
+	return rw.parallelizeNode(n)
+}
+
+func (rw *rewriter) parallelizeNode(n plan.Node) plan.Node {
+	if pipelineScan(n) != nil {
+		if dop := rw.chooseDOP(n); dop > 1 {
+			return &plan.GatherNode{Child: n, DOP: dop}
+		}
+		return n
+	}
+	switch node := n.(type) {
+	case *plan.GroupByNode:
+		if dop := rw.chooseDOP(node.Child); dop > 1 {
+			node.DOP = dop
+			node.Child = &plan.GatherNode{Child: node.Child, DOP: dop, Partial: true}
+			return node
+		}
+		node.Child = rw.parallelizeNode(node.Child)
+
+	case *plan.Join:
+		if node.UseHash {
+			if dop := rw.chooseDOP(node.Right); dop > 1 {
+				node.BuildDOP = dop
+			}
+		}
+		// The probe/outer side streams, so it may carry its own parallel
+		// fragment. The inner side of an index join must stay a bare
+		// leaf (the compiler probes it, it is never iterated), and a
+		// parallel-build right side is partitioned by the join itself.
+		node.Left = rw.parallelizeNode(node.Left)
+
+	case *plan.SummaryJoin:
+		node.Left = rw.parallelizeNode(node.Left)
+
+	case *plan.SortNode:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.ProjectNode:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.DistinctNode:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.LimitNode:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.Select:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.SummarySelect:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.SummaryFilterNode:
+		node.Child = rw.parallelizeNode(node.Child)
+	case *plan.SummaryProject:
+		node.Child = rw.parallelizeNode(node.Child)
+	}
+	return n
+}
+
+// pipelineScan returns the base-table scan at the bottom of a chain of
+// streaming operators, or nil when the subtree has any other shape.
+func pipelineScan(n plan.Node) *plan.Scan {
+	switch v := n.(type) {
+	case *plan.Scan:
+		return v
+	case *plan.Select:
+		return pipelineScan(v.Child)
+	case *plan.SummarySelect:
+		return pipelineScan(v.Child)
+	case *plan.SummaryFilterNode:
+		return pipelineScan(v.Child)
+	case *plan.SummaryProject:
+		return pipelineScan(v.Child)
+	}
+	return nil
+}
+
+// chooseDOP picks the degree of parallelism for one pipeline from the
+// cost model: the dop in [2, MaxParallelWorkers] minimizing
+// cost/dop + startup·dop, serial if none beats the serial cost. The
+// dop never exceeds the scanned table's page count — page ranges are
+// the partitioning unit, so extra workers past that would idle.
+func (rw *rewriter) chooseDOP(n plan.Node) int {
+	max := rw.opts.MaxParallelWorkers
+	if max <= 1 {
+		return 1
+	}
+	scan := pipelineScan(n)
+	if scan == nil {
+		return 1
+	}
+	pages := scan.Table.Data.Pages()
+	if pages < 2 {
+		return 1
+	}
+	if max > pages {
+		max = pages
+	}
+	serial := rw.estimate(n).Cost
+	best, bestCost := 1, serial
+	for d := 2; d <= max; d++ {
+		c := serial/float64(d) + parallelStartupCost*float64(d)
+		if c < bestCost {
+			best, bestCost = d, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,105 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelizeIdentityAtDOPOne pins the central compatibility
+// contract: MaxParallelWorkers <= 1 must produce the exact plans the
+// serial optimizer produces — the parallelization pass is the identity.
+func TestParallelizeIdentityAtDOPOne(t *testing.T) {
+	f := newOptFixture(t, 40, 60, false, 1)
+	queries := []string{
+		`SELECT a, b FROM R r WHERE r.a > 10`,
+		`SELECT b, count(*), sum(a) FROM R r GROUP BY b`,
+		`SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x`,
+		`SELECT a FROM R r ORDER BY a LIMIT 5`,
+	}
+	for _, q := range queries {
+		serial := f.explain(q, Options{})
+		for _, max := range []int{0, 1} {
+			got := f.explain(q, Options{MaxParallelWorkers: max})
+			if got != serial {
+				t.Errorf("%s: MaxParallelWorkers=%d diverges from serial:\n%s\nvs\n%s",
+					q, max, got, serial)
+			}
+		}
+	}
+}
+
+// TestParallelPlanShapes asserts the pass inserts each of the three
+// parallel fragments where it should: Gather over a scan pipeline,
+// partial aggregation under GroupBy, and a parallel hash-join build.
+func TestParallelPlanShapes(t *testing.T) {
+	f := newOptFixture(t, 40, 60, false, 1)
+	opts := Options{MaxParallelWorkers: 4}
+
+	scan := f.explain(`SELECT a, b FROM R r WHERE r.a > 10`, opts)
+	if !strings.Contains(scan, "Gather workers=") {
+		t.Errorf("scan pipeline not parallelized:\n%s", scan)
+	}
+
+	group := f.explain(`SELECT b, count(*), sum(a) FROM R r GROUP BY b`, opts)
+	if !strings.Contains(group, "parallel workers=") ||
+		!strings.Contains(group, "partial aggregation") {
+		t.Errorf("aggregation not parallelized:\n%s", group)
+	}
+
+	join := f.explain(`SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x`,
+		Options{MaxParallelWorkers: 4, ForceJoin: "hash"})
+	if !strings.Contains(join, "parallel build workers=") {
+		t.Errorf("hash build not parallelized:\n%s", join)
+	}
+}
+
+// TestParallelSmallTableStaysSerial: a single-page table has nothing to
+// partition, so the plan stays serial regardless of the worker cap.
+func TestParallelSmallTableStaysSerial(t *testing.T) {
+	f := newOptFixture(t, 6, 0, false, 1) // 6 rows @ PageCap 8 -> one page
+	q := `SELECT a FROM R r WHERE r.a > 1`
+	serial := f.explain(q, Options{})
+	par := f.explain(q, Options{MaxParallelWorkers: 8})
+	if par != serial {
+		t.Errorf("single-page scan was parallelized:\n%s", par)
+	}
+}
+
+// TestParallelResultsMatchSerial executes representative queries both
+// ways and compares full results (values and summaries).
+func TestParallelResultsMatchSerial(t *testing.T) {
+	f := newOptFixture(t, 40, 60, false, 1)
+	queries := []string{
+		`SELECT a, b FROM R r WHERE r.a > 10`,
+		`SELECT b, count(*), sum(a), min(a), max(a) FROM R r GROUP BY b`,
+		`SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x`,
+		`SELECT a FROM R r WHERE r.a > 3 ORDER BY a DESC LIMIT 7`,
+		`SELECT a FROM R r WHERE r.$.getSummaryObject('C1').getLabelValue('Disease') >= 2`,
+	}
+	for _, q := range queries {
+		serial := f.run(q, Options{MaxParallelWorkers: 1})
+		for _, max := range []int{2, 4, 8} {
+			par := f.run(q, Options{MaxParallelWorkers: max})
+			if len(par) != len(serial) {
+				t.Fatalf("%s: workers=%d rows %d vs serial %d", q, max, len(par), len(serial))
+			}
+			for i := range par {
+				if par[i] != serial[i] {
+					t.Fatalf("%s: workers=%d row %d differs:\n%s\n%s", q, max, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+	// The forced-hash join with a parallel build, executed.
+	q := `SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x`
+	serial := f.run(q, Options{ForceJoin: "hash", MaxParallelWorkers: 1})
+	par := f.run(q, Options{ForceJoin: "hash", MaxParallelWorkers: 4})
+	if len(par) != len(serial) || len(serial) == 0 {
+		t.Fatalf("hash join: %d vs %d rows", len(par), len(serial))
+	}
+	for i := range par {
+		if par[i] != serial[i] {
+			t.Fatalf("hash join row %d differs", i)
+		}
+	}
+}

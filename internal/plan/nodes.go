@@ -224,6 +224,10 @@ type Join struct {
 	HashRight sql.Expr
 	// Residual holds the remaining predicate under UseIndex/UseHash.
 	Residual sql.Expr
+	// BuildDOP parallelizes the hash-join build side across that many
+	// partition workers (0 or 1 = serial; requires UseHash and a
+	// partitionable right child).
+	BuildDOP int
 
 	schema *model.Schema
 }
@@ -249,10 +253,14 @@ func (j *Join) Describe() string {
 	case j.UseHash:
 		kind = fmt.Sprintf("HashJoin(%s=%s)", j.HashLeft, j.HashRight)
 	}
-	if j.On == nil {
-		return kind + " ⋈[true]"
+	suffix := ""
+	if j.BuildDOP > 1 {
+		suffix = fmt.Sprintf(" (parallel build workers=%d)", j.BuildDOP)
 	}
-	return fmt.Sprintf("%s ⋈[%s]", kind, j.On)
+	if j.On == nil {
+		return kind + " ⋈[true]" + suffix
+	}
+	return fmt.Sprintf("%s ⋈[%s]%s", kind, j.On, suffix)
 }
 
 // SummaryJoin is the J operator: tuples join on summary-based
@@ -337,11 +345,17 @@ func (s *SortNode) Describe() string {
 	return fmt.Sprintf("%s[%s]%s", name, strings.Join(keys, ","), suffix)
 }
 
-// GroupByNode aggregates with summary merge per group.
+// GroupByNode aggregates with summary merge per group. With DOP > 1 its
+// child must be a partial GatherNode: each worker accumulates one
+// partition and the final aggregation merges the partials in partition
+// order.
 type GroupByNode struct {
 	Child Node
 	Keys  []sql.Expr
 	Aggs  []exec.AggSpec
+	// DOP is the degree of parallelism of the partial-aggregation phase
+	// (0 or 1 = serial).
+	DOP int
 
 	schema *model.Schema
 }
@@ -358,7 +372,11 @@ func (g *GroupByNode) Describe() string {
 	for i, k := range g.Keys {
 		keys[i] = k.String()
 	}
-	return fmt.Sprintf("GroupBy[%s] aggs=%d", strings.Join(keys, ","), len(g.Aggs))
+	out := fmt.Sprintf("GroupBy[%s] aggs=%d", strings.Join(keys, ","), len(g.Aggs))
+	if g.DOP > 1 {
+		out += fmt.Sprintf(" (parallel workers=%d)", g.DOP)
+	}
+	return out
 }
 
 // ProjectNode computes the final projection.
@@ -412,6 +430,59 @@ func (l *LimitNode) Children() []Node { return []Node{l.Child} }
 
 // Describe renders the node.
 func (l *LimitNode) Describe() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// GatherNode is the exchange boundary of a parallel plan fragment: the
+// subtree below it is compiled once per partition and executed by DOP
+// worker goroutines, whose rows are emitted in partition order (equal
+// to the serial scan order, so parallel plans return identical
+// results). With Partial set the gather feeds a parallel GroupBy and
+// the workers run the partial-aggregation phase instead of streaming
+// rows.
+type GatherNode struct {
+	Child Node
+	DOP   int
+	// Partial marks a gather consumed by a parallel final aggregation
+	// (the workers fold their partition into per-group partial states).
+	Partial bool
+}
+
+// Schema returns the child schema.
+func (g *GatherNode) Schema() *model.Schema { return g.Child.Schema() }
+
+// Children returns the child.
+func (g *GatherNode) Children() []Node { return []Node{g.Child} }
+
+// Describe renders the node.
+func (g *GatherNode) Describe() string {
+	out := fmt.Sprintf("Gather workers=%d", g.DOP)
+	if g.Partial {
+		out += " (partial aggregation)"
+	}
+	return out
+}
+
+// IsParallel reports whether the plan contains a parallel fragment
+// (any GatherNode or parallel build) — the engine's parallel-plan
+// metric and tests use it.
+func IsParallel(n Node) bool {
+	if n == nil {
+		return false
+	}
+	switch v := n.(type) {
+	case *GatherNode:
+		return true
+	case *Join:
+		if v.BuildDOP > 1 {
+			return true
+		}
+	}
+	for _, c := range n.Children() {
+		if IsParallel(c) {
+			return true
+		}
+	}
+	return false
+}
 
 // Explain renders the plan tree, one node per line, children indented.
 func Explain(n Node) string {
