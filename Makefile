@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke
+.PHONY: check build vet test race race-core bench-smoke
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
-check: vet build race
+check: vet build race race-core
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-core focuses the race detector on the layers that share a buffer
+# pool across parallel scan workers.
+race-core:
+	$(GO) test -race ./internal/engine/... ./internal/exec/...
+
 # bench-smoke regenerates one representative figure plus the parallel
-# speedup grid at the reduced quick scale and writes a machine-readable
+# speedup and buffer-pool grids at the reduced quick scale and writes a machine-readable
 # BENCH_smoke.json snapshot (figures + engine metrics) so perf
 # regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18 -json BENCH_smoke.json

@@ -5,7 +5,7 @@
 //
 //	benchreport                 # all figures at the default scale
 //	benchreport -fig 10         # one figure
-//	benchreport -fig 10,17      # several figures
+//	benchreport -fig 10,17,18   # several figures
 //	benchreport -birds 1000 -grid 10,25,50,100,200
 //	benchreport -quick          # reduced grid for a fast smoke run
 //	benchreport -json out.json  # also write a machine-readable snapshot
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..17); empty = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..18); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -87,6 +87,7 @@ func main() {
 		{[]int{15}, bench.Fig15Rule11},
 		{[]int{2, 16}, bench.Fig16CaseStudy},
 		{[]int{17}, bench.Fig17Parallel},
+		{[]int{18}, bench.Fig18BufferPool},
 	}
 
 	ran := false
@@ -112,7 +113,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..17)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..18)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

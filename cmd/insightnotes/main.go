@@ -35,17 +35,19 @@ import (
 func main() {
 	birds := flag.Int("birds", 100, "preloaded bird count (0 = start empty)")
 	anns := flag.Int("anns", 10, "average annotations per bird")
+	poolPages := flag.Int("pool", 0, "buffer pool size in frames (0 = unbounded resident pages)")
 	flag.Parse()
 
 	var db *engine.DB
 	load := func(nBirds, avg int) error {
 		if nBirds == 0 {
-			db = engine.New(engine.Config{})
+			db = engine.New(engine.Config{BufferPoolPages: *poolPages})
 			fmt.Println("started with an empty database")
 			return nil
 		}
 		ds, err := workload.Build(workload.Config{
 			Seed: 1, Birds: nBirds, AvgAnnotationsPerBird: avg,
+			BufferPoolPages: *poolPages,
 		})
 		if err != nil {
 			return err
@@ -191,7 +193,9 @@ func meta(db *engine.DB, line string, load func(int, int) error) bool {
   EXPLAIN ANALYZE SELECT ...  run it, annotating each operator with actuals
   ALTER TABLE t ADD [INDEXABLE] instance | ALTER TABLE t DROP instance
   ZOOM IN ON table.instance [LABEL 'label'] [WHERE expr]
-meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  \quit`)
+meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  \quit
+  (\metrics adds a cache: hit/miss/phys/evict line when the shell was
+   started with -pool N; see also EXPLAIN ANALYZE per-operator buffers)`)
 	case `\tables`:
 		for _, name := range db.Catalog().TableNames() {
 			t, _ := db.Table(name)

@@ -1,16 +1,24 @@
-// Package btree implements an in-memory B+Tree with string keys, int64
-// payloads, duplicate-key support, and leaf-chained range scans. It is
-// the standard index of the engine and the substrate the Summary-BTree
+// Package btree implements a B+Tree with string keys, int64 payloads,
+// duplicate-key support, and leaf-chained range scans. It is the
+// standard index of the engine and the substrate the Summary-BTree
 // (internal/index) builds on: the Summary-BTree keeps the same structure
 // and maintenance algorithms and differs only in what its leaf payloads
 // point at (backward pointers to the data heap).
 //
 // Node accesses are charged to a pager.Accountant, one read per node
 // visited and one write per node modified, so logarithmic access-path
-// claims are testable.
+// claims are testable. Nodes are addressed by id: without a buffer pool
+// they live in an in-memory node table, and with one attached to the
+// accountant they live in pool frames and round-trip through the pool's
+// backing store on eviction. Mutations pin the descent path (plus the
+// siblings a rebalance touches) for their duration; scans pin
+// hand-over-hand, one node at a time. Logical charges are identical in
+// both modes, at the same call sites.
 package btree
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -22,36 +30,112 @@ const DefaultOrder = 64
 
 // Tree is a B+Tree. Not safe for concurrent mutation.
 type Tree struct {
-	acct  *pager.Accountant
-	order int // max entries per node
-	root  *node
-	size  int
-	nodes int
+	acct   *pager.Accountant
+	pool   *pager.BufferPool
+	space  int32
+	order  int // max entries per node
+	rootID int64
+	nextID int64
+	mem    map[int64]*node // node table when no pool is attached
+	size   int
+	nodes  int
 }
 
+// node ids start at 1; 0 means "none" (end of the leaf chain).
 type node struct {
+	id       int64
 	leaf     bool
 	keys     []string
 	vals     []int64 // leaf only; len == len(keys)
-	children []*node // internal only; len == len(keys)+1
-	next     *node   // leaf chain
+	children []int64 // internal only; len == len(keys)+1
+	next     int64   // leaf chain
+}
+
+// nodeWire is the gob form of a node for buffer-pool write-back.
+type nodeWire struct {
+	ID       int64
+	Leaf     bool
+	Keys     []string
+	Vals     []int64
+	Children []int64
+	Next     int64
+}
+
+type nodeCodec struct{}
+
+func (nodeCodec) EncodePage(v any) ([]byte, error) {
+	n := v.(*node)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(nodeWire{
+		ID: n.id, Leaf: n.leaf, Keys: n.keys, Vals: n.vals,
+		Children: n.children, Next: n.next,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (nodeCodec) DecodePage(data []byte) (any, error) {
+	var w nodeWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	return &node{
+		id: w.ID, leaf: w.Leaf, keys: w.Keys, vals: w.Vals,
+		children: w.Children, next: w.Next,
+	}, nil
 }
 
 // New builds a tree of the given order (maximum entries per node); order
-// < 4 is raised to 4.
+// < 4 is raised to 4. If acct has a buffer pool attached, the tree
+// registers its own node space with it.
 func New(acct *pager.Accountant, order int) *Tree {
 	if order < 4 {
 		order = 4
 	}
-	t := &Tree{acct: acct, order: order}
-	t.root = &node{leaf: true}
+	t := &Tree{acct: acct, order: order, nextID: 1}
+	if pool := acct.Pool(); pool != nil {
+		t.pool = pool
+		t.space = pool.NewSpace(nodeCodec{})
+	} else {
+		t.mem = make(map[int64]*node)
+	}
+	root := &node{leaf: true}
+	t.attach(root)
+	t.rootID = root.id
+	if t.pool != nil {
+		t.pool.Unpin(t.space, root.id, true)
+	}
 	t.nodes = 1
 	return t
 }
 
 // NewLike builds an empty tree sharing t's order and accountant — used
 // when an index must be rebuilt (e.g. Summary-BTree width extension).
+// Call Release on the old tree once it is swapped out.
 func NewLike(t *Tree) *Tree { return New(t.acct, t.order) }
+
+// Release drops the tree's nodes from the buffer pool (no-op without a
+// pool). The tree must not be used afterwards.
+func (t *Tree) Release() {
+	if t.pool != nil {
+		t.pool.DropSpace(t.space)
+	}
+	t.mem = nil
+}
+
+// attach assigns n a fresh id and materializes it — pinned (and dirty)
+// in pooled mode, resident in the node table otherwise.
+func (t *Tree) attach(n *node) {
+	n.id = t.nextID
+	t.nextID++
+	if t.pool != nil {
+		t.pool.NewPage(t.space, n.id, n)
+	} else {
+		t.mem[n.id] = n
+	}
+}
 
 // Len returns the number of stored entries.
 func (t *Tree) Len() int { return t.size }
@@ -62,17 +146,147 @@ func (t *Tree) Order() int { return t.order }
 // Nodes returns the number of allocated nodes.
 func (t *Tree) Nodes() int { return t.nodes }
 
+// peek returns id's node for read-only inspection without holding a pin:
+// in pooled mode the frame is unpinned immediately, and the returned
+// object stays valid (if the frame is later evicted the object is merely
+// a stale immutable copy, which read-only single-threaded callers
+// tolerate).
+func (t *Tree) peek(id int64) *node {
+	if t.pool == nil {
+		return t.mem[id]
+	}
+	n := t.pool.Get(t.space, id).(*node)
+	t.pool.Unpin(t.space, id, false)
+	return n
+}
+
+// pinTrack pins id, releases the previously tracked pin, and records id
+// in *cur so a deferred cleanup can release whatever is held when a scan
+// unwinds (including via an injected-fault panic).
+func (t *Tree) pinTrack(cur *int64, id int64) *node {
+	if t.pool == nil {
+		return t.mem[id]
+	}
+	n := t.pool.Get(t.space, id).(*node)
+	if *cur != 0 {
+		t.pool.Unpin(t.space, *cur, false)
+	}
+	*cur = id
+	return n
+}
+
+func (t *Tree) unTrack(cur *int64) {
+	if t.pool != nil && *cur != 0 {
+		t.pool.Unpin(t.space, *cur, false)
+	}
+	*cur = 0
+}
+
 // Height returns the tree height (1 for a lone leaf).
 func (t *Tree) Height() int {
-	h, n := 1, t.root
+	h, n := 1, t.peek(t.rootID)
 	for !n.leaf {
 		h++
-		n = n.children[0]
+		n = t.peek(n.children[0])
 	}
 	return h
 }
 
 func (t *Tree) minEntries() int { return t.order / 2 }
+
+// --- pin scope ------------------------------------------------------------
+
+// pinScope tracks the frames a mutation has pinned so they are released
+// exactly once when the operation finishes — including when it unwinds
+// through a write-back fault panic. Without a pool it only routes node
+// loads to the in-memory table. A mutation pins its descent path plus
+// the siblings a rebalance touches, so the frame budget a tree needs is
+// about twice its height; pager.MinPoolFrames covers default-order trees.
+type pinScope struct {
+	t     *Tree
+	ids   []int64
+	dirty []bool
+}
+
+func (t *Tree) scope() *pinScope { return &pinScope{t: t} }
+
+// get pins id and returns its node; the pin is held until put, drop, or
+// release.
+func (s *pinScope) get(id int64) *node {
+	if s.t.pool == nil {
+		return s.t.mem[id]
+	}
+	n := s.t.pool.Get(s.t.space, id).(*node)
+	s.ids = append(s.ids, id)
+	s.dirty = append(s.dirty, false)
+	return n
+}
+
+// alloc creates a node in the scope, pinned and dirty.
+func (s *pinScope) alloc(leaf bool) *node {
+	n := &node{leaf: leaf}
+	s.t.attach(n)
+	if s.t.pool != nil {
+		s.ids = append(s.ids, n.id)
+		s.dirty = append(s.dirty, true)
+	}
+	return n
+}
+
+// markDirty flags id's most recent pin so its frame is marked dirty on
+// release.
+func (s *pinScope) markDirty(id int64) {
+	for i := len(s.ids) - 1; i >= 0; i-- {
+		if s.ids[i] == id {
+			s.dirty[i] = true
+			return
+		}
+	}
+}
+
+// put releases id's most recent pin early (failed probes, untouched
+// siblings) so pins don't accumulate past the frame budget.
+func (s *pinScope) put(id int64) {
+	for i := len(s.ids) - 1; i >= 0; i-- {
+		if s.ids[i] == id {
+			if s.t.pool != nil {
+				s.t.pool.Unpin(s.t.space, id, s.dirty[i])
+			}
+			s.ids[i] = 0
+			return
+		}
+	}
+}
+
+// drop releases every pin the scope holds on id and deletes the node
+// (merge victims, collapsed roots).
+func (s *pinScope) drop(id int64) {
+	if s.t.pool == nil {
+		delete(s.t.mem, id)
+		return
+	}
+	for i := range s.ids {
+		if s.ids[i] == id {
+			s.t.pool.Unpin(s.t.space, id, false)
+			s.ids[i] = 0
+		}
+	}
+	s.t.pool.Drop(s.t.space, id)
+}
+
+// release unpins everything the scope still holds.
+func (s *pinScope) release() {
+	if s.t.pool == nil {
+		return
+	}
+	for i, id := range s.ids {
+		if id != 0 {
+			s.t.pool.Unpin(s.t.space, id, s.dirty[i])
+		}
+	}
+	s.ids = s.ids[:0]
+	s.dirty = s.dirty[:0]
+}
 
 // --- search ---------------------------------------------------------------
 
@@ -86,21 +300,22 @@ func upperBound(n *node, key string) int {
 	return sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
 }
 
-// descend walks from the root to the leaf that may contain key, using
-// lower-bound routing (leftmost occurrence for duplicates); each visited
-// node is one page read.
-func (t *Tree) descendLower(key string) *node {
-	n := t.root
+// descendLower walks from the root to the leaf that may contain key,
+// using lower-bound routing (leftmost occurrence for duplicates); each
+// visited node is one page read. Pins hand-over-hand through *cur; the
+// returned leaf is left pinned for the caller.
+func (t *Tree) descendLower(cur *int64, key string) *node {
+	n := t.pinTrack(cur, t.rootID)
 	t.acct.ReadNode(1)
 	for !n.leaf {
 		// Separator keys[i] is the minimum key of children[i+1]: route to
 		// children[i] where i = first separator > key... for leftmost
 		// duplicates we must go left of equal separators.
-		i := lowerBound(n, key)
+		//
 		// keys[i] == key means children[i+1] starts at key; the leftmost
 		// duplicate may still live at the end of children[i]'s subtree, so
 		// descend into children[i].
-		n = n.children[i]
+		n = t.pinTrack(cur, n.children[lowerBound(n, key)])
 		t.acct.ReadNode(1)
 	}
 	return n
@@ -130,8 +345,10 @@ func (t *Tree) Contains(key string) bool {
 // stopping early when fn returns false. An empty `to` of "\xff..." is not
 // required: use ScanFrom for open-ended scans.
 func (t *Tree) ScanRange(from, to string, fn func(key string, val int64) bool) {
-	n := t.descendLower(from)
-	for n != nil {
+	var cur int64
+	defer t.unTrack(&cur)
+	n := t.descendLower(&cur, from)
+	for {
 		i := lowerBound(n, from)
 		for ; i < len(n.keys); i++ {
 			if n.keys[i] > to {
@@ -141,28 +358,32 @@ func (t *Tree) ScanRange(from, to string, fn func(key string, val int64) bool) {
 				return
 			}
 		}
-		n = n.next
-		if n != nil {
-			t.acct.ReadNode(1)
+		if n.next == 0 {
+			return
 		}
+		n = t.pinTrack(&cur, n.next)
+		t.acct.ReadNode(1)
 		from = "" // subsequent leaves start at position 0
 	}
 }
 
 // ScanFrom visits every entry with key >= from in key order.
 func (t *Tree) ScanFrom(from string, fn func(key string, val int64) bool) {
-	n := t.descendLower(from)
-	for n != nil {
+	var cur int64
+	defer t.unTrack(&cur)
+	n := t.descendLower(&cur, from)
+	for {
 		i := lowerBound(n, from)
 		for ; i < len(n.keys); i++ {
 			if !fn(n.keys[i], n.vals[i]) {
 				return
 			}
 		}
-		n = n.next
-		if n != nil {
-			t.acct.ReadNode(1)
+		if n.next == 0 {
+			return
 		}
+		n = t.pinTrack(&cur, n.next)
+		t.acct.ReadNode(1)
 		from = ""
 	}
 }
@@ -175,22 +396,25 @@ func (t *Tree) ScanAll(fn func(key string, val int64) bool) { t.ScanFrom("", fn)
 // Insert adds (key, val). Duplicate keys are allowed; duplicate
 // (key, val) pairs are stored as distinct entries.
 func (t *Tree) Insert(key string, val int64) {
-	sep, right := t.insert(t.root, key, val)
-	if right != nil {
-		newRoot := &node{
-			keys:     []string{sep},
-			children: []*node{t.root, right},
-		}
-		t.root = newRoot
+	s := t.scope()
+	defer s.release()
+	sep, rightID := t.insert(s, t.rootID, key, val)
+	if rightID != 0 {
+		newRoot := s.alloc(false)
+		newRoot.keys = []string{sep}
+		newRoot.children = []int64{t.rootID, rightID}
+		t.rootID = newRoot.id
 		t.nodes++
 		t.acct.WriteNode(1)
 	}
 	t.size++
 }
 
-// insert descends into n; on child split it absorbs the new separator.
-// Returns a (separator, right sibling) pair when n itself splits.
-func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
+// insert descends into id's node; on child split it absorbs the new
+// separator. Returns a (separator, right sibling id) pair when the node
+// itself splits, with rightID 0 meaning no split.
+func (t *Tree) insert(s *pinScope, id int64, key string, val int64) (string, int64) {
+	n := s.get(id)
 	t.acct.ReadNode(1)
 	if n.leaf {
 		i := upperBound(n, key)
@@ -200,58 +424,59 @@ func (t *Tree) insert(n *node, key string, val int64) (string, *node) {
 		n.vals = append(n.vals, 0)
 		copy(n.vals[i+1:], n.vals[i:])
 		n.vals[i] = val
+		s.markDirty(id)
 		t.acct.WriteNode(1)
 		if len(n.keys) > t.order {
-			return t.splitLeaf(n)
+			return t.splitLeaf(s, n)
 		}
-		return "", nil
+		return "", 0
 	}
 	ci := upperBound(n, key)
-	sep, right := t.insert(n.children[ci], key, val)
-	if right == nil {
-		return "", nil
+	sep, rightID := t.insert(s, n.children[ci], key, val)
+	if rightID == 0 {
+		return "", 0
 	}
 	n.keys = append(n.keys, "")
 	copy(n.keys[ci+1:], n.keys[ci:])
 	n.keys[ci] = sep
-	n.children = append(n.children, nil)
+	n.children = append(n.children, 0)
 	copy(n.children[ci+2:], n.children[ci+1:])
-	n.children[ci+1] = right
+	n.children[ci+1] = rightID
+	s.markDirty(id)
 	t.acct.WriteNode(1)
 	if len(n.keys) > t.order {
-		return t.splitInternal(n)
+		return t.splitInternal(s, n)
 	}
-	return "", nil
+	return "", 0
 }
 
-func (t *Tree) splitLeaf(n *node) (string, *node) {
+func (t *Tree) splitLeaf(s *pinScope, n *node) (string, int64) {
 	mid := len(n.keys) / 2
-	right := &node{
-		leaf: true,
-		keys: append([]string(nil), n.keys[mid:]...),
-		vals: append([]int64(nil), n.vals[mid:]...),
-		next: n.next,
-	}
+	right := s.alloc(true)
+	right.keys = append([]string(nil), n.keys[mid:]...)
+	right.vals = append([]int64(nil), n.vals[mid:]...)
+	right.next = n.next
 	n.keys = n.keys[:mid:mid]
 	n.vals = n.vals[:mid:mid]
-	n.next = right
+	n.next = right.id
+	s.markDirty(n.id)
 	t.nodes++
 	t.acct.WriteNode(2)
-	return right.keys[0], right
+	return right.keys[0], right.id
 }
 
-func (t *Tree) splitInternal(n *node) (string, *node) {
+func (t *Tree) splitInternal(s *pinScope, n *node) (string, int64) {
 	mid := len(n.keys) / 2
 	sep := n.keys[mid]
-	right := &node{
-		keys:     append([]string(nil), n.keys[mid+1:]...),
-		children: append([]*node(nil), n.children[mid+1:]...),
-	}
+	right := s.alloc(false)
+	right.keys = append([]string(nil), n.keys[mid+1:]...)
+	right.children = append([]int64(nil), n.children[mid+1:]...)
 	n.keys = n.keys[:mid:mid]
 	n.children = n.children[: mid+1 : mid+1]
+	s.markDirty(n.id)
 	t.nodes++
 	t.acct.WriteNode(2)
-	return sep, right
+	return sep, right.id
 }
 
 // --- delete ---------------------------------------------------------------
@@ -259,29 +484,34 @@ func (t *Tree) splitInternal(n *node) (string, *node) {
 // Delete removes one entry matching (key, val), returning whether an
 // entry was removed. With duplicates, the leftmost match is removed.
 func (t *Tree) Delete(key string, val int64) bool {
-	deleted := t.delete(t.root, key, val)
-	if !deleted {
+	s := t.scope()
+	defer s.release()
+	root := s.get(t.rootID)
+	if !t.deleteFrom(s, root, key, val) {
 		return false
 	}
 	t.size--
 	// Collapse a root that lost its last separator.
-	if !t.root.leaf && len(t.root.keys) == 0 {
-		t.root = t.root.children[0]
+	if !root.leaf && len(root.keys) == 0 {
+		oldID := root.id
+		t.rootID = root.children[0]
+		s.drop(oldID)
 		t.nodes--
 	}
 	return true
 }
 
-// delete removes (key, val) from the subtree under n and rebalances its
-// children; it reports whether a removal happened. The caller handles
-// n's own underflow.
-func (t *Tree) delete(n *node, key string, val int64) bool {
+// deleteFrom removes (key, val) from the subtree under n and rebalances
+// its children; it reports whether a removal happened. The caller
+// handles n's own underflow. n must be pinned by the caller's scope.
+func (t *Tree) deleteFrom(s *pinScope, n *node, key string, val int64) bool {
 	t.acct.ReadNode(1)
 	if n.leaf {
 		for i := lowerBound(n, key); i < len(n.keys) && n.keys[i] == key; i++ {
 			if n.vals[i] == val {
 				n.keys = append(n.keys[:i], n.keys[i+1:]...)
 				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				s.markDirty(n.id)
 				t.acct.WriteNode(1)
 				return true
 			}
@@ -293,10 +523,13 @@ func (t *Tree) delete(n *node, key string, val int64) bool {
 	// separator still equals key.
 	ci := lowerBound(n, key)
 	for {
-		if t.delete(n.children[ci], key, val) {
-			t.fixChild(n, ci)
+		childID := n.children[ci]
+		child := s.get(childID)
+		if t.deleteFrom(s, child, key, val) {
+			t.fixChild(s, n, ci)
 			return true
 		}
+		s.put(childID) // failed probe: release before trying the next child
 		if ci >= len(n.keys) || n.keys[ci] != key {
 			return false
 		}
@@ -305,66 +538,84 @@ func (t *Tree) delete(n *node, key string, val int64) bool {
 }
 
 // fixChild rebalances n.children[ci] if it underflowed, by borrowing
-// from a sibling or merging with one.
-func (t *Tree) fixChild(n *node, ci int) {
-	child := n.children[ci]
+// from a sibling or merging with one. Sibling inspection is logically
+// free: only the three nodes a borrow rewrites are charged.
+func (t *Tree) fixChild(s *pinScope, n *node, ci int) {
+	childID := n.children[ci]
+	child := s.get(childID)
 	min := t.minEntries()
 	if len(child.keys) >= min {
+		s.put(childID)
 		return
 	}
 	// Try borrowing from the left sibling.
-	if ci > 0 && len(n.children[ci-1].keys) > min {
-		left := n.children[ci-1]
-		if child.leaf {
-			lk, lv := left.keys[len(left.keys)-1], left.vals[len(left.vals)-1]
-			left.keys = left.keys[:len(left.keys)-1]
-			left.vals = left.vals[:len(left.vals)-1]
-			child.keys = append([]string{lk}, child.keys...)
-			child.vals = append([]int64{lv}, child.vals...)
-			n.keys[ci-1] = child.keys[0]
-		} else {
-			// Rotate through the separator.
-			child.keys = append([]string{n.keys[ci-1]}, child.keys...)
-			n.keys[ci-1] = left.keys[len(left.keys)-1]
-			left.keys = left.keys[:len(left.keys)-1]
-			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
-			left.children = left.children[:len(left.children)-1]
+	if ci > 0 {
+		leftID := n.children[ci-1]
+		left := s.get(leftID)
+		if len(left.keys) > min {
+			if child.leaf {
+				lk, lv := left.keys[len(left.keys)-1], left.vals[len(left.vals)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.vals = left.vals[:len(left.vals)-1]
+				child.keys = append([]string{lk}, child.keys...)
+				child.vals = append([]int64{lv}, child.vals...)
+				n.keys[ci-1] = child.keys[0]
+			} else {
+				// Rotate through the separator.
+				child.keys = append([]string{n.keys[ci-1]}, child.keys...)
+				n.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				child.children = append([]int64{left.children[len(left.children)-1]}, child.children...)
+				left.children = left.children[:len(left.children)-1]
+			}
+			s.markDirty(leftID)
+			s.markDirty(childID)
+			s.markDirty(n.id)
+			t.acct.WriteNode(3)
+			return
 		}
-		t.acct.WriteNode(3)
-		return
+		s.put(leftID)
 	}
 	// Try borrowing from the right sibling.
-	if ci < len(n.children)-1 && len(n.children[ci+1].keys) > min {
-		right := n.children[ci+1]
-		if child.leaf {
-			rk, rv := right.keys[0], right.vals[0]
-			right.keys = right.keys[1:]
-			right.vals = right.vals[1:]
-			child.keys = append(child.keys, rk)
-			child.vals = append(child.vals, rv)
-			n.keys[ci] = right.keys[0]
-		} else {
-			child.keys = append(child.keys, n.keys[ci])
-			n.keys[ci] = right.keys[0]
-			right.keys = right.keys[1:]
-			child.children = append(child.children, right.children[0])
-			right.children = right.children[1:]
+	if ci < len(n.children)-1 {
+		rightID := n.children[ci+1]
+		right := s.get(rightID)
+		if len(right.keys) > min {
+			if child.leaf {
+				rk, rv := right.keys[0], right.vals[0]
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				child.keys = append(child.keys, rk)
+				child.vals = append(child.vals, rv)
+				n.keys[ci] = right.keys[0]
+			} else {
+				child.keys = append(child.keys, n.keys[ci])
+				n.keys[ci] = right.keys[0]
+				right.keys = right.keys[1:]
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+			s.markDirty(rightID)
+			s.markDirty(childID)
+			s.markDirty(n.id)
+			t.acct.WriteNode(3)
+			return
 		}
-		t.acct.WriteNode(3)
-		return
+		s.put(rightID)
 	}
 	// Merge with a sibling.
 	if ci > 0 {
-		t.mergeChildren(n, ci-1)
+		t.mergeChildren(s, n, ci-1)
 	} else {
-		t.mergeChildren(n, ci)
+		t.mergeChildren(s, n, ci)
 	}
 }
 
 // mergeChildren merges n.children[i+1] into n.children[i] and removes
 // separator n.keys[i].
-func (t *Tree) mergeChildren(n *node, i int) {
-	left, right := n.children[i], n.children[i+1]
+func (t *Tree) mergeChildren(s *pinScope, n *node, i int) {
+	leftID, rightID := n.children[i], n.children[i+1]
+	left, right := s.get(leftID), s.get(rightID)
 	if left.leaf {
 		left.keys = append(left.keys, right.keys...)
 		left.vals = append(left.vals, right.vals...)
@@ -376,6 +627,9 @@ func (t *Tree) mergeChildren(n *node, i int) {
 	}
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	s.markDirty(leftID)
+	s.markDirty(n.id)
+	s.drop(rightID)
 	t.nodes--
 	t.acct.WriteNode(2)
 }
@@ -392,7 +646,7 @@ func (t *Tree) Validate() error {
 	count := 0
 	var walk func(n *node, d int, lo, hi string, hasLo, hasHi bool) error
 	walk = func(n *node, d int, lo, hi string, hasLo, hasHi bool) error {
-		if n != t.root && len(n.keys) < t.minEntries() {
+		if n.id != t.rootID && len(n.keys) < t.minEntries() {
 			return fmt.Errorf("btree: underfull node at depth %d: %d < %d", d, len(n.keys), t.minEntries())
 		}
 		if len(n.keys) > t.order {
@@ -420,7 +674,7 @@ func (t *Tree) Validate() error {
 			} else if depth != d {
 				return fmt.Errorf("btree: leaves at depths %d and %d", depth, d)
 			}
-			if prevLeaf != nil && prevLeaf.next != n {
+			if prevLeaf != nil && prevLeaf.next != n.id {
 				return fmt.Errorf("btree: broken leaf chain")
 			}
 			prevLeaf = n
@@ -439,16 +693,16 @@ func (t *Tree) Validate() error {
 			if i < len(n.keys) {
 				chi, chasHi = n.keys[i], true
 			}
-			if err := walk(c, d+1, clo, chi, chasLo, chasHi); err != nil {
+			if err := walk(t.peek(c), d+1, clo, chi, chasLo, chasHi); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(t.root, 0, "", "", false, false); err != nil {
+	if err := walk(t.peek(t.rootID), 0, "", "", false, false); err != nil {
 		return err
 	}
-	if prevLeaf != nil && prevLeaf.next != nil {
+	if prevLeaf != nil && prevLeaf.next != 0 {
 		return fmt.Errorf("btree: leaf chain extends past last leaf")
 	}
 	if count != t.size {

@@ -75,13 +75,22 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes a relation from the catalog.
+// DropTable removes a relation from the catalog, releasing any buffer
+// pool frames its storage held.
 func (c *Catalog) DropTable(name string) error {
 	key := strings.ToLower(name)
-	if _, ok := c.tables[key]; !ok {
+	t, ok := c.tables[key]
+	if !ok {
 		return fmt.Errorf("catalog: unknown table %q", name)
 	}
 	delete(c.tables, key)
+	t.Data.Release()
+	t.SummaryStorage.Release()
+	t.oidIndex.Release()
+	t.sumIndex.Release()
+	for _, idx := range t.dataIndexes {
+		idx.Release()
+	}
 	return nil
 }
 

@@ -32,9 +32,12 @@ type AnalyzedPlan struct {
 // String renders the annotated plan tree followed by an execution
 // footer, in the spirit of Postgres's EXPLAIN ANALYZE output.
 func (p *AnalyzedPlan) String() string {
-	return p.Root.String() +
-		fmt.Sprintf("Execution: rows=%d time=%s io=%s\n",
-			len(p.Result.Rows), p.Wall.Round(time.Microsecond), p.IO)
+	footer := fmt.Sprintf("Execution: rows=%d time=%s io=%s",
+		len(p.Result.Rows), p.Wall.Round(time.Microsecond), p.IO)
+	if p.IO.CacheAccesses() > 0 {
+		footer += " cache=" + p.IO.CacheString()
+	}
+	return p.Root.String() + footer + "\n"
 }
 
 // ExplainAnalyze executes one SELECT with per-operator instrumentation

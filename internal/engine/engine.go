@@ -38,6 +38,11 @@ type Config struct {
 	// Faults installs a deterministic pager fault-injection policy on
 	// the database's I/O accountant (testing/chaos harnesses only).
 	Faults *pager.FaultPolicy
+	// BufferPoolPages bounds resident storage to that many buffer-pool
+	// frames, evicting cold pages to a backing store (values below
+	// pager.MinPoolFrames are raised to it). 0 disables the pool: every
+	// page stays resident and the engine behaves exactly as without one.
+	BufferPoolPages int
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -88,6 +93,12 @@ func New(cfg Config) *DB {
 // (keeping fault-injection counters, e.g. FailFirstWrites, monotonic
 // across attempts).
 func newDB(cfg Config, acct *pager.Accountant) *DB {
+	if cfg.BufferPoolPages > 0 {
+		// Attach (or replace, when a snapshot retry rebuilds the DB on the
+		// same accountant) the buffer pool before any storage exists, so
+		// every heap file and index registers its pages with it.
+		pager.NewBufferPool(acct, cfg.BufferPoolPages)
+	}
 	db := &DB{
 		cat:         catalog.New(acct, cfg.PageCap),
 		acct:        acct,
@@ -126,6 +137,20 @@ func (db *DB) MaxParallelWorkers() int { return int(db.maxParallel.Load()) }
 // Accountant exposes the shared I/O accountant (benchmarks reset and
 // read it around measured operations).
 func (db *DB) Accountant() *pager.Accountant { return db.acct }
+
+// BufferPool returns the database's buffer pool, or nil when
+// Config.BufferPoolPages was 0 (all pages resident).
+func (db *DB) BufferPool() *pager.BufferPool { return db.acct.Pool() }
+
+// Close releases resources held outside the Go heap — currently the
+// buffer pool's backing store. The DB must not be used afterwards; a DB
+// without a buffer pool needs no Close.
+func (db *DB) Close() error {
+	if pool := db.acct.Pool(); pool != nil {
+		pool.Close()
+	}
+	return nil
+}
 
 // Catalog exposes the metadata root (read-mostly; mutate through DB).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }

@@ -52,7 +52,17 @@ func annText(label string, i int) string {
 // annotation. Returns the DB and the OIDs in insertion order.
 func testDB(t *testing.T, nBirds int) (*DB, []int64) {
 	t.Helper()
-	db := New(Config{PageCap: 16})
+	return testDBWithConfig(t, nBirds, Config{PageCap: 16})
+}
+
+// testDBWithConfig is testDB under an explicit engine configuration
+// (buffer pool sizes, timeouts); the dataset is identical.
+func testDBWithConfig(t *testing.T, nBirds int, cfg Config) (*DB, []int64) {
+	t.Helper()
+	db := New(cfg)
+	if cfg.BufferPoolPages > 0 {
+		t.Cleanup(func() { db.Close() })
+	}
 	schema := model.NewSchema("",
 		model.Column{Name: "id", Kind: model.KindInt},
 		model.Column{Name: "name", Kind: model.KindText},

@@ -146,5 +146,14 @@ func (m Metrics) String() string {
 	}
 	fmt.Fprintf(&b, " total=%s\n", m.TotalQueryTime.Round(time.Microsecond))
 	fmt.Fprintf(&b, "io: %s\n", m.IO)
+	// The cache line appears only when a buffer pool produced traffic, so
+	// pool-off output is unchanged.
+	if m.IO.CacheAccesses() > 0 {
+		fmt.Fprintf(&b, "cache: %s", m.IO.CacheString())
+		if acc := m.IO.CacheHits + m.IO.CacheMisses; acc > 0 {
+			fmt.Fprintf(&b, " hitrate=%.1f%%", 100*float64(m.IO.CacheHits)/float64(acc))
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }

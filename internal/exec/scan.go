@@ -78,8 +78,15 @@ func (s *SeqScan) Next() (row *Row, err error) {
 	return &Row{Tuple: t, AliasSets: aliasSet(s.Alias, t.Summaries)}, nil
 }
 
-// Close releases the cursor.
-func (s *SeqScan) Close() error { s.cursor = nil; return nil }
+// Close releases the cursor (unpinning its buffer-pool frame when the
+// scan stopped mid-page).
+func (s *SeqScan) Close() error {
+	if s.cursor != nil {
+		s.cursor.Close()
+		s.cursor = nil
+	}
+	return nil
+}
 
 // Schema returns the scan's output schema (table columns under alias).
 func (s *SeqScan) Schema() *model.Schema { return s.schema }

@@ -3,9 +3,20 @@
 // tables, and the raw-annotation store. Records are addressed by RID
 // (page, slot); page accesses are charged to a pager.Accountant so that
 // access-path costs are observable.
+//
+// When the accountant has a buffer pool attached, pages live in pool
+// frames instead of the file struct: every access pins the frame for the
+// duration of the touch (cursors keep their current page pinned between
+// Next calls and release it on advance or Close), mutations mark the
+// frame dirty, and evicted pages round-trip through the pool's backing
+// store. Without a pool the file keeps its pages resident directly and
+// behaves exactly as before — only logical I/O is charged either way, at
+// the same call sites, so access-path counts are identical in both modes.
 package heap
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"repro/internal/pager"
@@ -42,6 +53,58 @@ type page[T any] struct {
 	nLive int
 }
 
+// pageWire is the serialized form of a page. Only live slots carry a
+// value: gob cannot encode nil pointers, and tombstoned slots of pointer
+// payload types hold exactly that, so dead slots are reconstructed as
+// zero values from the liveness bitmap on decode.
+type pageWire[T any] struct {
+	OIDs []int64
+	Live []bool
+	Vals []T // live slots only, in slot order
+}
+
+// pageCodec serializes heap pages for buffer-pool write-back.
+type pageCodec[T any] struct{}
+
+func (pageCodec[T]) EncodePage(v any) ([]byte, error) {
+	p := v.(*page[T])
+	w := pageWire[T]{
+		OIDs: make([]int64, len(p.slots)),
+		Live: make([]bool, len(p.slots)),
+	}
+	for i := range p.slots {
+		w.OIDs[i] = p.slots[i].oid
+		w.Live[i] = p.slots[i].live
+		if p.slots[i].live {
+			w.Vals = append(w.Vals, p.slots[i].val)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (pageCodec[T]) DecodePage(data []byte) (any, error) {
+	var w pageWire[T]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	p := &page[T]{slots: make([]record[T], len(w.OIDs))}
+	vi := 0
+	for i := range w.OIDs {
+		p.slots[i].oid = w.OIDs[i]
+		if w.Live[i] {
+			p.slots[i].live = true
+			p.slots[i].val = w.Vals[vi]
+			vi++
+			p.nLive++
+		}
+	}
+	return p, nil
+}
+
 // File is a heap file of records of type T. Records are identified
 // logically by OID (assigned by the caller) and physically by RID. The
 // zero File is not usable; construct with NewFile. File is not safe for
@@ -49,61 +112,136 @@ type page[T any] struct {
 type File[T any] struct {
 	acct    *pager.Accountant
 	pageCap int
-	pages   []*page[T]
-	nLive   int
-	// freePages lists pages with spare capacity, kept coarse: a page is
-	// re-offered after deletions.
+
+	// pool/space route page access through buffer-pool frames when the
+	// accountant has a pool attached; used tracks each page's slot count
+	// so capacity checks never need to pin a frame. Without a pool,
+	// pages holds the file's pages resident and used is unused.
+	pool  *pager.BufferPool
+	space int32
+	used  []int32
+	pages []*page[T]
+
+	nLive int
+	// freePages lists pages with spare capacity: a page is re-offered
+	// after a delete trims tombstoned slots from its tail, and popped
+	// once it fills back up. freeSet dedups offers.
 	freePages []int32
+	freeSet   map[int32]bool
 }
 
 // NewFile builds a heap file whose pages hold pageCap records each
-// (the paper's "disk page size in records" parameter B).
+// (the paper's "disk page size in records" parameter B). If acct has a
+// buffer pool attached, the file registers its own page space with it.
 func NewFile[T any](acct *pager.Accountant, pageCap int) *File[T] {
 	if pageCap <= 0 {
 		pageCap = 64
 	}
-	return &File[T]{acct: acct, pageCap: pageCap}
+	f := &File[T]{acct: acct, pageCap: pageCap}
+	if pool := acct.Pool(); pool != nil {
+		f.pool = pool
+		f.space = pool.NewSpace(pageCodec[T]{})
+	}
+	return f
+}
+
+func (f *File[T]) pooled() bool { return f.pool != nil }
+
+// pin returns pid's page, pinned in its frame; callers must unpin.
+func (f *File[T]) pin(pid int32) *page[T] {
+	return f.pool.Get(f.space, int64(pid)).(*page[T])
+}
+
+func (f *File[T]) unpin(pid int32, dirty bool) {
+	f.pool.Unpin(f.space, int64(pid), dirty)
+}
+
+func (f *File[T]) numPages() int {
+	if f.pooled() {
+		return len(f.used)
+	}
+	return len(f.pages)
+}
+
+// slotsOn returns pid's slot count without touching the page itself.
+func (f *File[T]) slotsOn(pid int32) int {
+	if f.pooled() {
+		return int(f.used[pid])
+	}
+	return len(f.pages[pid].slots)
 }
 
 // Insert appends a record and returns its RID. The page written is
 // charged as one page write.
 func (f *File[T]) Insert(oid int64, val T) RID {
-	pid := f.pageWithSpace()
-	p := f.pages[pid]
-	p.slots = append(p.slots, record[T]{oid: oid, val: val, live: true})
-	p.nLive++
+	pid, fresh := f.pageWithSpace()
+	rec := record[T]{oid: oid, val: val, live: true}
+	var slot int32
+	if f.pooled() {
+		var p *page[T]
+		if fresh {
+			p = &page[T]{}
+			f.pool.NewPage(f.space, int64(pid), p)
+		} else {
+			p = f.pin(pid)
+		}
+		p.slots = append(p.slots, rec)
+		p.nLive++
+		slot = int32(len(p.slots) - 1)
+		f.used[pid] = int32(len(p.slots))
+		f.unpin(pid, true)
+	} else {
+		p := f.pages[pid]
+		p.slots = append(p.slots, rec)
+		p.nLive++
+		slot = int32(len(p.slots) - 1)
+	}
 	f.nLive++
 	f.acct.Write(1)
-	return RID{Page: pid, Slot: int32(len(p.slots) - 1)}
+	return RID{Page: pid, Slot: slot}
 }
 
-func (f *File[T]) pageWithSpace() int32 {
+// pageWithSpace picks the page the next insert lands on: a re-offered
+// page with spare capacity, then the last page, then a fresh page
+// (fresh=true means the caller must materialize it).
+func (f *File[T]) pageWithSpace() (pid int32, fresh bool) {
 	for len(f.freePages) > 0 {
 		pid := f.freePages[len(f.freePages)-1]
-		if len(f.pages[pid].slots) < f.pageCap {
-			return pid
+		if f.slotsOn(pid) < f.pageCap {
+			return pid, false
 		}
 		f.freePages = f.freePages[:len(f.freePages)-1]
+		delete(f.freeSet, pid)
 	}
-	if n := len(f.pages); n > 0 && len(f.pages[n-1].slots) < f.pageCap {
-		return int32(n - 1)
+	if n := f.numPages(); n > 0 && f.slotsOn(int32(n-1)) < f.pageCap {
+		return int32(n - 1), false
+	}
+	if f.pooled() {
+		f.used = append(f.used, 0)
+		return int32(len(f.used) - 1), true
 	}
 	f.pages = append(f.pages, &page[T]{})
-	return int32(len(f.pages) - 1)
+	return int32(len(f.pages) - 1), false
 }
 
 // Get reads the record at rid, charging one page read.
 func (f *File[T]) Get(rid RID) (oid int64, val T, ok bool) {
 	var zero T
-	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+	if rid.Page < 0 || int(rid.Page) >= f.numPages() {
 		return 0, zero, false
 	}
-	p := f.pages[rid.Page]
-	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) {
+	if rid.Slot < 0 || int(rid.Slot) >= f.slotsOn(rid.Page) {
 		return 0, zero, false
 	}
 	f.acct.Read(1)
-	rec := p.slots[rid.Slot]
+	var rec record[T]
+	if f.pooled() {
+		p := f.pin(rid.Page)
+		rec = p.slots[rid.Slot]
+		f.unpin(rid.Page, false)
+	} else {
+		rec = f.pages[rid.Page].slots[rid.Slot]
+	}
 	if !rec.live {
 		return 0, zero, false
 	}
@@ -113,11 +251,26 @@ func (f *File[T]) Get(rid RID) (oid int64, val T, ok bool) {
 // Update replaces the record at rid in place, charging one page read and
 // one page write.
 func (f *File[T]) Update(rid RID, val T) bool {
-	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+	if rid.Page < 0 || int(rid.Page) >= f.numPages() {
 		return false
 	}
+	if rid.Slot < 0 || int(rid.Slot) >= f.slotsOn(rid.Page) {
+		return false
+	}
+	if f.pooled() {
+		p := f.pin(rid.Page)
+		if !p.slots[rid.Slot].live {
+			f.unpin(rid.Page, false)
+			return false
+		}
+		f.acct.Read(1)
+		f.acct.Write(1)
+		p.slots[rid.Slot].val = val
+		f.unpin(rid.Page, true)
+		return true
+	}
 	p := f.pages[rid.Page]
-	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) || !p.slots[rid.Slot].live {
+	if !p.slots[rid.Slot].live {
 		return false
 	}
 	f.acct.Read(1)
@@ -127,56 +280,128 @@ func (f *File[T]) Update(rid RID, val T) bool {
 }
 
 // Delete tombstones the record at rid, charging one page read and write.
-// The slot is not reused (RIDs stay stable) but the page is re-offered
-// for inserts when slots were trimmed from its tail.
+// Live RIDs stay stable, but tombstoned slots at the page's tail are
+// trimmed so later inserts can reuse them, and the page is re-offered to
+// the free list when it has spare capacity — under insert/delete churn
+// the file's page count stays bounded instead of growing monotonically.
 func (f *File[T]) Delete(rid RID) bool {
-	if rid.Page < 0 || int(rid.Page) >= len(f.pages) {
+	if rid.Page < 0 || int(rid.Page) >= f.numPages() {
 		return false
 	}
-	p := f.pages[rid.Page]
-	if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) || !p.slots[rid.Slot].live {
+	if rid.Slot < 0 || int(rid.Slot) >= f.slotsOn(rid.Page) {
 		return false
 	}
-	f.acct.Read(1)
-	f.acct.Write(1)
-	var zero T
-	p.slots[rid.Slot] = record[T]{val: zero}
+	if f.pooled() {
+		p := f.pin(rid.Page)
+		if !p.slots[rid.Slot].live {
+			f.unpin(rid.Page, false)
+			return false
+		}
+		f.acct.Read(1)
+		f.acct.Write(1)
+		f.tombstone(p, rid.Slot)
+		f.used[rid.Page] = int32(len(p.slots))
+		f.unpin(rid.Page, true)
+	} else {
+		p := f.pages[rid.Page]
+		if !p.slots[rid.Slot].live {
+			return false
+		}
+		f.acct.Read(1)
+		f.acct.Write(1)
+		f.tombstone(p, rid.Slot)
+	}
+	f.offerFree(rid.Page)
+	return true
+}
+
+// tombstone kills one slot and trims any dead run off the page's tail so
+// those slot numbers become reusable.
+func (f *File[T]) tombstone(p *page[T], slot int32) {
+	p.slots[slot] = record[T]{}
 	p.nLive--
 	f.nLive--
-	return true
+	n := len(p.slots)
+	for n > 0 && !p.slots[n-1].live {
+		n--
+	}
+	for i := n; i < len(p.slots); i++ {
+		p.slots[i] = record[T]{}
+	}
+	p.slots = p.slots[:n]
+}
+
+// offerFree re-offers pid to the insert path when it has spare capacity
+// and is not already on the free list.
+func (f *File[T]) offerFree(pid int32) {
+	if f.slotsOn(pid) >= f.pageCap || f.freeSet[pid] {
+		return
+	}
+	if f.freeSet == nil {
+		f.freeSet = make(map[int32]bool)
+	}
+	f.freeSet[pid] = true
+	f.freePages = append(f.freePages, pid)
 }
 
 // Scan iterates all live records in physical order, charging one page
 // read per visited page. Iteration stops early when fn returns false.
 func (f *File[T]) Scan(fn func(rid RID, oid int64, val T) bool) {
-	for pi, p := range f.pages {
+	for pi := 0; pi < f.numPages(); pi++ {
 		f.acct.Read(1)
-		for si := range p.slots {
-			rec := &p.slots[si]
-			if !rec.live {
-				continue
-			}
-			if !fn(RID{Page: int32(pi), Slot: int32(si)}, rec.oid, rec.val) {
-				return
-			}
+		if !f.scanPage(int32(pi), fn) {
+			return
 		}
+	}
+}
+
+// scanPage visits pid's live slots with the page pinned for the duration.
+func (f *File[T]) scanPage(pid int32, fn func(RID, int64, T) bool) bool {
+	var p *page[T]
+	if f.pooled() {
+		p = f.pin(pid)
+		defer f.unpin(pid, false)
+	} else {
+		p = f.pages[pid]
+	}
+	for si := range p.slots {
+		rec := &p.slots[si]
+		if !rec.live {
+			continue
+		}
+		if !fn(RID{Page: pid, Slot: int32(si)}, rec.oid, rec.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Release drops the file's pages from the buffer pool (no-op without a
+// pool). The file must not be used afterwards.
+func (f *File[T]) Release() {
+	if f.pooled() {
+		f.pool.DropSpace(f.space)
 	}
 }
 
 // Cursor is a pull-style iterator over a file's live records, charging
 // one page read per visited page. Mutating the file invalidates open
-// cursors. Reads are pure, so any number of cursors may run
-// concurrently as long as the file is not mutated.
+// cursors. Reads are pure, so any number of cursors may run concurrently
+// as long as the file is not mutated — with a buffer pool each cursor
+// pins its current page independently, so callers must Close cursors
+// they abandon before exhaustion.
 type Cursor[T any] struct {
 	f        *File[T]
 	page     int
 	end      int // exclusive page bound
 	slot     int
 	readPage bool
+	cur      *page[T] // current page, pinned while non-nil in pooled mode
+	pinned   bool
 }
 
 // Cursor returns a cursor positioned before the first record.
-func (f *File[T]) Cursor() *Cursor[T] { return &Cursor[T]{f: f, end: len(f.pages)} }
+func (f *File[T]) Cursor() *Cursor[T] { return &Cursor[T]{f: f, end: f.numPages()} }
 
 // RangeCursor returns a cursor over the half-open page range
 // [startPage, endPage), clamped to the file. Consecutive ranges
@@ -187,8 +412,8 @@ func (f *File[T]) RangeCursor(startPage, endPage int) *Cursor[T] {
 	if startPage < 0 {
 		startPage = 0
 	}
-	if endPage > len(f.pages) {
-		endPage = len(f.pages)
+	if endPage > f.numPages() {
+		endPage = f.numPages()
 	}
 	return &Cursor[T]{f: f, page: startPage, end: endPage}
 }
@@ -197,11 +422,11 @@ func (f *File[T]) RangeCursor(startPage, endPage int) *Cursor[T] {
 func (c *Cursor[T]) Next() (rid RID, oid int64, val T, ok bool) {
 	var zero T
 	for c.page < c.end {
-		p := c.f.pages[c.page]
 		if !c.readPage {
 			c.f.acct.Read(1)
 			c.readPage = true
 		}
+		p := c.curPage()
 		for c.slot < len(p.slots) {
 			rec := &p.slots[c.slot]
 			s := c.slot
@@ -210,6 +435,7 @@ func (c *Cursor[T]) Next() (rid RID, oid int64, val T, ok bool) {
 				return RID{Page: int32(c.page), Slot: int32(s)}, rec.oid, rec.val, true
 			}
 		}
+		c.releasePage()
 		c.page++
 		c.slot = 0
 		c.readPage = false
@@ -217,11 +443,35 @@ func (c *Cursor[T]) Next() (rid RID, oid int64, val T, ok bool) {
 	return RID{}, 0, zero, false
 }
 
+func (c *Cursor[T]) curPage() *page[T] {
+	if !c.f.pooled() {
+		return c.f.pages[c.page]
+	}
+	if !c.pinned {
+		c.cur = c.f.pin(int32(c.page))
+		c.pinned = true
+	}
+	return c.cur
+}
+
+func (c *Cursor[T]) releasePage() {
+	if c.pinned {
+		c.f.unpin(int32(c.page), false)
+		c.pinned = false
+		c.cur = nil
+	}
+}
+
+// Close releases the cursor's pinned page, if any. It is safe to call
+// repeatedly and on exhausted cursors; exhausted cursors release their
+// last page automatically.
+func (c *Cursor[T]) Close() { c.releasePage() }
+
 // Len returns the number of live records.
 func (f *File[T]) Len() int { return f.nLive }
 
 // Pages returns the number of allocated pages.
-func (f *File[T]) Pages() int { return len(f.pages) }
+func (f *File[T]) Pages() int { return f.numPages() }
 
 // PageCap returns the per-page record capacity (B).
 func (f *File[T]) PageCap() int { return f.pageCap }

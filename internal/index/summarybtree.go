@@ -164,6 +164,7 @@ func (x *SummaryBTree) widen(count int) {
 	for _, e := range entries {
 		fresh.Insert(ItemizeKey(e.label, e.count, newWidth), e.val)
 	}
+	x.tree.Release()
 	x.tree = fresh
 	x.width = newWidth
 	x.rebuilds++

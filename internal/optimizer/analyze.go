@@ -83,6 +83,13 @@ func (a *AnalyzedNode) String() string {
 			if nodes := n.Stats.IO.NodeAccesses(); nodes > 0 {
 				fmt.Fprintf(&b, " nodes=%d", nodes)
 			}
+			// Buffer-pool traffic renders only when a pool produced some,
+			// keeping pool-off output identical to the pre-pool engine.
+			if n.Stats.IO.CacheAccesses() > 0 {
+				fmt.Fprintf(&b, " buffers hit=%d miss=%d phys=%d+%d",
+					n.Stats.IO.CacheHits, n.Stats.IO.CacheMisses,
+					n.Stats.IO.PhysReads, n.Stats.IO.PhysWrites)
+			}
 			if n.Stats.SpillBytes > 0 {
 				fmt.Fprintf(&b, " spill=%dB", n.Stats.SpillBytes)
 			}

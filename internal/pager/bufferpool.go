@@ -1,0 +1,396 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MinPoolFrames is the smallest frame budget a pool accepts; lower
+// requests are raised to it. A B-Tree mutation pins its whole descent
+// path plus split/merge siblings, and a scan holds its cursor page while
+// probing indexes, so a handful of frames must always be available or
+// every operation would exhaust the pool.
+const MinPoolFrames = 16
+
+// PageCodec serializes one space's in-memory page representation for
+// write-back to the backing store. The storage layers (heap files,
+// B-Trees) provide an implementation when they register a space.
+// EncodePage must not mutate the page; DecodePage must return a fresh
+// object (the pool installs it directly into a frame).
+type PageCodec interface {
+	EncodePage(v any) ([]byte, error)
+	DecodePage(data []byte) (any, error)
+}
+
+// pageKey addresses one page: the registered space it belongs to (one
+// per heap file or B-Tree) and its page number within that space.
+type pageKey struct {
+	space int32
+	page  int64
+}
+
+// frame is one buffer slot: the cached page object plus the pin count,
+// dirty bit, and the clock algorithm's reference bit.
+type frame struct {
+	key   pageKey
+	val   any
+	pins  int
+	dirty bool
+	ref   bool
+	valid bool
+}
+
+// span is a page's extent in the backing file. Gob pages vary in size,
+// so spans record both the live length and the allocated capacity; a
+// rewrite that still fits stays in place, a grown page is relocated and
+// its old extent recycled.
+type span struct {
+	off int64
+	len int
+	cap int
+}
+
+// BufferPoolStats snapshots a pool's frame occupancy.
+type BufferPoolStats struct {
+	// Frames is the configured frame budget.
+	Frames int
+	// Resident is the number of frames currently holding a page.
+	Resident int
+	// MaxResident is the high-water mark of Resident — never exceeds
+	// Frames, which is the bounded-memory guarantee the pool exists for.
+	MaxResident int
+	// Spaces is the number of registered page spaces.
+	Spaces int
+}
+
+// BufferPool is a fixed-frame page cache with clock (second-chance)
+// eviction and a temp-file backing store. Storage layers register a
+// space per storage object, then access pages through Get/Unpin with a
+// pin discipline: a pinned frame is never evicted, an unpinned frame may
+// be written back (gob-serialized, one physical write) and its frame
+// reused. A later access misses, pays one physical read plus
+// deserialization, and reinstalls the page — so cold and warm runs are
+// genuinely different, which the split logical/physical counters in
+// Stats expose.
+//
+// Fault composition: physical transfers are charged to the accountant,
+// where the FaultPolicy and the modeled read delay now apply (logical
+// charges are bookkeeping only in pooled mode). A write-back fault
+// panics with *FaultError before any pool state changes, so the victim
+// stays resident and dirty and the pool remains consistent; the caller
+// side recovers the panic at the usual operator boundaries.
+//
+// All methods are safe for concurrent use; the pool is shared by
+// parallel scan workers, each pinning its own pages.
+type BufferPool struct {
+	acct *Accountant
+
+	mu     sync.Mutex
+	frames []frame
+	table  map[pageKey]int
+	hand   int
+	codecs []PageCodec
+
+	file      *os.File
+	spans     map[pageKey]span
+	freeSpans []span
+	fileEnd   int64
+
+	resident    int
+	maxResident int
+	closed      bool
+}
+
+// NewBufferPool builds a pool with the given frame budget (raised to
+// MinPoolFrames) and attaches it to acct, detaching and closing any pool
+// previously attached there. The backing store is an unlinked temp file
+// released on Close or process exit. Creation failure panics: it means
+// the environment has no writable temp directory, which no caller can
+// meaningfully handle.
+func NewBufferPool(acct *Accountant, frames int) *BufferPool {
+	if frames < MinPoolFrames {
+		frames = MinPoolFrames
+	}
+	f, err := os.CreateTemp("", "pager-pool-*.pages")
+	if err != nil {
+		panic(fmt.Errorf("pager: buffer pool backing store: %w", err))
+	}
+	// Unlink immediately: the file lives until the descriptor closes, and
+	// nothing ever needs its name again.
+	os.Remove(f.Name())
+	p := &BufferPool{
+		acct:   acct,
+		frames: make([]frame, frames),
+		table:  make(map[pageKey]int),
+		file:   f,
+		spans:  make(map[pageKey]span),
+	}
+	if old := acct.pool.Swap(p); old != nil {
+		old.Close()
+	}
+	return p
+}
+
+// Close detaches the pool from its accountant and releases the backing
+// store. Cached pages are discarded, not written back — the pool caches
+// in-process objects, so close is only meaningful at teardown.
+func (p *BufferPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.acct.pool.CompareAndSwap(p, nil)
+	return p.file.Close()
+}
+
+// NewSpace registers a storage object's page namespace with its codec
+// and returns the space id.
+func (p *BufferPool) NewSpace(c PageCodec) int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.codecs = append(p.codecs, c)
+	return int32(len(p.codecs) - 1)
+}
+
+// NewPage installs a freshly created page, pinned and dirty (it exists
+// nowhere else yet). No physical transfer is charged: page birth is a
+// logical write, charged by the storage layer as before.
+func (p *BufferPool) NewPage(space int32, page int64, v any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := pageKey{space, page}
+	if _, ok := p.table[k]; ok {
+		panic(fmt.Errorf("pager: NewPage of resident page %d in space %d", page, space))
+	}
+	i := p.freeFrame()
+	p.install(i, k, v, true)
+}
+
+// Get returns the page, pinned. A resident page is a cache hit and costs
+// nothing; a miss evicts a victim if needed (one physical write if
+// dirty), then pays one physical read plus deserialization. The caller
+// must Unpin when done with the page object and must not retain the
+// object across the Unpin if it intends to mutate it later.
+func (p *BufferPool) Get(space int32, page int64) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := pageKey{space, page}
+	if i, ok := p.table[k]; ok {
+		f := &p.frames[i]
+		f.pins++
+		f.ref = true
+		p.acct.cacheHits.Add(1)
+		return f.val
+	}
+	p.acct.cacheMisses.Add(1)
+	sp, ok := p.spans[k]
+	if !ok {
+		panic(fmt.Errorf("pager: read of unknown page %d in space %d", page, space))
+	}
+	i := p.freeFrame()
+	p.acct.physRead() // may panic *FaultError before any state changes
+	buf := make([]byte, sp.len)
+	if _, err := p.file.ReadAt(buf, sp.off); err != nil {
+		panic(fmt.Errorf("pager: backing store read: %w", err))
+	}
+	v, err := p.codecs[k.space].DecodePage(buf)
+	if err != nil {
+		panic(fmt.Errorf("pager: page decode: %w", err))
+	}
+	p.install(i, k, v, false)
+	return v
+}
+
+// install claims frame i for k, pinned once. A freshly created page is
+// dirty (it exists nowhere else); a page read back from the backing
+// store is clean until a caller unpins it dirty. The caller holds p.mu.
+func (p *BufferPool) install(i int, k pageKey, v any, dirty bool) {
+	p.frames[i] = frame{key: k, val: v, pins: 1, dirty: dirty, ref: true, valid: true}
+	p.table[k] = i
+	p.resident++
+	if p.resident > p.maxResident {
+		p.maxResident = p.resident
+	}
+}
+
+// Unpin releases one pin. dirty records that the caller mutated the
+// page, so eviction must write it back.
+func (p *BufferPool) Unpin(space int32, page int64, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i, ok := p.table[pageKey{space, page}]
+	if !ok {
+		panic(fmt.Errorf("pager: unpin of non-resident page %d in space %d", page, space))
+	}
+	f := &p.frames[i]
+	if f.pins <= 0 {
+		panic(fmt.Errorf("pager: unpin of unpinned page %d in space %d", page, space))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	f.ref = true
+}
+
+// Drop discards a page that will never be read again (a freed B-Tree
+// node): its frame is released without write-back and its backing extent
+// recycled. The page must be unpinned.
+func (p *BufferPool) Drop(space int32, page int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := pageKey{space, page}
+	if i, ok := p.table[k]; ok {
+		f := &p.frames[i]
+		if f.pins > 0 {
+			panic(fmt.Errorf("pager: drop of pinned page %d in space %d", page, space))
+		}
+		p.release(i)
+	}
+	p.freeSpan(k)
+}
+
+// DropSpace discards every page of a space (a storage object being
+// thrown away, e.g. an index rebuilt at a wider key format). All of the
+// space's pages must be unpinned.
+func (p *BufferPool) DropSpace(space int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.key.space == space {
+			if f.pins > 0 {
+				panic(fmt.Errorf("pager: drop of pinned page %d in space %d", f.key.page, space))
+			}
+			p.release(i)
+		}
+	}
+	for k := range p.spans {
+		if k.space == space {
+			p.freeSpan(k)
+		}
+	}
+}
+
+// EvictAll evicts every unpinned frame (writing back dirty ones) — the
+// benchmark harness's "drop caches" switch for measuring cold runs.
+func (p *BufferPool) EvictAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		if p.frames[i].valid && p.frames[i].pins == 0 {
+			p.evict(i)
+		}
+	}
+}
+
+// Stats snapshots frame occupancy.
+func (p *BufferPool) Stats() BufferPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return BufferPoolStats{
+		Frames:      len(p.frames),
+		Resident:    p.resident,
+		MaxResident: p.maxResident,
+		Spaces:      len(p.codecs),
+	}
+}
+
+// freeFrame returns the index of an empty frame, evicting a victim by
+// the clock (second-chance) policy if none is free: sweep the frames,
+// skip pinned ones, give referenced ones a second chance by clearing
+// their bit, evict the first unreferenced unpinned frame. Two full
+// sweeps finding only pinned frames means the budget is exhausted — a
+// panic the executor surfaces as a query error, since no progress is
+// possible without unpinning. The caller holds p.mu.
+func (p *BufferPool) freeFrame() int {
+	for sweep := 0; sweep <= 2*len(p.frames); sweep++ {
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		f := &p.frames[i]
+		if !f.valid {
+			return i
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		p.evict(i)
+		return i
+	}
+	panic(fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", len(p.frames)))
+}
+
+// evict writes frame i back if dirty and releases it. The write-back is
+// ordered so that an injected fault leaves the pool consistent: encode
+// (pure), charge the physical write (may panic — nothing has changed
+// yet, the victim stays resident and dirty), then update the backing
+// store and release the frame. The caller holds p.mu.
+func (p *BufferPool) evict(i int) {
+	f := &p.frames[i]
+	if f.dirty {
+		data, err := p.codecs[f.key.space].EncodePage(f.val)
+		if err != nil {
+			panic(fmt.Errorf("pager: page encode: %w", err))
+		}
+		p.acct.physWrite() // may panic *FaultError before any state changes
+		p.writeSpan(f.key, data)
+	}
+	p.acct.evictions.Add(1)
+	p.release(i)
+}
+
+// release clears frame i without write-back; the caller holds p.mu.
+func (p *BufferPool) release(i int) {
+	delete(p.table, p.frames[i].key)
+	p.frames[i] = frame{}
+	p.resident--
+}
+
+// writeSpan stores a page image, reusing its existing extent when it
+// still fits, else a recycled extent, else fresh space at the file end.
+// The caller holds p.mu.
+func (p *BufferPool) writeSpan(k pageKey, data []byte) {
+	sp, ok := p.spans[k]
+	if ok && sp.cap >= len(data) {
+		sp.len = len(data)
+	} else {
+		if ok {
+			p.freeSpans = append(p.freeSpans, sp)
+		}
+		sp = p.allocSpan(len(data))
+	}
+	if _, err := p.file.WriteAt(data, sp.off); err != nil {
+		panic(fmt.Errorf("pager: backing store write: %w", err))
+	}
+	p.spans[k] = sp
+}
+
+// allocSpan finds an extent of at least n bytes: first fit from the
+// recycled list, else the file end. The caller holds p.mu.
+func (p *BufferPool) allocSpan(n int) span {
+	for i, sp := range p.freeSpans {
+		if sp.cap >= n {
+			p.freeSpans = append(p.freeSpans[:i], p.freeSpans[i+1:]...)
+			sp.len = n
+			return sp
+		}
+	}
+	sp := span{off: p.fileEnd, len: n, cap: n}
+	p.fileEnd += int64(n)
+	return sp
+}
+
+// freeSpan recycles k's backing extent; the caller holds p.mu.
+func (p *BufferPool) freeSpan(k pageKey) {
+	if sp, ok := p.spans[k]; ok {
+		p.freeSpans = append(p.freeSpans, sp)
+		delete(p.spans, k)
+	}
+}

@@ -17,11 +17,24 @@ import (
 // subset of PageReads/PageWrites charged by B-Tree node accesses
 // (descents and structure maintenance), so index traffic can be told
 // apart from heap traffic in EXPLAIN ANALYZE output.
+//
+// PageReads/PageWrites/NodeReads/NodeWrites are LOGICAL counters: they
+// count page accesses the storage layers requested, whether or not the
+// page was cached. The remaining fields are PHYSICAL: they count buffer
+// pool traffic (cache hits and misses, backing-store transfers, and
+// evictions) and stay zero when no pool is attached, so pool-off runs
+// render identically to the pre-pool engine.
 type Stats struct {
 	PageReads  int64
 	PageWrites int64
 	NodeReads  int64
 	NodeWrites int64
+
+	PhysReads   int64 `json:",omitempty"`
+	PhysWrites  int64 `json:",omitempty"`
+	CacheHits   int64 `json:",omitempty"`
+	CacheMisses int64 `json:",omitempty"`
+	Evictions   int64 `json:",omitempty"`
 }
 
 // Sub returns s - o, for measuring a single operation's cost.
@@ -31,6 +44,12 @@ func (s Stats) Sub(o Stats) Stats {
 		PageWrites: s.PageWrites - o.PageWrites,
 		NodeReads:  s.NodeReads - o.NodeReads,
 		NodeWrites: s.NodeWrites - o.NodeWrites,
+
+		PhysReads:   s.PhysReads - o.PhysReads,
+		PhysWrites:  s.PhysWrites - o.PhysWrites,
+		CacheHits:   s.CacheHits - o.CacheHits,
+		CacheMisses: s.CacheMisses - o.CacheMisses,
+		Evictions:   s.Evictions - o.Evictions,
 	}
 }
 
@@ -41,6 +60,12 @@ func (s Stats) Add(o Stats) Stats {
 		PageWrites: s.PageWrites + o.PageWrites,
 		NodeReads:  s.NodeReads + o.NodeReads,
 		NodeWrites: s.NodeWrites + o.NodeWrites,
+
+		PhysReads:   s.PhysReads + o.PhysReads,
+		PhysWrites:  s.PhysWrites + o.PhysWrites,
+		CacheHits:   s.CacheHits + o.CacheHits,
+		CacheMisses: s.CacheMisses + o.CacheMisses,
+		Evictions:   s.Evictions + o.Evictions,
 	}
 }
 
@@ -50,12 +75,27 @@ func (s Stats) Total() int64 { return s.PageReads + s.PageWrites }
 // NodeAccesses returns the B-Tree node reads + writes.
 func (s Stats) NodeAccesses() int64 { return s.NodeReads + s.NodeWrites }
 
-// String renders the counters.
+// CacheAccesses returns the buffer-pool traffic total — zero exactly
+// when no pool was involved, which callers use to gate cache rendering
+// so pool-off output is byte-identical to the pre-pool engine.
+func (s Stats) CacheAccesses() int64 {
+	return s.CacheHits + s.CacheMisses + s.PhysReads + s.PhysWrites + s.Evictions
+}
+
+// String renders the logical counters (the cache counters have their own
+// rendering at each observability surface, gated on being nonzero).
 func (s Stats) String() string {
 	if n := s.NodeAccesses(); n > 0 {
 		return fmt.Sprintf("reads=%d writes=%d nodes=%d", s.PageReads, s.PageWrites, n)
 	}
 	return fmt.Sprintf("reads=%d writes=%d", s.PageReads, s.PageWrites)
+}
+
+// CacheString renders the physical/cache counters compactly:
+// "hit=H miss=M phys=R+W evict=E".
+func (s Stats) CacheString() string {
+	return fmt.Sprintf("hit=%d miss=%d phys=%d+%d evict=%d",
+		s.CacheHits, s.CacheMisses, s.PhysReads, s.PhysWrites, s.Evictions)
 }
 
 // Accountant tracks page I/O. The zero value is ready to use. All
@@ -72,6 +112,15 @@ type Accountant struct {
 	nodeReads  atomic.Int64
 	nodeWrites atomic.Int64
 
+	// physReads/physWrites count backing-store transfers, and
+	// cacheHits/cacheMisses/evictions count buffer-pool events. All are
+	// charged by the attached BufferPool and stay zero without one.
+	physReads   atomic.Int64
+	physWrites  atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	evictions   atomic.Int64
+
 	// readDelay, when non-zero, is slept per page read to simulate a
 	// disk-resident database. Nanoseconds.
 	readDelay atomic.Int64
@@ -79,57 +128,114 @@ type Accountant struct {
 	// fault, when non-nil, injects failures and latency into every
 	// accounted operation (see FaultPolicy).
 	fault atomic.Pointer[faultInjector]
+
+	// pool, when non-nil, is the buffer pool serving this accountant's
+	// storage layers. With a pool attached, Read/Write/ReadNode/WriteNode
+	// become logical-only bookkeeping — the modeled latency and fault
+	// injection move to the pool's physical transfers, so a cache hit
+	// pays nothing.
+	pool atomic.Pointer[BufferPool]
+}
+
+// Pool returns the attached buffer pool, or nil when page accesses are
+// unbuffered (every page stays resident, only logical I/O is charged).
+func (a *Accountant) Pool() *BufferPool {
+	if a == nil {
+		return nil
+	}
+	return a.pool.Load()
 }
 
 // Read charges n page reads. With a fault policy installed, a faulted
 // read panics with a *FaultError (see FaultError for why this layer
-// panics instead of returning an error).
-func (a *Accountant) Read(n int) {
+// panics instead of returning an error). Charging is interleaved per
+// page — charge, delay, fault — so after a mid-batch fault the counters
+// reflect only the pages actually reached.
+func (a *Accountant) Read(n int) { a.readPages(n, false) }
+
+// ReadNode charges n B-Tree node reads: an ordinary page read that is
+// additionally attributed to index traffic in Stats.
+func (a *Accountant) ReadNode(n int) { a.readPages(n, true) }
+
+func (a *Accountant) readPages(n int, node bool) {
 	if a == nil {
 		return
 	}
-	a.reads.Add(int64(n))
-	if d := a.readDelay.Load(); d > 0 {
-		time.Sleep(time.Duration(d) * time.Duration(n))
+	if a.pool.Load() != nil {
+		// Pooled: logical bookkeeping only; latency and faults are paid
+		// by physical transfers on cache misses.
+		if node {
+			a.nodeReads.Add(int64(n))
+		}
+		a.reads.Add(int64(n))
+		return
 	}
-	if fi := a.fault.Load(); fi != nil {
-		for i := 0; i < n; i++ {
+	d := time.Duration(a.readDelay.Load())
+	fi := a.fault.Load()
+	for i := 0; i < n; i++ {
+		if node {
+			a.nodeReads.Add(1)
+		}
+		a.reads.Add(1)
+		if d > 0 {
+			time.Sleep(d)
+		}
+		if fi != nil {
 			fi.onOp("read")
 		}
 	}
 }
 
 // Write charges n page writes, subject to the installed fault policy
-// like Read.
-func (a *Accountant) Write(n int) {
+// like Read (charge and fault interleaved per page).
+func (a *Accountant) Write(n int) { a.writePages(n, false) }
+
+// WriteNode charges n B-Tree node writes (see ReadNode).
+func (a *Accountant) WriteNode(n int) { a.writePages(n, true) }
+
+func (a *Accountant) writePages(n int, node bool) {
 	if a == nil {
 		return
 	}
-	a.writes.Add(int64(n))
-	if fi := a.fault.Load(); fi != nil {
-		for i := 0; i < n; i++ {
+	if a.pool.Load() != nil {
+		if node {
+			a.nodeWrites.Add(int64(n))
+		}
+		a.writes.Add(int64(n))
+		return
+	}
+	fi := a.fault.Load()
+	for i := 0; i < n; i++ {
+		if node {
+			a.nodeWrites.Add(1)
+		}
+		a.writes.Add(1)
+		if fi != nil {
 			fi.onOp("write")
 		}
 	}
 }
 
-// ReadNode charges n B-Tree node reads: an ordinary page read that is
-// additionally attributed to index traffic in Stats.
-func (a *Accountant) ReadNode(n int) {
-	if a == nil {
-		return
+// physRead charges one backing-store page read: the buffer pool calls it
+// on every cache miss, and it is where the modeled read latency and any
+// read-fault policy apply in pooled mode.
+func (a *Accountant) physRead() {
+	a.physReads.Add(1)
+	if d := a.readDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
-	a.nodeReads.Add(int64(n))
-	a.Read(n)
+	if fi := a.fault.Load(); fi != nil {
+		fi.onOp("read")
+	}
 }
 
-// WriteNode charges n B-Tree node writes (see ReadNode).
-func (a *Accountant) WriteNode(n int) {
-	if a == nil {
-		return
+// physWrite charges one backing-store page write (dirty-page write-back
+// during eviction), where write-fault policies apply in pooled mode.
+func (a *Accountant) physWrite() {
+	a.physWrites.Add(1)
+	if fi := a.fault.Load(); fi != nil {
+		fi.onOp("write")
 	}
-	a.nodeWrites.Add(int64(n))
-	a.Write(n)
 }
 
 // SetReadDelay configures the simulated per-page read latency. The
@@ -149,6 +255,12 @@ func (a *Accountant) Stats() Stats {
 		PageWrites: a.writes.Load(),
 		NodeReads:  a.nodeReads.Load(),
 		NodeWrites: a.nodeWrites.Load(),
+
+		PhysReads:   a.physReads.Load(),
+		PhysWrites:  a.physWrites.Load(),
+		CacheHits:   a.cacheHits.Load(),
+		CacheMisses: a.cacheMisses.Load(),
+		Evictions:   a.evictions.Load(),
 	}
 }
 
@@ -161,4 +273,9 @@ func (a *Accountant) Reset() {
 	a.writes.Store(0)
 	a.nodeReads.Store(0)
 	a.nodeWrites.Store(0)
+	a.physReads.Store(0)
+	a.physWrites.Store(0)
+	a.cacheHits.Store(0)
+	a.cacheMisses.Store(0)
+	a.evictions.Store(0)
 }

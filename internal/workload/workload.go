@@ -34,6 +34,9 @@ type Config struct {
 	AnnotateSynonymsFraction float64
 	// PageCap is the engine's records-per-page parameter.
 	PageCap int
+	// BufferPoolPages caps resident storage to a buffer pool of that
+	// many frames (0 = no pool, all pages resident).
+	BufferPoolPages int
 	// SkipSynonyms omits the Synonyms table for single-table workloads.
 	SkipSynonyms bool
 }
@@ -157,7 +160,7 @@ func SynonymsSchema() *model.Schema {
 // experiments), tuples, synonyms, and annotations.
 func Build(cfg Config) (*Dataset, error) {
 	cfg = cfg.WithDefaults()
-	db := engine.New(engine.Config{PageCap: cfg.PageCap})
+	db := engine.New(engine.Config{PageCap: cfg.PageCap, BufferPoolPages: cfg.BufferPoolPages})
 	ds := &Dataset{DB: db, Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
