@@ -19,13 +19,15 @@ race:
 	$(GO) test -race ./...
 
 # race-core focuses the race detector on the layers that share a buffer
-# pool across parallel scan workers.
+# pool across parallel scan workers, with extra iterations on the
+# page-partitioned parallel index fetch.
 race-core:
 	$(GO) test -race ./internal/engine/... ./internal/exec/...
+	$(GO) test -race -count=4 -run 'TestParallelSortedFetchMatchesSerial|TestSummaryIndexScanPartitionedConcatenation' ./internal/engine/... ./internal/exec/...
 
 # bench-smoke regenerates one representative figure plus the parallel
 # speedup and buffer-pool grids at the reduced quick scale and writes a machine-readable
 # BENCH_smoke.json snapshot (figures + engine metrics) so perf
 # regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19 -json BENCH_smoke.json

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..18); empty = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..19); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -88,6 +88,7 @@ func main() {
 		{[]int{2, 16}, bench.Fig16CaseStudy},
 		{[]int{17}, bench.Fig17Parallel},
 		{[]int{18}, bench.Fig18BufferPool},
+		{[]int{19}, bench.Fig19FetchPath},
 	}
 
 	ran := false
@@ -113,7 +114,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..18)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..19)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

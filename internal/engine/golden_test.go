@@ -147,6 +147,31 @@ func TestParallelAnalyzeGolden(t *testing.T) {
 	}
 }
 
+// TestFetchModeGolden pins the rendering of both index fetch modes. A
+// summary ORDER BY makes the optimizer consume the index's count order
+// (Sort eliminated, fetch=ordered); the same predicate without it uses
+// the page-ordered batch (fetch=sorted, covered by explain_index). The
+// ANALYZE golden runs the analyze_index query under the ForceFetch
+// ablation so the per-RID mode's counters stay pinned too.
+func TestFetchModeGolden(t *testing.T) {
+	db := goldenDB(t)
+	ordered, err := db.Explain(`SELECT id FROM Birds r
+	  WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+	  ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease')`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "explain_fetch_ordered", ordered)
+
+	ap, err := db.ExplainAnalyze(`SELECT id, name FROM Birds r
+	  WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') = 2
+	  ORDER BY name LIMIT 3`, &optimizer.Options{ForceFetch: "ordered"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "analyze_fetch_ordered", wallTimeRe.ReplaceAllString(ap.String(), "time=<t>"))
+}
+
 func TestExplainAnalyzeGolden(t *testing.T) {
 	db := goldenDB(t)
 	for name, q := range map[string]string{

@@ -1,19 +1,38 @@
 package exec
 
 import (
+	"sort"
+
 	"repro/internal/catalog"
 	"repro/internal/heap"
 	"repro/internal/index"
 	"repro/internal/model"
 )
 
+// hitRIDBytes approximates the in-memory footprint of one materialized
+// hit-list entry (an 8-byte RID plus slice overhead) for budget
+// charging.
+const hitRIDBytes = 16
+
+// prefetchDepth is how many upcoming distinct pages a sorted fetch asks
+// the buffer pool to warm each time it enters a new page run.
+const prefetchDepth = 4
+
 // SummaryIndexScan evaluates "classLabel <Op> constant" through a
 // Summary-BTree and returns the qualifying data tuples. With backward
 // pointers the leaf entries point straight at the data heap; with
 // conventional pointers (the Figure 13 ablation) each hit goes through
-// R_SummaryStorage first and joins back to the data table by OID. Output
-// arrives in ascending label-count order — the interesting order the
-// optimizer exploits to eliminate sorts.
+// R_SummaryStorage first and joins back to the data table by OID.
+//
+// The hit list is dereferenced in one of two fetch modes. Ordered fetch
+// (SortedFetch false) keeps ascending label-count order — the
+// interesting order the optimizer exploits to eliminate sorts — at the
+// price of one random page access per hit. Sorted fetch rearranges the
+// hits into physical page order first and dereferences them page run by
+// page run, pinning each data page exactly once (the bitmap-style
+// fetch), so physical I/O is bounded by the distinct pages touched; row
+// order becomes page order, and any requested order is restored by a
+// compensating Sort above. The optimizer prices the tradeoff per scan.
 type SummaryIndexScan struct {
 	Table *catalog.Table
 	Alias string
@@ -29,12 +48,37 @@ type SummaryIndexScan struct {
 	// R_SummaryStorage instead of backward pointers into the data heap.
 	ConventionalPointers bool
 	// Descending reverses the index order (for ORDER BY ... DESC).
+	// Meaningless under SortedFetch, which gives the order up entirely.
 	Descending bool
+	// SortedFetch selects the page-ordered batched fetch.
+	SortedFetch bool
+	// Part, under SortedFetch, restricts the scan to one page-range
+	// share of the sorted hit list: shares split on page boundaries, so
+	// parallel workers never contend on a buffer frame, and
+	// concatenating the shares in partition order reproduces the serial
+	// sorted run exactly. Ignored (whole hit list) in ordered mode.
+	Part PartitionSpec
 
 	schema *model.Schema
 	hits   []heap.RID
 	pos    int
 	qc     *QueryCtx
+
+	// buf holds the rows of the current page run in sorted mode.
+	buf    []*Row
+	bufPos int
+
+	// chargedRows/chargedBytes track the hit list's outstanding budget
+	// charges, returned on Close (or on a failed Open).
+	chargedRows, chargedBytes int64
+
+	// pagesPinned counts data-heap page pins made by the fetch stage:
+	// one per page run in batched mode, one per hit in per-RID modes.
+	// distinctPages is the number of distinct data pages the hit list
+	// addresses. Both reset at Open and survive Close so the stats
+	// layer can sample them.
+	pagesPinned   int64
+	distinctPages int64
 }
 
 // NewSummaryIndexScan builds the scan.
@@ -53,35 +97,94 @@ func (s *SummaryIndexScan) SetContext(qc *QueryCtx) { s.qc = qc }
 
 // Open probes the index and materializes the hit list (the paper's
 // implementation collects qualifying pointers from the leaf chain).
+// The probe polls cancellation and charges the query budget for the
+// growing list as it streams off the leaf chain, so a huge range probe
+// degrades with a typed *BudgetError or stops on cancel mid-scan. In
+// sorted mode the list is then rearranged into page order and, under a
+// parallel partition, trimmed to this worker's page-range share.
 func (s *SummaryIndexScan) Open() (err error) {
 	defer recoverOp("SummaryIndexScan", &err)
 	if err := s.qc.check(); err != nil {
 		return err
 	}
-	s.hits = s.Index.Search(s.Label, s.Op, s.Constant)
-	if s.Descending {
+	s.releaseHits() // rescan safety: return any prior charges first
+	budget := s.qc.Budget()
+	charged := 0
+	hits, err := s.Index.SearchWithCheck(s.Label, s.Op, s.Constant, func(collected int) error {
+		if err := s.qc.check(); err != nil {
+			return err
+		}
+		delta := int64(collected - charged)
+		if delta <= 0 {
+			return nil
+		}
+		if cerr := budget.ChargeBuffered("SummaryIndexScan", delta, delta*hitRIDBytes); cerr != nil {
+			return cerr
+		}
+		charged = collected
+		s.chargedRows += delta
+		s.chargedBytes += delta * hitRIDBytes
+		return nil
+	})
+	if err != nil {
+		s.releaseHits()
+		return err
+	}
+	s.hits = hits
+	if s.SortedFetch {
+		sortRIDs(s.hits)
+		if s.Part.Of > 1 {
+			kept := partitionHits(s.hits, s.Part)
+			// A worker keeps charges only for its retained share.
+			if drop := int64(len(s.hits) - len(kept)); drop > 0 {
+				budget.ReleaseBuffered(drop, drop*hitRIDBytes)
+				s.chargedRows -= drop
+				s.chargedBytes -= drop * hitRIDBytes
+			}
+			s.hits = kept
+		}
+	} else if s.Descending {
 		for i, j := 0, len(s.hits)-1; i < j; i, j = i+1, j-1 {
 			s.hits[i], s.hits[j] = s.hits[j], s.hits[i]
 		}
 	}
 	s.pos = 0
+	s.buf, s.bufPos = nil, 0
+	s.pagesPinned = 0
+	s.distinctPages = int64(distinctPageCount(s.hits))
 	return nil
 }
 
 // Next fetches the next qualifying data tuple.
 func (s *SummaryIndexScan) Next() (row *Row, err error) {
 	defer recoverOp("SummaryIndexScan", &err)
-	for s.pos < len(s.hits) {
+	for {
+		if s.bufPos < len(s.buf) {
+			row := s.buf[s.bufPos]
+			s.buf[s.bufPos] = nil
+			s.bufPos++
+			return row, nil
+		}
+		if s.pos >= len(s.hits) {
+			return nil, nil
+		}
 		if err := s.qc.tick(); err != nil {
 			return nil, err
 		}
+		if s.SortedFetch && !s.ConventionalPointers {
+			s.fillRun()
+			continue
+		}
 		rid := s.hits[s.pos]
 		s.pos++
+		s.pagesPinned++
 		if s.ConventionalPointers {
 			// Conventional pointers address the summary object in
 			// R_SummaryStorage: read it there, then join back to the data
 			// table through the OID index — the extra join the backward
-			// pointers avoid.
+			// pointers avoid. Sorted mode still helps here (the storage
+			// detour follows data-page order), but every hit pays its own
+			// page accesses.
 			oid, _, ok := s.Table.SummaryStorage.Get(storageRIDFor(s.Table, rid))
 			if !ok {
 				continue
@@ -99,7 +202,96 @@ func (s *SummaryIndexScan) Next() (row *Row, err error) {
 			return row, nil
 		}
 	}
-	return nil, nil
+}
+
+// fillRun dereferences the next page run of the sorted hit list with a
+// single FetchMany call — one page read and one frame pin for the whole
+// run — after hinting the pool to warm the next prefetchDepth pages.
+func (s *SummaryIndexScan) fillRun() {
+	pid := s.hits[s.pos].Page
+	j := s.pos
+	for j < len(s.hits) && s.hits[j].Page == pid {
+		j++
+	}
+	var ahead []int32
+	last := pid
+	for k := j; k < len(s.hits) && len(ahead) < prefetchDepth; k++ {
+		if s.hits[k].Page != last {
+			last = s.hits[k].Page
+			ahead = append(ahead, last)
+		}
+	}
+	if len(ahead) > 0 {
+		s.Table.Data.Prefetch(ahead)
+	}
+	s.buf = s.buf[:0]
+	s.bufPos = 0
+	run := s.hits[s.pos:j]
+	s.pos = j
+	s.pagesPinned += int64(s.Table.Data.FetchMany(run, func(rid heap.RID, oid int64, values []model.Value) bool {
+		tu := &model.Tuple{OID: oid, Values: values}
+		if s.Propagate {
+			tu.Summaries = s.Table.GetSummaries(oid)
+		}
+		s.buf = append(s.buf, &Row{Tuple: tu, AliasSets: aliasSet(s.Alias, tu.Summaries)})
+		return true
+	}))
+}
+
+// releaseHits returns the hit list's outstanding budget charges and
+// drops the list.
+func (s *SummaryIndexScan) releaseHits() {
+	if s.chargedRows > 0 || s.chargedBytes > 0 {
+		s.qc.Budget().ReleaseBuffered(s.chargedRows, s.chargedBytes)
+	}
+	s.chargedRows, s.chargedBytes = 0, 0
+	s.hits = nil
+	s.buf = nil
+	s.bufPos = 0
+}
+
+// sortRIDs orders a hit list by physical address (page, then slot).
+func sortRIDs(rids []heap.RID) {
+	sort.Slice(rids, func(i, j int) bool {
+		if rids[i].Page != rids[j].Page {
+			return rids[i].Page < rids[j].Page
+		}
+		return rids[i].Slot < rids[j].Slot
+	})
+}
+
+// distinctPageCount counts the distinct data pages a hit list addresses.
+func distinctPageCount(hits []heap.RID) int {
+	seen := make(map[int32]struct{}, len(hits))
+	for _, rid := range hits {
+		seen[rid.Page] = struct{}{}
+	}
+	return len(seen)
+}
+
+// partitionHits returns partition part.Index of part.Of page-range
+// shares of a page-sorted hit list. Shares split on page boundaries, so
+// no data page is fetched (or its frame pinned) by two workers, and
+// concatenating the shares in partition order reproduces the full
+// sorted run exactly — the property the parallel differential tests
+// assert.
+func partitionHits(hits []heap.RID, part PartitionSpec) []heap.RID {
+	var starts []int // index of the first hit of each distinct page
+	for i := range hits {
+		if i == 0 || hits[i].Page != hits[i-1].Page {
+			starts = append(starts, i)
+		}
+	}
+	d := len(starts)
+	lo, hi := d*part.Index/part.Of, d*(part.Index+1)/part.Of
+	if lo >= hi {
+		return nil
+	}
+	end := len(hits)
+	if hi < d {
+		end = starts[hi]
+	}
+	return hits[starts[lo]:end]
 }
 
 // storageRIDFor maps a backward pointer to the tuple's summary-storage
@@ -118,11 +310,22 @@ func storageRIDFor(t *catalog.Table, dataRID heap.RID) heap.RID {
 	return rid
 }
 
-// Close releases the hit list.
-func (s *SummaryIndexScan) Close() error { s.hits = nil; return nil }
+// Close releases the hit list and returns its budget charges. The
+// fetch counters stay readable for the stats layer, which samples them
+// at Close; the next Open resets them.
+func (s *SummaryIndexScan) Close() error { s.releaseHits(); return nil }
 
 // Schema returns the output schema.
 func (s *SummaryIndexScan) Schema() *model.Schema { return s.schema }
+
+// FetchStats reports the fetch-stage counters EXPLAIN ANALYZE renders.
+func (s *SummaryIndexScan) FetchStats() FetchStats {
+	mode := "ordered"
+	if s.SortedFetch {
+		mode = "sorted"
+	}
+	return FetchStats{Mode: mode, PagesPinned: s.pagesPinned, DistinctPages: s.distinctPages}
+}
 
 // BaselineIndexScan answers the same predicate through the baseline
 // scheme: probe the derived-column B-Tree, read the normalized rows for

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"context"
+	"errors"
+	"sort"
 	"testing"
 
 	"repro/internal/heap"
@@ -146,5 +149,212 @@ func TestDataIndexScanMissingIndex(t *testing.T) {
 	}
 	if len(rows) != 1 || rows[0].Tuple.Values[0].Int != 3 {
 		t.Errorf("indexed lookup: %d rows", len(rows))
+	}
+}
+
+// TestSummaryIndexScanFetchModesAgree is the operator-level differential:
+// for both pointer schemes, sorted (page-ordered) fetch returns exactly
+// the rows of the default ordered fetch, only rearranged — the multisets
+// of OIDs are equal, and the sorted run comes back in ascending physical
+// address order.
+func TestSummaryIndexScanFetchModesAgree(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 32)
+	for _, conv := range []bool{false, true} {
+		ordered := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, true)
+		ordered.ConventionalPointers = conv
+		sorted := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, true)
+		sorted.ConventionalPointers = conv
+		sorted.SortedFetch = true
+
+		oRows, err := Collect(ordered)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRows, err := Collect(sorted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(oRows) != len(sRows) {
+			t.Fatalf("conv=%v: ordered %d rows, sorted %d", conv, len(oRows), len(sRows))
+		}
+		oids := func(rows []*Row) []int64 {
+			out := make([]int64, len(rows))
+			for i, r := range rows {
+				out[i] = r.Tuple.OID
+			}
+			return out
+		}
+		a, b := oids(oRows), oids(sRows)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		c := append([]int64(nil), b...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("conv=%v: OID multisets diverge at %d: %d vs %d", conv, i, a[i], c[i])
+			}
+		}
+		// Insertion order makes OID order physical order, so the sorted
+		// run must come back ascending.
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("conv=%v: sorted fetch not in page order: %v", conv, b)
+			}
+		}
+		// Rows must still be full rows: summaries attached, predicate true.
+		for _, r := range sRows {
+			if d, _ := r.Tuple.Summaries.Get("C1").GetLabelValue("Disease"); d < 1 {
+				t.Fatalf("conv=%v: false positive Disease=%d", conv, d)
+			}
+		}
+	}
+}
+
+// TestSummaryIndexScanFetchStats pins the fetch counters both modes
+// report: the sorted batch pins each distinct page once, the ordered
+// path once per hit.
+func TestSummaryIndexScanFetchStats(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 32)
+	sorted := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, false)
+	sorted.SortedFetch = true
+	rows, err := Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := sorted.FetchStats()
+	if fs.Mode != "sorted" {
+		t.Errorf("mode = %q", fs.Mode)
+	}
+	if fs.PagesPinned != fs.DistinctPages {
+		t.Errorf("sorted fetch pinned %d pages for %d distinct", fs.PagesPinned, fs.DistinctPages)
+	}
+	ordered := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, false)
+	if _, err := Collect(ordered); err != nil {
+		t.Fatal(err)
+	}
+	ofs := ordered.FetchStats()
+	if ofs.Mode != "ordered" {
+		t.Errorf("mode = %q", ofs.Mode)
+	}
+	if ofs.PagesPinned != int64(len(rows)) {
+		t.Errorf("ordered fetch pinned %d pages for %d hits", ofs.PagesPinned, len(rows))
+	}
+	if ofs.DistinctPages != fs.DistinctPages {
+		t.Errorf("distinct pages diverge: %d vs %d", ofs.DistinctPages, fs.DistinctPages)
+	}
+}
+
+// TestPartitionHitsProperties checks the page-boundary partitioner: for
+// any share count, concatenating the shares in partition order is
+// exactly the input, and no data page appears in two shares (the
+// no-frame-contention property of the parallel sorted fetch).
+func TestPartitionHitsProperties(t *testing.T) {
+	hits := []heap.RID{
+		{Page: 0, Slot: 0}, {Page: 0, Slot: 3}, {Page: 1, Slot: 1},
+		{Page: 2, Slot: 0}, {Page: 2, Slot: 1}, {Page: 2, Slot: 2},
+		{Page: 5, Slot: 7}, {Page: 7, Slot: 0},
+	}
+	for of := 2; of <= 8; of++ {
+		var cat []heap.RID
+		owner := map[int32]int{}
+		for idx := 0; idx < of; idx++ {
+			share := partitionHits(hits, PartitionSpec{Index: idx, Of: of})
+			for _, rid := range share {
+				if prev, dup := owner[rid.Page]; dup && prev != idx {
+					t.Fatalf("of=%d: page %d in shares %d and %d", of, rid.Page, prev, idx)
+				}
+				owner[rid.Page] = idx
+			}
+			cat = append(cat, share...)
+		}
+		if len(cat) != len(hits) {
+			t.Fatalf("of=%d: concatenation has %d hits, want %d", of, len(cat), len(hits))
+		}
+		for i := range hits {
+			if cat[i] != hits[i] {
+				t.Fatalf("of=%d: concatenation diverges at %d: %v vs %v", of, i, cat[i], hits[i])
+			}
+		}
+	}
+}
+
+// TestSummaryIndexScanPartitionedConcatenation runs the parallel shares
+// of a sorted fetch one by one and checks their concatenation is the
+// serial sorted run, row for row.
+func TestSummaryIndexScanPartitionedConcatenation(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 48)
+	serial := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, true)
+	serial.SortedFetch = true
+	want, err := Collect(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const of = 3
+	var got []*Row
+	for idx := 0; idx < of; idx++ {
+		part := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 1, true)
+		part.SortedFetch = true
+		part.Part = PartitionSpec{Index: idx, Of: of}
+		rows, err := Collect(part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rows...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shares yield %d rows, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Tuple.OID != want[i].Tuple.OID {
+			t.Fatalf("row %d diverges: OID %d vs %d", i, got[i].Tuple.OID, want[i].Tuple.OID)
+		}
+	}
+}
+
+// TestSummaryIndexScanBudget exercises the hit-list budget charge: a
+// probe whose materialized hit list exceeds the buffered-rows limit
+// fails Open with a typed budget error, and the failed Open leaves no
+// outstanding charges. A sufficient budget is fully released at Close.
+func TestSummaryIndexScanBudget(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 16)
+	tight := NewBudget(2, 0, 0) // Disease >= 0 collects all 16 hits
+	scan := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 0, false)
+	scan.SetContext(NewQueryCtx(nil, tight))
+	_, err := Collect(scan)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Op != "SummaryIndexScan" {
+		t.Fatalf("err = %v, want *BudgetError from SummaryIndexScan", err)
+	}
+	if tight.BufferedRows() != 0 {
+		t.Errorf("failed Open leaked %d buffered rows", tight.BufferedRows())
+	}
+
+	roomy := NewBudget(100, 0, 0)
+	ok := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 0, false)
+	ok.SetContext(NewQueryCtx(nil, roomy))
+	rows, err := Collect(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if roomy.BufferedRows() != 0 {
+		t.Errorf("Close leaked %d buffered rows", roomy.BufferedRows())
+	}
+}
+
+// TestSummaryIndexScanCancelled checks the probe's cancellation check:
+// an already-cancelled query fails Open before materializing anything.
+func TestSummaryIndexScanCancelled(t *testing.T) {
+	f, sIdx, _ := indexedFixture(t, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scan := NewSummaryIndexScan(f.r, "r", sIdx, "Disease", index.OpGe, 0, true)
+	scan.SetContext(NewQueryCtx(ctx, nil))
+	if _, err := Collect(scan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -47,6 +47,13 @@ type OpStats struct {
 	BufferedRows  int64
 	BufferedBytes int64
 	SpillBytes    int64
+
+	// FetchMode/PagesPinned/DistinctPages describe an index scan's heap
+	// fetch ("sorted" page-ordered batch or "ordered" per-RID); FetchMode
+	// stays empty for every other operator, which gates the rendering.
+	FetchMode     string
+	PagesPinned   int64
+	DistinctPages int64
 }
 
 // Wall is the total wall time across all phases (inclusive).
@@ -149,6 +156,21 @@ func (c *StatsCollector) All() []*OpStats {
 	return c.order
 }
 
+// FetchStats describes an index scan's heap-fetch stage for EXPLAIN
+// ANALYZE: the mode chosen by the optimizer, the page pins it made, and
+// the distinct data pages its hit list addressed.
+type FetchStats struct {
+	Mode          string
+	PagesPinned   int64
+	DistinctPages int64
+}
+
+// fetchReporter is implemented by operators with a fetch stage to
+// report (SummaryIndexScan); the stats layer samples it at Close.
+type fetchReporter interface {
+	FetchStats() FetchStats
+}
+
 // statsIter is the recording decorator around one physical operator.
 // It accumulates into the private acc and folds it into the shared
 // per-key OpStats under the collector's lock at Close, so recorders on
@@ -220,6 +242,11 @@ func (s *OpStats) merge(o *OpStats) {
 	s.BufferedRows += o.BufferedRows
 	s.BufferedBytes += o.BufferedBytes
 	s.SpillBytes += o.SpillBytes
+	if o.FetchMode != "" {
+		s.FetchMode = o.FetchMode
+	}
+	s.PagesPinned += o.PagesPinned
+	s.DistinctPages += o.DistinctPages
 }
 
 func (w *statsIter) Open() error {
@@ -245,6 +272,15 @@ func (w *statsIter) Close() error {
 	start, io0, b0 := w.sample()
 	err := w.child.Close()
 	w.commit(&w.acc.CloseWall, start, io0, b0)
+	// Sample fetch-stage counters the operator kept across Close. Worker
+	// recorders sample too: the counters are per operator instance, so
+	// shares from parallel partitions sum cleanly in merge.
+	if fr, ok := w.child.(fetchReporter); ok {
+		fs := fr.FetchStats()
+		w.acc.FetchMode = fs.Mode
+		w.acc.PagesPinned += fs.PagesPinned
+		w.acc.DistinctPages += fs.DistinctPages
+	}
 	w.flush()
 	return err
 }

@@ -376,6 +376,77 @@ func (f *File[T]) scanPage(pid int32, fn func(RID, int64, T) bool) bool {
 	return true
 }
 
+// FetchMany visits the records at the given RIDs, grouping consecutive
+// same-page RIDs so each group costs one page read and one frame pin —
+// the batched (bitmap-style) dereference path for index scans. Callers
+// wanting minimal I/O sort the RIDs into page order first; FetchMany
+// itself preserves the given order, so it also serves order-preserving
+// fetches (each page run then has length 1 and the cost matches per-RID
+// Get exactly). Out-of-range and tombstoned RIDs are skipped without
+// calling fn; returning false from fn stops the fetch. The number of
+// page reads charged (= pages pinned) is returned.
+func (f *File[T]) FetchMany(rids []RID, fn func(rid RID, oid int64, val T) bool) int {
+	reads := 0
+	for i := 0; i < len(rids); {
+		pid := rids[i].Page
+		j := i
+		for j < len(rids) && rids[j].Page == pid {
+			j++
+		}
+		if pid < 0 || int(pid) >= f.numPages() {
+			i = j
+			continue
+		}
+		f.acct.Read(1)
+		reads++
+		var p *page[T]
+		if f.pooled() {
+			p = f.pin(pid)
+		} else {
+			p = f.pages[pid]
+		}
+		stop := false
+		for _, rid := range rids[i:j] {
+			if rid.Slot < 0 || int(rid.Slot) >= len(p.slots) {
+				continue
+			}
+			rec := &p.slots[rid.Slot]
+			if !rec.live {
+				continue
+			}
+			if !fn(rid, rec.oid, rec.val) {
+				stop = true
+				break
+			}
+		}
+		if f.pooled() {
+			f.unpin(pid, false)
+		}
+		if stop {
+			break
+		}
+		i = j
+	}
+	return reads
+}
+
+// Prefetch hints the buffer pool to warm the given pages ahead of a
+// page-ordered fetch. No logical reads are charged (the fetch itself
+// charges them on arrival); without a pool every page is already
+// resident and this is a no-op.
+func (f *File[T]) Prefetch(pids []int32) {
+	if !f.pooled() {
+		return
+	}
+	pages := make([]int64, 0, len(pids))
+	for _, pid := range pids {
+		if pid >= 0 && int(pid) < f.numPages() {
+			pages = append(pages, int64(pid))
+		}
+	}
+	f.pool.Prefetch(f.space, pages)
+}
+
 // Release drops the file's pages from the buffer pool (no-op without a
 // pool). The file must not be used afterwards.
 func (f *File[T]) Release() {

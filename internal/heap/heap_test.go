@@ -394,3 +394,92 @@ func TestCursorCloseUnpinsMidPage(t *testing.T) {
 		t.Fatalf("residency exceeded budget: %+v", st)
 	}
 }
+
+// TestFetchManyGroupsByPage checks the batched dereference: consecutive
+// same-page RIDs share one logical read, dead and out-of-range entries
+// are skipped silently, and the returned count is the pages pinned.
+func TestFetchManyGroupsByPage(t *testing.T) {
+	var acct pager.Accountant
+	f := NewFile[int](&acct, 4)
+	var rids []RID
+	for i := 0; i < 20; i++ {
+		rids = append(rids, f.Insert(int64(i), i*10))
+	}
+	f.Delete(rids[5])
+
+	req := []RID{
+		rids[0], rids[2], // page 0, one read
+		rids[5],                      // page 1, dead — read but not visited
+		rids[9], {Page: 2, Slot: 99}, // page 2 run with a bad slot
+		{Page: 99, Slot: 0}, // beyond the file: skipped, no read
+		{Page: -1, Slot: 0}, // negative page: skipped, no read
+		rids[17],            // page 4
+	}
+	before := acct.Stats()
+	var got []int
+	reads := f.FetchMany(req, func(_ RID, oid int64, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if reads != 4 {
+		t.Errorf("reads = %d, want 4 (pages 0,1,2,4)", reads)
+	}
+	if d := acct.Stats().Sub(before); d.PageReads != int64(reads) {
+		t.Errorf("accounted %d logical reads, FetchMany reported %d", d.PageReads, reads)
+	}
+	want := []int{0, 20, 90, 170}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+
+	// fn returning false stops after the current page run.
+	n := 0
+	reads = f.FetchMany([]RID{rids[0], rids[8], rids[16]}, func(RID, int64, int) bool {
+		n++
+		return false
+	})
+	if n != 1 || reads != 1 {
+		t.Errorf("early stop visited %d rows over %d reads, want 1/1", n, reads)
+	}
+}
+
+// TestHeapPrefetchWarmsPool checks the pool hand-off: prefetched pages
+// are installed unpinned and the demand fetch that follows hits the
+// cache instead of the backing store. Without a pool Prefetch is a
+// no-op.
+func TestHeapPrefetchWarmsPool(t *testing.T) {
+	plain := NewFile[int](nil, 4)
+	plain.Insert(1, 1)
+	plain.Prefetch([]int32{0, 5}) // must not panic or allocate frames
+
+	var acct pager.Accountant
+	pool := pager.NewBufferPool(&acct, pager.MinPoolFrames)
+	defer pool.Close()
+	f := NewFile[int](&acct, 4)
+	var rids []RID
+	for i := 0; i < 4*4; i++ {
+		rids = append(rids, f.Insert(int64(i), i))
+	}
+	pool.EvictAll()
+
+	before := acct.Stats()
+	f.Prefetch([]int32{0, 1, 2, 99}) // out-of-range page filtered out
+	mid := acct.Stats().Sub(before)
+	if mid.Prefetched != 3 || mid.PhysReads != 3 {
+		t.Fatalf("prefetch stats = %+v, want 3 prefetched/3 phys", mid)
+	}
+	got := 0
+	f.FetchMany(rids[:12], func(_ RID, _ int64, v int) bool { got++; return true })
+	after := acct.Stats().Sub(before)
+	if after.PhysReads != 3 {
+		t.Errorf("demand fetch of prefetched pages paid %d physical reads, want 3", after.PhysReads)
+	}
+	if got != 12 {
+		t.Errorf("fetched %d rows, want 12", got)
+	}
+}

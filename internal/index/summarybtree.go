@@ -197,6 +197,40 @@ func (x *SummaryBTree) Search(label string, op CmpOp, constant int) []heap.RID {
 	return out
 }
 
+// searchCheckEvery is how many collected entries pass between check
+// callbacks in SearchWithCheck — small enough that a huge range probe
+// reacts to cancellation promptly, large enough that the callback cost
+// vanishes against the leaf scan.
+const searchCheckEvery = 256
+
+// SearchWithCheck is Search with a periodic check callback: check is
+// invoked with the number of entries collected so far — every
+// searchCheckEvery entries during the leaf scan and once after it
+// completes — and a non-nil return aborts the probe and surfaces that
+// error. The executor threads query cancellation and hit-list memory
+// budgeting through it, so a huge range probe stops mid-scan instead of
+// only after materializing every pointer.
+func (x *SummaryBTree) SearchWithCheck(label string, op CmpOp, constant int, check func(collected int) error) ([]heap.RID, error) {
+	var out []heap.RID
+	var err error
+	x.SearchFunc(label, op, constant, func(count int, ref heap.RID) bool {
+		out = append(out, ref)
+		if len(out)%searchCheckEvery == 0 {
+			if err = check(len(out)); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SearchFunc streams matches of "classLabel <Op> constant" in ascending
 // count order; fn returning false stops the scan.
 func (x *SummaryBTree) SearchFunc(label string, op CmpOp, constant int, fn func(count int, ref heap.RID) bool) {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -278,5 +279,62 @@ func TestIndexMatchesScanProperty(t *testing.T) {
 				t.Fatalf("trial %d: false positive %d", trial, rid.Page)
 			}
 		}
+	}
+}
+
+// TestSearchWithCheckPeriodicCallback pins the probe's check cadence:
+// the callback fires every searchCheckEvery collected entries plus once
+// at completion, a clean run returns exactly what Search returns, and a
+// failing check aborts the leaf scan mid-probe with that error.
+func TestSearchWithCheckPeriodicCallback(t *testing.T) {
+	x := NewSummaryBTree(nil, "ClassBird1")
+	const n = 600
+	for i := 0; i < n; i++ {
+		obj := classifierObj(int64(i), map[string]int{"disease": i % 10})
+		if err := x.IndexObject(obj, heap.RID{Page: int32(i / 8), Slot: int32(i % 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var calls []int
+	got, err := x.SearchWithCheck("disease", OpGe, 0, func(collected int) error {
+		calls = append(calls, collected)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x.Search("disease", OpGe, 0)
+	if len(got) != n || len(got) != len(want) {
+		t.Fatalf("collected %d refs, Search found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d diverges: %v vs %v", i, got[i], want[i])
+		}
+	}
+	wantCalls := []int{searchCheckEvery, 2 * searchCheckEvery, n}
+	if len(calls) != len(wantCalls) {
+		t.Fatalf("check calls = %v, want %v", calls, wantCalls)
+	}
+	for i := range wantCalls {
+		if calls[i] != wantCalls[i] {
+			t.Fatalf("check calls = %v, want %v", calls, wantCalls)
+		}
+	}
+
+	// An erroring check surfaces verbatim and stops the probe at its
+	// granularity: exactly one invocation, no further collection.
+	probeErr := errors.New("stop the probe")
+	fired := 0
+	refs, err := x.SearchWithCheck("disease", OpGe, 0, func(collected int) error {
+		fired++
+		return probeErr
+	})
+	if !errors.Is(err, probeErr) || refs != nil {
+		t.Fatalf("aborted probe = (%v, %v), want (nil, probeErr)", refs, err)
+	}
+	if fired != 1 {
+		t.Errorf("check fired %d times after erroring, want 1", fired)
 	}
 }

@@ -90,6 +90,12 @@ func (a *AnalyzedNode) String() string {
 					n.Stats.IO.CacheHits, n.Stats.IO.CacheMisses,
 					n.Stats.IO.PhysReads, n.Stats.IO.PhysWrites)
 			}
+			// Fetch-stage counters exist only on index scans (FetchMode
+			// empty elsewhere), so non-index plans render unchanged.
+			if n.Stats.FetchMode != "" {
+				fmt.Fprintf(&b, " fetch=%s pinned=%d distinct=%d",
+					n.Stats.FetchMode, n.Stats.PagesPinned, n.Stats.DistinctPages)
+			}
 			if n.Stats.SpillBytes > 0 {
 				fmt.Fprintf(&b, " spill=%dB", n.Stats.SpillBytes)
 			}

@@ -94,6 +94,8 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 			node.Label, node.Op, node.Constant, need)
 		s.ConventionalPointers = opts.ConventionalPointers
 		s.Descending = node.Descending
+		s.SortedFetch = node.FetchSorted
+		s.Part = opts.part
 		return s, nil
 
 	case *plan.BaselineIndexScanNode:

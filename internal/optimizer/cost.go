@@ -151,11 +151,20 @@ func (rw *rewriter) estimate(n plan.Node) Estimate {
 		sel := rw.selectivity(t, cp)
 		rows := sel * float64(t.Len())
 		height := math.Log(math.Max(float64(t.Len()), 2)) / math.Log(float64(t.Data.PageCap()))
-		perHit := 1.0
-		if rw.env.Propagate {
-			perHit += 2
+		// The heap dereference is priced by fetch mode: page-ordered
+		// batching pays one read per distinct page, order-preserving
+		// fetch pays per hit once the working set outgrows the pool
+		// (see fetchCosts).
+		orderedCost, sortedCost := rw.fetchCosts(t, rows)
+		fetch := sortedCost
+		if !node.FetchSorted {
+			fetch = orderedCost
 		}
-		return Estimate{Rows: rows, Cost: height + rows*perHit}
+		cost := height + fetch
+		if rw.env.Propagate {
+			cost += rows * 2 // summary-storage probe + read per hit
+		}
+		return Estimate{Rows: rows, Cost: cost}
 
 	case *plan.BaselineIndexScanNode:
 		t := node.Table

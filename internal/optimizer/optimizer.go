@@ -41,6 +41,13 @@ type Options struct {
 	ConventionalPointers bool
 	// ForceJoin pins the join implementation: "nl" or "index".
 	ForceJoin string
+	// ForceFetch pins the index-scan fetch mode: "sorted" (page-ordered
+	// batched dereference) or "ordered" (count-order per-RID fetch) —
+	// the differential tests' and Figure 19's ablation knob. Empty means
+	// cost-based. The knob also settles the order/fetch tradeoff inside
+	// sort elimination: "ordered" lets the index order stand in for a
+	// Sort, "sorted" keeps the Sort and fetches in page order.
+	ForceFetch string
 	// ForceSort pins the sort implementation: "mem" or "disk".
 	ForceSort string
 	// SortRunLen sizes external-sort runs (rows; 0 = default).
@@ -110,6 +117,7 @@ func Optimize(root plan.Node, r *plan.AliasResolver, env *Env, opts Options) pla
 	root = rw.reorderSummaryJoins(root)
 	root = rw.chooseJoinImpl(root)
 	root = rw.eliminateSorts(root)
+	root = rw.applyForceFetch(root)
 	root = rw.parallelize(root)
 	return root
 }

@@ -31,10 +31,13 @@ const parallelStartupCost = 8.0
 //     executed by a worker pool streaming rows in partition order.
 //
 // "Partitionable pipeline" means a chain of streaming operators over a
-// base-table scan — the shape that parallelizes by giving each worker a
-// page range. Index scans are not partitioned (a Summary-BTree probe is
-// already sub-linear), and pipeline breakers below the fragment would
-// break the partition-order determinism, so both stop the pattern.
+// partitionable leaf — a base-table scan (each worker takes a page
+// range) or a sorted-fetch Summary-BTree scan (each worker takes a
+// page-range share of the sorted hit list, so no two pin the same
+// frame). Ordered index scans are not partitioned — splitting would
+// destroy the count order the plan consumes — and pipeline breakers
+// below the fragment would break the partition-order determinism, so
+// both stop the pattern.
 func (rw *rewriter) parallelize(n plan.Node) plan.Node {
 	if rw.opts.MaxParallelWorkers <= 1 {
 		return n
@@ -43,7 +46,7 @@ func (rw *rewriter) parallelize(n plan.Node) plan.Node {
 }
 
 func (rw *rewriter) parallelizeNode(n plan.Node) plan.Node {
-	if pipelineScan(n) != nil {
+	if pipelineScan(n) != nil || pipelineIndexScan(n) != nil {
 		if dop := rw.chooseDOP(n); dop > 1 {
 			return &plan.GatherNode{Child: n, DOP: dop}
 		}
@@ -111,21 +114,48 @@ func pipelineScan(n plan.Node) *plan.Scan {
 	return nil
 }
 
+// pipelineIndexScan returns the sorted-fetch Summary-BTree scan at the
+// bottom of a chain of streaming operators, or nil for any other shape
+// (including ordered scans, whose count order partitioning would
+// destroy).
+func pipelineIndexScan(n plan.Node) *plan.SummaryIndexScanNode {
+	switch v := n.(type) {
+	case *plan.SummaryIndexScanNode:
+		if v.FetchSorted && !v.Ordered {
+			return v
+		}
+		return nil
+	case *plan.Select:
+		return pipelineIndexScan(v.Child)
+	case *plan.SummarySelect:
+		return pipelineIndexScan(v.Child)
+	case *plan.SummaryFilterNode:
+		return pipelineIndexScan(v.Child)
+	case *plan.SummaryProject:
+		return pipelineIndexScan(v.Child)
+	}
+	return nil
+}
+
 // chooseDOP picks the degree of parallelism for one pipeline from the
 // cost model: the dop in [2, MaxParallelWorkers] minimizing
 // cost/dop + startup·dop, serial if none beats the serial cost. The
-// dop never exceeds the scanned table's page count — page ranges are
-// the partitioning unit, so extra workers past that would idle.
+// dop never exceeds the leaf's partitioning units — table pages for a
+// sequential scan, estimated distinct hit pages for a sorted index
+// fetch — so extra workers past that would idle.
 func (rw *rewriter) chooseDOP(n plan.Node) int {
 	max := rw.opts.MaxParallelWorkers
 	if max <= 1 {
 		return 1
 	}
-	scan := pipelineScan(n)
-	if scan == nil {
+	var pages int
+	if scan := pipelineScan(n); scan != nil {
+		pages = scan.Table.Data.Pages()
+	} else if leaf := pipelineIndexScan(n); leaf != nil {
+		pages = rw.fetchDistinctPages(leaf)
+	} else {
 		return 1
 	}
-	pages := scan.Table.Data.Pages()
 	if pages < 2 {
 		return 1
 	}

@@ -687,7 +687,16 @@ func (rw *rewriter) establishOrder(n plan.Node, alias, instance, label string, d
 	case *plan.SummaryIndexScanNode:
 		if (alias == "" || strings.EqualFold(node.Alias, alias)) &&
 			strings.EqualFold(node.Instance, instance) && strings.EqualFold(node.Label, label) {
+			cp := &plan.ClassifierPredicate{Instance: node.Instance, Label: node.Label,
+				Op: node.Op, Constant: node.Constant}
+			if !rw.orderPreservingWorthIt(node.Table, cp) {
+				// Random order-preserving fetch costs more than the
+				// page-ordered fetch plus re-sorting the rows: keep the
+				// Sort and fetch in page order.
+				return node, false
+			}
 			node.Ordered = true
+			node.FetchSorted = false
 			node.Descending = desc
 			return node, true
 		}
@@ -700,9 +709,17 @@ func (rw *rewriter) establishOrder(n plan.Node, alias, instance, label string, d
 		if idx == nil {
 			return node, false
 		}
+		full := &plan.ClassifierPredicate{Instance: instance, Label: label,
+			Op: index.OpGe, Constant: 0}
+		if !rw.orderPreservingWorthIt(node.Table, full) {
+			// A full-range index scan in random-fetch trouble has no
+			// edge over the sequential scan + Sort already in the plan.
+			return node, false
+		}
 		// Full-range ordered index scan replaces the sequential scan.
 		leaf := plan.NewSummaryIndexScanNode(node.Table, node.Alias, idx, instance, label, index.OpGe, 0)
 		leaf.Ordered = true
+		leaf.FetchSorted = false
 		leaf.Descending = desc
 		return leaf, true
 	default:

@@ -287,6 +287,58 @@ func (p *BufferPool) EvictAll() {
 	}
 }
 
+// Prefetch reads the given pages of a space into unpinned frames ahead
+// of demand, in order, and returns how many it installed. It is a pure
+// hint with best-effort semantics: resident pages, pages with no backing
+// extent (never evicted, or never written), and pages beyond the free
+// frame supply are skipped — the last by stopping early rather than
+// evicting clock victims, so a prefetch never forces out pages a caller
+// still wants. Each installed page is charged as one physical read plus
+// a Prefetched tick (no cache miss: the demand Get that follows is a
+// hit), keeping PhysReads an honest count of backing-store transfers.
+func (p *BufferPool) Prefetch(space int32, pages []int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	installed := 0
+	for _, page := range pages {
+		k := pageKey{space, page}
+		if _, ok := p.table[k]; ok {
+			continue
+		}
+		sp, ok := p.spans[k]
+		if !ok {
+			continue
+		}
+		i := p.tryFreeFrame()
+		if i < 0 {
+			break
+		}
+		p.acct.physRead() // may panic *FaultError before any state changes
+		p.acct.prefetched.Add(1)
+		buf := make([]byte, sp.len)
+		if _, err := p.file.ReadAt(buf, sp.off); err != nil {
+			panic(fmt.Errorf("pager: backing store read: %w", err))
+		}
+		v, err := p.codecs[k.space].DecodePage(buf)
+		if err != nil {
+			panic(fmt.Errorf("pager: page decode: %w", err))
+		}
+		p.install(i, k, v, false)
+		p.frames[p.table[k]].pins = 0 // installed warm, not claimed
+		installed++
+	}
+	return installed
+}
+
+// Frames returns the configured frame budget, which the optimizer's
+// fetch-path decision compares against the distinct pages an index scan
+// will touch.
+func (p *BufferPool) Frames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
 // Stats snapshots frame occupancy.
 func (p *BufferPool) Stats() BufferPoolStats {
 	p.mu.Lock()
@@ -300,13 +352,22 @@ func (p *BufferPool) Stats() BufferPoolStats {
 }
 
 // freeFrame returns the index of an empty frame, evicting a victim by
-// the clock (second-chance) policy if none is free: sweep the frames,
-// skip pinned ones, give referenced ones a second chance by clearing
-// their bit, evict the first unreferenced unpinned frame. Two full
-// sweeps finding only pinned frames means the budget is exhausted — a
-// panic the executor surfaces as a query error, since no progress is
-// possible without unpinning. The caller holds p.mu.
+// the clock (second-chance) policy if none is free. Two full sweeps
+// finding only pinned frames means the budget is exhausted — a panic the
+// executor surfaces as a query error, since no progress is possible
+// without unpinning. The caller holds p.mu.
 func (p *BufferPool) freeFrame() int {
+	if i := p.tryFreeFrame(); i >= 0 {
+		return i
+	}
+	panic(fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", len(p.frames)))
+}
+
+// tryFreeFrame is freeFrame's non-panicking core: sweep the frames, skip
+// pinned ones, give referenced ones a second chance by clearing their
+// bit, evict the first unreferenced unpinned frame. Returns -1 when
+// every frame is pinned. The caller holds p.mu.
+func (p *BufferPool) tryFreeFrame() int {
 	for sweep := 0; sweep <= 2*len(p.frames); sweep++ {
 		i := p.hand
 		p.hand = (p.hand + 1) % len(p.frames)
@@ -324,7 +385,7 @@ func (p *BufferPool) freeFrame() int {
 		p.evict(i)
 		return i
 	}
-	panic(fmt.Errorf("pager: buffer pool exhausted: all %d frames pinned", len(p.frames)))
+	return -1
 }
 
 // evict writes frame i back if dirty and releases it. The write-back is

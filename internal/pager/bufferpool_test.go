@@ -254,3 +254,64 @@ func TestPooledAccountantSkipsLogicalFaults(t *testing.T) {
 		t.Fatal("expected EvictAll write-back to fault")
 	}
 }
+
+// TestBufferPoolPrefetch pins the prefetch contract: evicted pages come
+// back as unpinned resident frames charged as physical reads plus
+// Prefetched ticks (never cache misses), resident and never-evicted
+// pages are skipped, and a pool with no free frames stops early instead
+// of evicting victims.
+func TestBufferPoolPrefetch(t *testing.T) {
+	acct, pool, space := newTestPool(t, MinPoolFrames)
+	const n = MinPoolFrames + 4
+	for i := 0; i < n; i++ {
+		pool.NewPage(space, int64(i), &testPage{Vals: []int64{int64(i)}})
+		pool.Unpin(space, int64(i), true)
+	}
+	pool.EvictAll()
+
+	before := acct.Stats()
+	if got := pool.Prefetch(space, []int64{0, 1, 2}); got != 3 {
+		t.Fatalf("Prefetch installed %d, want 3", got)
+	}
+	d := acct.Stats().Sub(before)
+	if d.Prefetched != 3 || d.PhysReads != 3 || d.CacheMisses != 0 {
+		t.Fatalf("prefetch delta = %+v, want 3 prefetched, 3 phys, 0 misses", d)
+	}
+
+	// The demand Get is now a hit with no further physical traffic, and
+	// the page round-tripped intact.
+	if v := pool.Get(space, 1).(*testPage); v.Vals[0] != 1 {
+		t.Fatalf("prefetched page corrupt: %+v", v)
+	}
+	pool.Unpin(space, 1, false)
+	d = acct.Stats().Sub(before)
+	if d.CacheHits != 1 || d.PhysReads != 3 {
+		t.Fatalf("post-Get delta = %+v, want 1 hit and still 3 phys", d)
+	}
+
+	// Resident pages are skipped outright.
+	if got := pool.Prefetch(space, []int64{0, 1, 2}); got != 0 {
+		t.Fatalf("re-prefetch installed %d, want 0", got)
+	}
+
+	// With every frame pinned there is no free frame and no victim may
+	// be taken: prefetch installs nothing.
+	pool.EvictAll()
+	for i := 0; i < MinPoolFrames; i++ {
+		pool.Get(space, int64(i))
+	}
+	if got := pool.Prefetch(space, []int64{MinPoolFrames, MinPoolFrames + 1}); got != 0 {
+		t.Fatalf("prefetch into a fully pinned pool installed %d, want 0", got)
+	}
+	for i := 0; i < MinPoolFrames; i++ {
+		pool.Unpin(space, int64(i), false)
+	}
+
+	// A page that was never written out has no backing span: skipped.
+	pool.NewPage(space, int64(n), &testPage{Vals: []int64{int64(n)}})
+	pool.Unpin(space, int64(n), true)
+	pool.Drop(space, int64(n+1)) // no-op guard; page n+1 does not exist
+	if got := pool.Prefetch(space, []int64{int64(n + 1)}); got != 0 {
+		t.Fatalf("prefetch of span-less page installed %d, want 0", got)
+	}
+}

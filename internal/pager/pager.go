@@ -35,6 +35,10 @@ type Stats struct {
 	CacheHits   int64 `json:",omitempty"`
 	CacheMisses int64 `json:",omitempty"`
 	Evictions   int64 `json:",omitempty"`
+
+	// Prefetched counts pages read ahead of demand by BufferPool.Prefetch
+	// (each is also a PhysRead; a later Get for the page is a CacheHit).
+	Prefetched int64 `json:",omitempty"`
 }
 
 // Sub returns s - o, for measuring a single operation's cost.
@@ -50,6 +54,7 @@ func (s Stats) Sub(o Stats) Stats {
 		CacheHits:   s.CacheHits - o.CacheHits,
 		CacheMisses: s.CacheMisses - o.CacheMisses,
 		Evictions:   s.Evictions - o.Evictions,
+		Prefetched:  s.Prefetched - o.Prefetched,
 	}
 }
 
@@ -66,6 +71,7 @@ func (s Stats) Add(o Stats) Stats {
 		CacheHits:   s.CacheHits + o.CacheHits,
 		CacheMisses: s.CacheMisses + o.CacheMisses,
 		Evictions:   s.Evictions + o.Evictions,
+		Prefetched:  s.Prefetched + o.Prefetched,
 	}
 }
 
@@ -79,7 +85,7 @@ func (s Stats) NodeAccesses() int64 { return s.NodeReads + s.NodeWrites }
 // when no pool was involved, which callers use to gate cache rendering
 // so pool-off output is byte-identical to the pre-pool engine.
 func (s Stats) CacheAccesses() int64 {
-	return s.CacheHits + s.CacheMisses + s.PhysReads + s.PhysWrites + s.Evictions
+	return s.CacheHits + s.CacheMisses + s.PhysReads + s.PhysWrites + s.Evictions + s.Prefetched
 }
 
 // String renders the logical counters (the cache counters have their own
@@ -94,8 +100,12 @@ func (s Stats) String() string {
 // CacheString renders the physical/cache counters compactly:
 // "hit=H miss=M phys=R+W evict=E".
 func (s Stats) CacheString() string {
-	return fmt.Sprintf("hit=%d miss=%d phys=%d+%d evict=%d",
+	out := fmt.Sprintf("hit=%d miss=%d phys=%d+%d evict=%d",
 		s.CacheHits, s.CacheMisses, s.PhysReads, s.PhysWrites, s.Evictions)
+	if s.Prefetched > 0 {
+		out += fmt.Sprintf(" pre=%d", s.Prefetched)
+	}
+	return out
 }
 
 // Accountant tracks page I/O. The zero value is ready to use. All
@@ -120,6 +130,7 @@ type Accountant struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	evictions   atomic.Int64
+	prefetched  atomic.Int64
 
 	// readDelay, when non-zero, is slept per page read to simulate a
 	// disk-resident database. Nanoseconds.
@@ -261,6 +272,7 @@ func (a *Accountant) Stats() Stats {
 		CacheHits:   a.cacheHits.Load(),
 		CacheMisses: a.cacheMisses.Load(),
 		Evictions:   a.evictions.Load(),
+		Prefetched:  a.prefetched.Load(),
 	}
 }
 
@@ -278,4 +290,5 @@ func (a *Accountant) Reset() {
 	a.cacheHits.Store(0)
 	a.cacheMisses.Store(0)
 	a.evictions.Store(0)
+	a.prefetched.Store(0)
 }

@@ -63,18 +63,28 @@ type SummaryIndexScanNode struct {
 	// count order (sort elimination, rules 3–6).
 	Ordered    bool
 	Descending bool
+	// FetchSorted selects the page-ordered (bitmap-style) heap fetch:
+	// the hit list is sorted by RID so each data page is pinned once,
+	// giving up the index's count order. False preserves count order
+	// with per-RID fetches — required when Ordered, or chosen when the
+	// cost model prices the random-I/O penalty below the compensating
+	// Sort it would otherwise keep (see optimizer fetch-path decision).
+	FetchSorted bool
 
 	schema *model.Schema
 }
 
-// NewSummaryIndexScanNode builds the node.
+// NewSummaryIndexScanNode builds the node; the fetch mode defaults to
+// the page-ordered sorted fetch (the optimizer's order decision flips
+// it when the count order is worth preserving).
 func NewSummaryIndexScanNode(t *catalog.Table, alias string, idx *index.SummaryBTree,
 	instance, label string, op index.CmpOp, constant int) *SummaryIndexScanNode {
 	if alias == "" {
 		alias = t.Name
 	}
 	return &SummaryIndexScanNode{Table: t, Alias: alias, Index: idx, Instance: instance,
-		Label: label, Op: op, Constant: constant, schema: t.Schema.Rename(alias)}
+		Label: label, Op: op, Constant: constant, FetchSorted: true,
+		schema: t.Schema.Rename(alias)}
 }
 
 // Schema returns the aliased table schema.
@@ -89,8 +99,12 @@ func (s *SummaryIndexScanNode) Describe() string {
 	if s.Ordered {
 		ord = " (ordered)"
 	}
-	return fmt.Sprintf("SummaryBTreeScan %s AS %s ON %s.%s %s %d%s",
-		s.Table.Name, s.Alias, s.Instance, s.Label, s.Op, s.Constant, ord)
+	fetch := " fetch=sorted"
+	if !s.FetchSorted {
+		fetch = " fetch=ordered"
+	}
+	return fmt.Sprintf("SummaryBTreeScan %s AS %s ON %s.%s %s %d%s%s",
+		s.Table.Name, s.Alias, s.Instance, s.Label, s.Op, s.Constant, ord, fetch)
 }
 
 // BaselineIndexScanNode is the baseline-scheme access path.
