@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke
+.PHONY: check build vet test race race-core bench-smoke recovery-torture
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -26,8 +26,16 @@ race-core:
 	$(GO) test -race -count=4 -run 'TestParallelSortedFetchMatchesSerial|TestSummaryIndexScanPartitionedConcatenation' ./internal/engine/... ./internal/exec/...
 
 # bench-smoke regenerates one representative figure plus the parallel
-# speedup and buffer-pool grids at the reduced quick scale and writes a machine-readable
-# BENCH_smoke.json snapshot (figures + engine metrics) so perf
-# regressions show up as diffs between runs.
+# speedup, buffer-pool, and group-commit grids at the reduced quick
+# scale and writes a machine-readable BENCH_smoke.json snapshot (figures
+# + engine metrics) so perf regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20 -json BENCH_smoke.json
+
+# recovery-torture runs the WAL crash matrix: the mixed workload's log is
+# cut at every record boundary (and inside every record) and each prefix
+# is recovered and compared against a committed-prefix oracle, plus the
+# concurrent group-commit stress under the race detector.
+recovery-torture:
+	$(GO) test -count=1 -run 'TestRecoveryTortureEveryBoundary|TestReopenDurability|TestCheckpointBoundsRecovery' ./internal/engine/
+	$(GO) test -race -count=2 -run 'TestWALGroupCommitRaceStress|TestReadersNotBlockedByCommitWait' ./internal/engine/

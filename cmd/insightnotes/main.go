@@ -7,9 +7,16 @@
 //	\tables             list tables
 //	\explain <query>    show the optimized plan without running it
 //	\stats <table>      show maintained summary statistics
-//	\metrics            show engine query telemetry
-//	\load <birds> <avg> load/replace the bird workload
+//	\metrics            show engine query telemetry (incl. WAL under -wal)
+//	\load <birds> <avg> load/replace the bird workload (in-memory only)
+//	\save <path>        write a crash-safe logical snapshot
+//	\checkpoint         force a checkpoint and compact the WAL (-wal)
 //	\quit               exit
+//
+// With -wal DIR the shell opens a durable database: every mutation is
+// logged before it applies, commits are forced under the -group-commit
+// window, and a restart with the same -wal DIR recovers the committed
+// state.
 //
 // Everything else is executed as a statement: SELECT (results and
 // propagated summaries are printed), EXPLAIN [ANALYZE] SELECT ...,
@@ -36,10 +43,32 @@ func main() {
 	birds := flag.Int("birds", 100, "preloaded bird count (0 = start empty)")
 	anns := flag.Int("anns", 10, "average annotations per bird")
 	poolPages := flag.Int("pool", 0, "buffer pool size in frames (0 = unbounded resident pages)")
+	walDir := flag.String("wal", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
+	groupCommit := flag.Duration("group-commit", 0, "group-commit window, e.g. 500us (0 = fsync every commit; requires -wal)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every N logged operations (0 = never; requires -wal)")
 	flag.Parse()
 
 	var db *engine.DB
 	load := func(nBirds, avg int) error {
+		if *walDir != "" {
+			var err error
+			db, err = engine.Open(engine.Config{
+				WALDir:            *walDir,
+				GroupCommitWindow: *groupCommit,
+				CheckpointEveryN:  *checkpointEvery,
+				BufferPoolPages:   *poolPages,
+			})
+			if err != nil {
+				return err
+			}
+			replayed := int64(0)
+			if m := db.Metrics().WAL; m != nil {
+				replayed = m.RecoveryReplayedRecords
+			}
+			fmt.Printf("durable database at %s: %d tables, %d annotations (replayed %d wal records)\n",
+				*walDir, len(db.Catalog().TableNames()), db.AnnotationCount(), replayed)
+			return nil
+		}
 		if nBirds == 0 {
 			db = engine.New(engine.Config{BufferPoolPages: *poolPages})
 			fmt.Println("started with an empty database")
@@ -64,6 +93,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Close flushes the WAL so a clean \quit leaves nothing to replay.
+	defer func() { db.Close() }()
 
 	// Ctrl-C cancels the in-flight statement (via ExecContext) instead of
 	// killing the shell; at the prompt it is a no-op with a hint.
@@ -84,7 +115,7 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, `\`) {
-			if !meta(db, line, load) {
+			if !meta(db, line, load, *walDir) {
 				return
 			}
 			continue
@@ -179,7 +210,7 @@ func withInterrupt[T any](sigCh <-chan os.Signal, run func(context.Context) (T, 
 }
 
 // meta handles backslash commands; it returns false to exit.
-func meta(db *engine.DB, line string, load func(int, int) error) bool {
+func meta(db *engine.DB, line string, load func(int, int) error, walDir string) bool {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case `\quit`, `\q`:
@@ -193,9 +224,11 @@ func meta(db *engine.DB, line string, load func(int, int) error) bool {
   EXPLAIN ANALYZE SELECT ...  run it, annotating each operator with actuals
   ALTER TABLE t ADD [INDEXABLE] instance | ALTER TABLE t DROP instance
   ZOOM IN ON table.instance [LABEL 'label'] [WHERE expr]
-meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  \quit
+meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>
+      \save <path>  \checkpoint  \quit
   (\metrics adds a cache: hit/miss/phys/evict line when the shell was
-   started with -pool N; see also EXPLAIN ANALYZE per-operator buffers)`)
+   started with -pool N, and a wal: line under -wal DIR; \checkpoint
+   snapshots the durable state and compacts the log)`)
 	case `\tables`:
 		for _, name := range db.Catalog().TableNames() {
 			t, _ := db.Table(name)
@@ -233,6 +266,11 @@ meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  
 		}
 		fmt.Print(plan)
 	case `\load`:
+		if walDir != "" {
+			fmt.Println("\\load replaces the database with an ephemeral in-memory workload " +
+				"and would abandon the durable state; restart without -wal to use it")
+			return true
+		}
 		n, avg := 100, 10
 		if len(fields) > 1 {
 			n, _ = strconv.Atoi(fields[1])
@@ -248,17 +286,21 @@ meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>  
 			fmt.Println("usage: \\save <path>")
 			return true
 		}
-		f, err := os.Create(fields[1])
-		if err != nil {
-			fmt.Println("error:", err)
-			return true
-		}
-		if err := db.Save(f); err != nil {
+		if err := db.SaveFile(fields[1]); err != nil {
 			fmt.Println("error:", err)
 		} else {
 			fmt.Println("snapshot written to", fields[1])
 		}
-		f.Close()
+	case `\checkpoint`:
+		ok, err := db.Checkpoint()
+		switch {
+		case err != nil:
+			fmt.Println("error:", err)
+		case !ok:
+			fmt.Println("checkpoint refused (no -wal, an open transaction, or a prior rollback)")
+		default:
+			fmt.Println("checkpoint written; wal compacted")
+		}
 	default:
 		fmt.Printf("unknown command %s (\\help for help)\n", fields[0])
 	}

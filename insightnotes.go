@@ -45,8 +45,25 @@ type DB = engine.DB
 // Config tunes a database instance.
 type Config = engine.Config
 
-// Open creates an empty in-memory database.
+// Open creates an empty in-memory database. cfg.WALDir must be empty;
+// use OpenDurable for a write-ahead-logged database.
 func Open(cfg Config) *DB { return engine.New(cfg) }
+
+// OpenDurable opens (or creates) a durable database rooted at
+// cfg.WALDir: every mutation is appended to a checksummed write-ahead
+// log before it is applied, commits are made durable by group commit,
+// and reopening after a crash recovers exactly the committed prefix
+// (ARIES-lite redo from the last checkpoint, torn log tails
+// truncated). DB.Close flushes and closes the log; DB.Checkpoint
+// snapshots the database and compacts the log. A Txn from DB.Begin
+// groups mutations into one atomic, durable unit.
+func OpenDurable(cfg Config) (*DB, error) { return engine.Open(cfg) }
+
+// Txn is an explicit transaction handle from DB.Begin: its mutations
+// become durable and atomic at Commit; Rollback abandons them (the
+// log's redo-only design makes rollback a restart-time filter, and it
+// disables checkpointing until the next reopen).
+type Txn = engine.Txn
 
 // Load reconstructs a database from a snapshot written by DB.Save. The
 // snapshot is a logical dump (schemas, instances, trained models,

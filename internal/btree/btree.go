@@ -81,6 +81,16 @@ func (nodeCodec) DecodePage(data []byte) (any, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, err
 	}
+	// Structural validation: a torn or bit-flipped node image that still
+	// gob-decodes must fail here as an integrity error, not corrupt the
+	// tree's invariants silently.
+	if w.Leaf {
+		if len(w.Vals) != len(w.Keys) {
+			return nil, fmt.Errorf("btree: corrupt leaf image %d: %d keys but %d values", w.ID, len(w.Keys), len(w.Vals))
+		}
+	} else if len(w.Children) != len(w.Keys)+1 {
+		return nil, fmt.Errorf("btree: corrupt internal-node image %d: %d keys but %d children", w.ID, len(w.Keys), len(w.Children))
+	}
 	return &node{
 		id: w.ID, leaf: w.Leaf, keys: w.Keys, vals: w.Vals,
 		children: w.Children, next: w.Next,

@@ -30,20 +30,53 @@ func NewAnnotationStore(acct *pager.Accountant, pageCap int) *AnnotationStore {
 // Add stores an annotation, assigning its ID and logical timestamp.
 // The Columns slice is retained; callers must not mutate it afterwards.
 func (s *AnnotationStore) Add(tupleOID int64, text string, columns []string, author string) *model.Annotation {
-	s.nextID++
-	s.nextSeq++
+	return s.AddWithID(s.nextID+1, s.nextSeq+1, tupleOID, text, columns, author)
+}
+
+// PeekID returns the ID the next Add will assign, without consuming it.
+func (s *AnnotationStore) PeekID() int64 { return s.nextID + 1 }
+
+// PeekSeq returns the logical timestamp the next Add will assign.
+func (s *AnnotationStore) PeekSeq() int64 { return s.nextSeq + 1 }
+
+// AddWithID stores an annotation under a caller-chosen ID and logical
+// timestamp — the WAL replay path, which must reproduce the IDs the
+// logged run assigned (including gaps left by uncommitted operations).
+// Both counters are bumped past the forced values so later organic Adds
+// never collide.
+func (s *AnnotationStore) AddWithID(id, seq, tupleOID int64, text string, columns []string, author string) *model.Annotation {
+	if id > s.nextID {
+		s.nextID = id
+	}
+	if seq > s.nextSeq {
+		s.nextSeq = seq
+	}
 	a := &model.Annotation{
-		ID:       s.nextID,
+		ID:       id,
 		Text:     text,
 		TupleOID: tupleOID,
 		Columns:  columns,
 		Author:   author,
-		Seq:      s.nextSeq,
+		Seq:      seq,
 	}
 	rid := s.file.Insert(a.ID, a)
 	s.byID.Insert(oidKey(a.ID), rid.Encode())
 	s.byTuple.Insert(oidKey(tupleOID), rid.Encode())
 	return a
+}
+
+// Counters returns the ID and timestamp watermarks for checkpointing.
+func (s *AnnotationStore) Counters() (nextID, nextSeq int64) { return s.nextID, s.nextSeq }
+
+// SetCounters restores the watermarks from a checkpoint; counters only
+// move forward so preserve-ID replay cannot regress them.
+func (s *AnnotationStore) SetCounters(nextID, nextSeq int64) {
+	if nextID > s.nextID {
+		s.nextID = nextID
+	}
+	if nextSeq > s.nextSeq {
+		s.nextSeq = nextSeq
+	}
 }
 
 // AttachTo additionally attaches an existing annotation to another

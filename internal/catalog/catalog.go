@@ -41,6 +41,19 @@ func New(acct *pager.Accountant, pageCap int) *Catalog {
 // Accountant returns the shared I/O accountant.
 func (c *Catalog) Accountant() *pager.Accountant { return c.acct }
 
+// NextOID returns the catalog-wide OID counter (the last OID assigned),
+// so a checkpoint can persist it and recovery can restore exact ID
+// assignment across restarts.
+func (c *Catalog) NextOID() int64 { return c.nextOID }
+
+// SetNextOID restores the OID counter from a checkpoint; it only moves
+// the counter forward so replayed forced-OID inserts cannot regress it.
+func (c *Catalog) SetNextOID(oid int64) {
+	if oid > c.nextOID {
+		c.nextOID = oid
+	}
+}
+
 // CreateTable registers a new relation.
 func (c *Catalog) CreateTable(name string, schema *model.Schema) (*Table, error) {
 	key := strings.ToLower(name)

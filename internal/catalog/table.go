@@ -119,11 +119,24 @@ func oidKey(oid int64) string { return model.NewInt(oid).SortKey() }
 // Insert appends a tuple and returns its OID. No summary-storage entry
 // is created: that happens on first annotation.
 func (t *Table) Insert(values []model.Value) (int64, error) {
+	return t.InsertWithOID(*t.nextOID+1, values)
+}
+
+// PeekOID returns the OID the next Insert will assign, without
+// consuming it — the WAL path records the OID before applying.
+func (t *Table) PeekOID() int64 { return *t.nextOID + 1 }
+
+// InsertWithOID appends a tuple under a caller-chosen OID — the WAL
+// replay path, which must reproduce the OIDs the logged run assigned
+// (including gaps left by uncommitted operations). The catalog-wide
+// counter is bumped past oid so later organic Inserts never collide.
+func (t *Table) InsertWithOID(oid int64, values []model.Value) (int64, error) {
 	if len(values) != t.Schema.Len() {
 		return 0, fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, t.Schema.Len(), len(values))
 	}
-	*t.nextOID++
-	oid := *t.nextOID
+	if oid > *t.nextOID {
+		*t.nextOID = oid
+	}
 	rid := t.Data.Insert(oid, values)
 	t.oidIndex.Insert(oidKey(oid), rid.Encode())
 	t.dataIndexInsert(values, rid)

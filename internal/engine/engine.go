@@ -14,10 +14,12 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/heap"
 	"repro/internal/index"
 	"repro/internal/mining/bayes"
 	"repro/internal/model"
 	"repro/internal/pager"
+	walpkg "repro/internal/wal"
 )
 
 // Config tunes a database instance.
@@ -43,6 +45,27 @@ type Config struct {
 	// pager.MinPoolFrames are raised to it). 0 disables the pool: every
 	// page stays resident and the engine behaves exactly as without one.
 	BufferPoolPages int
+
+	// WALDir, when non-empty, makes the database durable: every mutation
+	// is write-ahead logged to WALDir and commits are forced with group
+	// commit; engine.Open recovers the directory to its committed prefix.
+	// Empty (the default) keeps the engine fully ephemeral, byte-for-byte
+	// identical to its pre-WAL behavior. Use engine.Open, not New, to
+	// construct a durable database.
+	WALDir string
+	// GroupCommitWindow is how long the commit flusher waits to batch
+	// concurrent commits into one fsync. 0 degrades to one fsync per
+	// commit (the strict baseline).
+	GroupCommitWindow time.Duration
+	// CheckpointEveryN checkpoints the database after every N committed
+	// operations, bounding log length and recovery time (0 = only
+	// explicit Checkpoint calls).
+	CheckpointEveryN int
+	// WALSyncDelay adds a modeled device latency to every log fsync,
+	// mirroring the pager's SetReadDelay: on a RAM-backed filesystem a
+	// real fsync is nearly free, which would hide exactly the cost group
+	// commit exists to amortize. Benchmarks only; 0 for real devices.
+	WALSyncDelay time.Duration
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -77,15 +100,50 @@ type DB struct {
 
 	// metrics is the always-on query telemetry (see Metrics).
 	metrics metricCounters
+
+	// wal is the write-ahead log, nil when durability is off. Set once
+	// by Open before the DB is shared and cleared by Close; appends
+	// happen only under mu's exclusive lock (see wal.go).
+	wal    *walpkg.Log
+	walDir string
+	// checkpointEvery mirrors Config.CheckpointEveryN; walOps counts
+	// committed operations since the last checkpoint.
+	checkpointEvery int
+	walOps          atomic.Int64
+	// ckptMu serializes checkpoint attempts.
+	ckptMu sync.Mutex
+	// nextTxID, activeTxns, and dirtyRollback are guarded by mu:
+	// transaction IDs are assigned under the exclusive lock, and
+	// Checkpoint reads the other two under the shared lock to decide
+	// whether the live state equals the committed prefix.
+	nextTxID      uint64
+	activeTxns    int
+	dirtyRollback bool
+	// recoveryReplayed is set by Open before the DB is shared;
+	// checkpoints counts completed checkpoints.
+	recoveryReplayed int64
+	checkpoints      atomic.Int64
 }
 
-// New creates an empty database.
+// New creates an empty, ephemeral database. Durable databases
+// (Config.WALDir set) must be constructed with Open, which performs
+// crash recovery; New refuses the configuration outright rather than
+// silently dropping durability.
 func New(cfg Config) *DB {
+	if cfg.WALDir != "" {
+		panic("engine: Config.WALDir is set; use engine.Open for a durable database")
+	}
+	return newDB(cfg, newAccountant(cfg))
+}
+
+// newAccountant builds the shared I/O accountant with the configured
+// fault policy installed.
+func newAccountant(cfg Config) *pager.Accountant {
 	acct := &pager.Accountant{}
 	if cfg.Faults != nil {
 		acct.SetFaultPolicy(cfg.Faults)
 	}
-	return newDB(cfg, acct)
+	return acct
 }
 
 // newDB wires a database around an existing accountant. Split from New
@@ -142,14 +200,23 @@ func (db *DB) Accountant() *pager.Accountant { return db.acct }
 // Config.BufferPoolPages was 0 (all pages resident).
 func (db *DB) BufferPool() *pager.BufferPool { return db.acct.Pool() }
 
-// Close releases resources held outside the Go heap — currently the
-// buffer pool's backing store. The DB must not be used afterwards; a DB
-// without a buffer pool needs no Close.
+// Close releases resources held outside the Go heap — the write-ahead
+// log (flushed durable first) and the buffer pool's backing store. The
+// DB must not be used afterwards; a DB with neither needs no Close.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	l := db.wal
+	db.wal = nil
+	db.mu.Unlock()
+	var err error
+	if l != nil {
+		db.acct.SetPageLogger(nil)
+		err = l.Close()
+	}
 	if pool := db.acct.Pool(); pool != nil {
 		pool.Close()
 	}
-	return nil
+	return err
 }
 
 // Catalog exposes the metadata root (read-mostly; mutate through DB).
@@ -157,9 +224,22 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // CreateTable registers a relation.
 func (db *DB) CreateTable(name string, schema *model.Schema) (*catalog.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.cat.CreateTable(name, schema)
+	var t *catalog.Table
+	err := db.runAuto(func(txid uint64) (uint64, error) {
+		cols := make([]snapshotColumnDef, schema.Len())
+		for i := range cols {
+			c := schema.Col(i)
+			cols[i] = snapshotColumnDef{Name: c.Name, Kind: c.Kind}
+		}
+		lsn, err := db.logAppend(recCreateTable, txid, pCreateTable{Name: name, Columns: cols})
+		if err != nil {
+			return 0, err
+		}
+		var terr error
+		t, terr = db.cat.CreateTable(name, schema)
+		return lsn, terr
+	})
+	return t, err
 }
 
 // Table resolves a relation.
@@ -167,19 +247,48 @@ func (db *DB) Table(name string) (*catalog.Table, error) { return db.cat.Table(n
 
 // Insert adds a tuple, returning its OID.
 func (db *DB) Insert(table string, values ...model.Value) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	var oid int64
+	err := db.runAuto(func(txid uint64) (uint64, error) {
+		var lsn uint64
+		var e error
+		oid, lsn, e = db.insertOp(txid, table, values)
+		return lsn, e
+	})
+	return oid, err
+}
+
+// insertOp validates, logs, and applies one tuple insert. The caller
+// holds the exclusive lock; the logged record carries the OID the
+// insert will assign so replay forces it.
+func (db *DB) insertOp(txid uint64, table string, values []model.Value) (int64, uint64, error) {
 	t, err := db.cat.Table(table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return t.Insert(values)
+	oid := t.PeekOID()
+	lsn, err := db.logAppend(recInsertTuple, txid, pInsertTuple{Table: table, OID: oid, Values: values})
+	if err != nil {
+		return 0, 0, err
+	}
+	got, err := t.InsertWithOID(oid, values)
+	return got, lsn, err
 }
 
 // CreateDataIndex builds a standard B-Tree over a data column.
 func (db *DB) CreateDataIndex(table, column string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		if _, err := db.cat.Table(table); err != nil {
+			return 0, err
+		}
+		lsn, err := db.logAppend(recCreateDataIndex, txid, pCreateDataIndex{Table: table, Column: column})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.applyCreateDataIndex(table, column)
+	})
+}
+
+func (db *DB) applyCreateDataIndex(table, column string) error {
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -191,16 +300,31 @@ func (db *DB) CreateDataIndex(table, column string) error {
 // DeleteTuple removes a tuple, its summary objects, its index entries,
 // and its raw annotations.
 func (db *DB) DeleteTuple(table string, oid int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		return db.deleteTupleOp(txid, table, oid)
+	})
+}
+
+// deleteTupleOp validates, logs, and applies one tuple deletion. The
+// caller holds the exclusive lock.
+func (db *DB) deleteTupleOp(txid uint64, table string, oid int64) (uint64, error) {
 	t, err := db.cat.Table(table)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	rid, ok := t.DiskTupleLoc(oid)
 	if !ok {
-		return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+		return 0, fmt.Errorf("engine: %s has no tuple %d", table, oid)
 	}
+	lsn, err := db.logAppend(recDeleteTuple, txid, pDeleteTuple{Table: table, OID: oid})
+	if err != nil {
+		return 0, err
+	}
+	db.applyDeleteTuple(t, table, oid, rid)
+	return lsn, nil
+}
+
+func (db *DB) applyDeleteTuple(t *catalog.Table, table string, oid int64, rid heap.RID) {
 	set := t.GetSummaries(oid)
 	for _, obj := range set {
 		t.ForgetSummary(obj)
@@ -215,7 +339,6 @@ func (db *DB) DeleteTuple(table string, oid int64) error {
 		db.cat.Anns.Delete(a.ID)
 	}
 	t.Delete(oid)
-	return nil
 }
 
 // Annotations returns the raw annotations attached to a tuple.

@@ -17,12 +17,7 @@ import (
 // ordered label vocabulary and trains its Naive Bayes model on the given
 // per-label example texts.
 func (db *DB) DefineClassifier(name string, labels []string, training map[string][]string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryClassifier, Labels: labels}
-	if err := db.registerInstance(si); err != nil {
-		return err
-	}
 	clf := bayes.New(labels...)
 	for label, texts := range training {
 		for _, tx := range texts {
@@ -31,8 +26,7 @@ func (db *DB) DefineClassifier(name string, labels []string, training map[string
 			}
 		}
 	}
-	db.classifiers[strings.ToLower(name)] = clf
-	return nil
+	return db.defineInstance(si, clf)
 }
 
 // DefineHierarchicalClassifier registers a classifier whose labels form
@@ -44,13 +38,8 @@ func (db *DB) DefineClassifier(name string, labels []string, training map[string
 // Training examples are given per leaf label.
 func (db *DB) DefineHierarchicalClassifier(name string, labels []string,
 	parents map[string]string, training map[string][]string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryClassifier,
 		Labels: labels, Parents: parents}
-	if err := db.registerInstance(si); err != nil {
-		return err
-	}
 	clf := bayes.New(si.LeafLabels()...)
 	for label, texts := range training {
 		for _, tx := range texts {
@@ -59,29 +48,62 @@ func (db *DB) DefineHierarchicalClassifier(name string, labels []string,
 			}
 		}
 	}
-	db.classifiers[strings.ToLower(name)] = clf
-	return nil
+	return db.defineInstance(si, clf)
 }
 
 // DefineSnippet registers a text-summarization instance: annotations
 // longer than minChars are summarized into snippets of at most maxChars
 // (the paper's setting: 1000 / 400).
 func (db *DB) DefineSnippet(name string, minChars, maxChars int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	si := &catalog.SummaryInstance{Name: name, Type: model.SummarySnippet,
 		SnippetMinChars: minChars, SnippetMaxChars: maxChars}
-	return db.registerInstance(si)
+	return db.defineInstance(si, nil)
 }
 
 // DefineCluster registers a clustering instance bounded to maxGroups
 // micro-clusters per tuple.
 func (db *DB) DefineCluster(name string, maxGroups int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	si := &catalog.SummaryInstance{Name: name, Type: model.SummaryCluster,
 		ClusterMaxGroups: maxGroups}
-	return db.registerInstance(si)
+	return db.defineInstance(si, nil)
+}
+
+// defineInstance registers a summary instance as one logged operation.
+// The classifier model is trained by the caller BEFORE logging, so the
+// record carries the finished model state and replay reconstructs the
+// identical classifier without the training corpus.
+func (db *DB) defineInstance(si *catalog.SummaryInstance, clf *bayes.Classifier) error {
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		if err := si.Validate(); err != nil {
+			return 0, err
+		}
+		if _, dup := db.instances[strings.ToLower(si.Name)]; dup {
+			return 0, fmt.Errorf("engine: summary instance %q already defined", si.Name)
+		}
+		entry := snapshotInstance{Def: *si}
+		if clf != nil {
+			entry.ClassifierState = clf.State()
+		}
+		lsn, err := db.logAppend(recDefineInstance, txid, pDefineInstance{Inst: entry})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.applyDefineInstance(&entry)
+	})
+}
+
+// applyDefineInstance installs a defined instance (and its trained
+// classifier model, if any) — shared by the live path, WAL replay, and
+// checkpoint reload.
+func (db *DB) applyDefineInstance(entry *snapshotInstance) error {
+	def := entry.Def
+	if err := db.registerInstance(&def); err != nil {
+		return err
+	}
+	if entry.ClassifierState != nil {
+		db.classifiers[strings.ToLower(def.Name)] = bayes.FromState(entry.ClassifierState)
+	}
+	return nil
 }
 
 func (db *DB) registerInstance(si *catalog.SummaryInstance) error {
@@ -100,8 +122,19 @@ func (db *DB) registerInstance(si *catalog.SummaryInstance) error {
 // building its Summary-BTree — the engine half of
 // "ALTER TABLE t ADD [INDEXABLE] inst".
 func (db *DB) LinkInstance(table, instance string, indexable bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		if _, ok := db.instances[strings.ToLower(instance)]; !ok {
+			return 0, fmt.Errorf("engine: unknown summary instance %q", instance)
+		}
+		lsn, err := db.logAppend(recLinkInstance, txid, pLinkInstance{Table: table, Instance: instance, Indexable: indexable})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.applyLinkInstance(table, instance, indexable)
+	})
+}
+
+func (db *DB) applyLinkInstance(table, instance string, indexable bool) error {
 	si, ok := db.instances[strings.ToLower(instance)]
 	if !ok {
 		return fmt.Errorf("engine: unknown summary instance %q", instance)
@@ -118,8 +151,16 @@ func (db *DB) LinkInstance(table, instance string, indexable bool) error {
 // UnlinkInstance detaches an instance and drops its indexes —
 // "ALTER TABLE t DROP inst".
 func (db *DB) UnlinkInstance(table, instance string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		lsn, err := db.logAppend(recUnlinkInstance, txid, pInstanceRef{Table: table, Instance: instance})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.applyUnlinkInstance(table, instance)
+	})
+}
+
+func (db *DB) applyUnlinkInstance(table, instance string) error {
 	if err := db.cat.UnlinkInstance(table, instance); err != nil {
 		return err
 	}
@@ -132,9 +173,13 @@ func (db *DB) UnlinkInstance(table, instance string) error {
 // bulk-loading from the existing summary storage (the Figure 8 bulk
 // mode). Classifier instances only.
 func (db *DB) CreateSummaryIndex(table, instance string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.createSummaryIndex(table, instance)
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		lsn, err := db.logAppend(recCreateSummaryIndex, txid, pInstanceRef{Table: table, Instance: instance})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.createSummaryIndex(table, instance)
+	})
 }
 
 func (db *DB) createSummaryIndex(table, instance string) error {
@@ -167,8 +212,16 @@ func (db *DB) createSummaryIndex(table, instance string) error {
 // CreateBaselineIndex builds the baseline scheme (normalized side table
 // + derived-column B-Tree) over an instance's objects.
 func (db *DB) CreateBaselineIndex(table, instance string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		lsn, err := db.logAppend(recCreateBaselineIndex, txid, pInstanceRef{Table: table, Instance: instance})
+		if err != nil {
+			return 0, err
+		}
+		return lsn, db.createBaselineIndex(table, instance)
+	})
+}
+
+func (db *DB) createBaselineIndex(table, instance string) error {
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -195,16 +248,38 @@ func (db *DB) CreateBaselineIndex(table, instance string) error {
 }
 
 // DropSummaryIndex removes the Summary-BTree on (table, instance).
+// (A WAL commit-wait failure is deliberately swallowed to keep the
+// historical void signature; the log's sticky error resurfaces on the
+// next logged operation.)
 func (db *DB) DropSummaryIndex(table, instance string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.runAuto(func(txid uint64) (uint64, error) {
+		lsn, err := db.logAppend(recDropSummaryIndex, txid, pInstanceRef{Table: table, Instance: instance})
+		if err != nil {
+			return 0, err
+		}
+		db.applyDropSummaryIndex(table, instance)
+		return lsn, nil
+	})
+}
+
+func (db *DB) applyDropSummaryIndex(table, instance string) {
 	delete(db.summaryIdx[strings.ToLower(table)], strings.ToLower(instance))
 }
 
 // DropBaselineIndex removes the baseline index on (table, instance).
+// Like DropSummaryIndex, WAL errors resurface on the next operation.
 func (db *DB) DropBaselineIndex(table, instance string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.runAuto(func(txid uint64) (uint64, error) {
+		lsn, err := db.logAppend(recDropBaselineIndex, txid, pInstanceRef{Table: table, Instance: instance})
+		if err != nil {
+			return 0, err
+		}
+		db.applyDropBaselineIndex(table, instance)
+		return lsn, nil
+	})
+}
+
+func (db *DB) applyDropBaselineIndex(table, instance string) {
 	delete(db.baselineIdx[strings.ToLower(table)], strings.ToLower(instance))
 }
 
@@ -234,8 +309,42 @@ func (db *DB) forEachStoredObject(t *catalog.Table, instance string,
 // instance, the statistics, and the indexes — the maintenance paths of
 // Section 4.1.2.
 func (db *DB) AddAnnotation(table string, oid int64, text string, columns []string, author string) (*model.Annotation, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	var ann *model.Annotation
+	err := db.runAuto(func(txid uint64) (uint64, error) {
+		var lsn uint64
+		var e error
+		ann, lsn, e = db.addAnnotationOp(txid, table, oid, text, columns, author)
+		return lsn, e
+	})
+	return ann, err
+}
+
+// addAnnotationOp validates, logs (with the ID and timestamp the add
+// will assign), and applies one annotation. The caller holds the
+// exclusive lock.
+func (db *DB) addAnnotationOp(txid uint64, table string, oid int64, text string, columns []string, author string) (*model.Annotation, uint64, error) {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, ok := t.DiskTupleLoc(oid); !ok {
+		return nil, 0, fmt.Errorf("engine: %s has no tuple %d", table, oid)
+	}
+	id, seq := db.cat.Anns.PeekID(), db.cat.Anns.PeekSeq()
+	lsn, err := db.logAppend(recAddAnnotation, txid, pAddAnnotation{
+		Table: table, OID: oid, ID: id, Seq: seq, Text: text, Columns: columns, Author: author,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	ann, err := db.applyAddAnnotation(table, oid, id, seq, text, columns, author)
+	return ann, lsn, err
+}
+
+// applyAddAnnotation stores and absorbs one annotation under forced
+// identifiers — shared by the live path, WAL replay, and checkpoint
+// reload.
+func (db *DB) applyAddAnnotation(table string, oid, id, seq int64, text string, columns []string, author string) (*model.Annotation, error) {
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return nil, err
@@ -244,7 +353,7 @@ func (db *DB) AddAnnotation(table string, oid int64, text string, columns []stri
 	if !ok {
 		return nil, fmt.Errorf("engine: %s has no tuple %d", table, oid)
 	}
-	ann := db.cat.Anns.Add(oid, text, columns, author)
+	ann := db.cat.Anns.AddWithID(id, seq, oid, text, columns, author)
 	if len(columns) > 0 {
 		t.ColAttachedAnns++
 	}
@@ -257,8 +366,32 @@ func (db *DB) AddAnnotation(table string, oid int64, text string, columns []stri
 // into that tuple's summaries. Because the annotation keeps its ID, a
 // later join of both tuples merges without double counting.
 func (db *DB) AttachAnnotation(table string, oid, annID int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		return db.attachAnnotationOp(txid, table, oid, annID)
+	})
+}
+
+// attachAnnotationOp validates, logs, and applies one extra attachment.
+// The caller holds the exclusive lock.
+func (db *DB) attachAnnotationOp(txid uint64, table string, oid, annID int64) (uint64, error) {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := t.DiskTupleLoc(oid); !ok {
+		return 0, fmt.Errorf("engine: %s has no tuple %d", table, oid)
+	}
+	if _, ok := db.cat.Anns.Get(annID); !ok {
+		return 0, fmt.Errorf("engine: no annotation %d", annID)
+	}
+	lsn, err := db.logAppend(recAttachAnnotation, txid, pAttachAnnotation{Table: table, OID: oid, AnnID: annID})
+	if err != nil {
+		return 0, err
+	}
+	return lsn, db.applyAttachAnnotation(table, oid, annID)
+}
+
+func (db *DB) applyAttachAnnotation(table string, oid, annID int64) error {
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -407,8 +540,28 @@ func (db *DB) rebuildCluster(si *catalog.SummaryInstance, obj *model.SummaryObje
 // DeleteAnnotation removes a raw annotation and re-derives the affected
 // summary objects ("Deleting Annotation" of Section 4.1.2).
 func (db *DB) DeleteAnnotation(table string, annID int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.runAuto(func(txid uint64) (uint64, error) {
+		return db.deleteAnnotationOp(txid, table, annID)
+	})
+}
+
+// deleteAnnotationOp validates, logs, and applies one annotation delete.
+// The caller holds the exclusive lock.
+func (db *DB) deleteAnnotationOp(txid uint64, table string, annID int64) (uint64, error) {
+	if _, err := db.cat.Table(table); err != nil {
+		return 0, err
+	}
+	if _, ok := db.cat.Anns.Get(annID); !ok {
+		return 0, fmt.Errorf("engine: no annotation %d", annID)
+	}
+	lsn, err := db.logAppend(recDeleteAnnotation, txid, pDeleteAnnotation{Table: table, AnnID: annID})
+	if err != nil {
+		return 0, err
+	}
+	return lsn, db.applyDeleteAnnotation(table, annID)
+}
+
+func (db *DB) applyDeleteAnnotation(table string, annID int64) error {
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err

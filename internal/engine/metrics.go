@@ -105,6 +105,36 @@ type Metrics struct {
 	LatencyCounts []int64
 	// IO is the accountant's cumulative page/node counters.
 	IO pager.Stats
+	// WAL is the durability telemetry; nil when the database runs
+	// without a write-ahead log, so WAL-off snapshots are unchanged.
+	WAL *WALMetrics `json:",omitempty"`
+}
+
+// WALMetrics is the durability half of the telemetry: log traffic, fsync
+// amortization by group commit, and recovery/checkpoint activity.
+type WALMetrics struct {
+	// WALAppends counts records appended to the log.
+	WALAppends int64
+	// Fsyncs counts physical log syncs; group commit amortizes many
+	// commits into one.
+	Fsyncs int64
+	// Commits counts durable commit waits served.
+	Commits int64
+	// GroupCommitBatches counts flusher wakeups that synced at least one
+	// commit; GroupCommitBatchSize is Commits per batch (1.0 means no
+	// amortization).
+	GroupCommitBatches   int64
+	GroupCommitBatchSize float64
+	// AppendedLSN/DurableLSN are the log's current write and sync
+	// horizons.
+	AppendedLSN uint64
+	DurableLSN  uint64
+	// RecoveryReplayedRecords counts WAL records redone by the Open that
+	// produced this database.
+	RecoveryReplayedRecords int64
+	// Checkpoints counts snapshots taken (and the log compacted) since
+	// open.
+	Checkpoints int64
 }
 
 // Metrics snapshots the engine telemetry.
@@ -126,6 +156,23 @@ func (db *DB) Metrics() Metrics {
 	out.LatencyCounts = make([]int64, len(m.latency))
 	for i := range m.latency {
 		out.LatencyCounts[i] = m.latency[i].Load()
+	}
+	if l := db.walLog(); l != nil {
+		wm := l.Metrics()
+		w := &WALMetrics{
+			WALAppends:              wm.Appends,
+			Fsyncs:                  wm.Fsyncs,
+			Commits:                 wm.Commits,
+			GroupCommitBatches:      wm.Batches,
+			AppendedLSN:             wm.AppendedLSN,
+			DurableLSN:              wm.DurableLSN,
+			RecoveryReplayedRecords: db.recoveryReplayed,
+			Checkpoints:             db.checkpoints.Load(),
+		}
+		if wm.Batches > 0 {
+			w.GroupCommitBatchSize = float64(wm.BatchCommits) / float64(wm.Batches)
+		}
+		out.WAL = w
 	}
 	return out
 }
@@ -154,6 +201,14 @@ func (m Metrics) String() string {
 			fmt.Fprintf(&b, " hitrate=%.1f%%", 100*float64(m.IO.CacheHits)/float64(acc))
 		}
 		b.WriteByte('\n')
+	}
+	// The wal line appears only for durable databases, so WAL-off output
+	// is unchanged.
+	if m.WAL != nil {
+		fmt.Fprintf(&b, "wal: appends=%d fsyncs=%d commits=%d batches=%d batchsize=%.2f lsn=%d/%d replayed=%d checkpoints=%d\n",
+			m.WAL.WALAppends, m.WAL.Fsyncs, m.WAL.Commits, m.WAL.GroupCommitBatches,
+			m.WAL.GroupCommitBatchSize, m.WAL.DurableLSN, m.WAL.AppendedLSN,
+			m.WAL.RecoveryReplayedRecords, m.WAL.Checkpoints)
 	}
 	return b.String()
 }

@@ -23,6 +23,11 @@ type Result struct {
 	Rows []*exec.Row
 	// Plan is the optimized logical plan that produced the result.
 	Plan plan.Node
+	// AsOfLSN is the WAL position the result reflects: every record up
+	// to it is applied, none past it is. It is exact because all log
+	// appends happen under the exclusive lock the query's shared lock
+	// excludes. Zero when the database runs without a WAL.
+	AsOfLSN uint64
 }
 
 // Query parses, plans, optimizes, executes one SELECT statement. opts
@@ -88,7 +93,11 @@ func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	return &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}, resolver, nil
+	out := &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}
+	if db.wal != nil {
+		out.AsOfLSN = db.wal.AppendedLSN()
+	}
+	return out, resolver, nil
 }
 
 // Explain returns the optimized logical plan as text.

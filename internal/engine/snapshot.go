@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -55,6 +57,9 @@ type snapshotAnnotation struct {
 	Seq      int64
 	// Extra lists additional tuple attachments (old OIDs).
 	Extra []int64
+	// ID is the annotation's original ID, used by the preserve-ID
+	// checkpoint replay path; the portable Load path reassigns IDs.
+	ID int64
 }
 
 type snapshot struct {
@@ -63,6 +68,16 @@ type snapshot struct {
 	Tables      []snapshotTable
 	Annotations []snapshotAnnotation // in Seq order
 	PageCap     int
+
+	// Durability extensions, consumed only by the checkpoint path (gob
+	// tolerates their absence when decoding pre-WAL dumps). A checkpoint
+	// must restore exact identifier assignment — including gaps left by
+	// uncommitted operations — so WAL records replayed on top line up
+	// with the run that logged them.
+	WalLSN     uint64 // log position the checkpoint captures
+	NextOID    int64  // catalog OID watermark
+	NextAnnID  int64  // annotation ID watermark
+	NextAnnSeq int64  // annotation logical-timestamp watermark
 }
 
 // Save writes a logical snapshot of the database. The companion Load
@@ -94,6 +109,8 @@ func (db *DB) Save(w io.Writer) error {
 // *pager.FaultError — under fault injection; withRetry absorbs both.
 func (db *DB) buildSnapshot() (*snapshot, error) {
 	snap := snapshot{Version: 1, PageCap: db.pageCap()}
+	snap.NextOID = db.cat.NextOID()
+	snap.NextAnnID, snap.NextAnnSeq = db.cat.Anns.Counters()
 
 	// Instance registry, sorted for determinism.
 	var instNames []string
@@ -167,7 +184,7 @@ func (db *DB) buildSnapshot() (*snapshot, error) {
 		snap.Annotations = append(snap.Annotations, snapshotAnnotation{
 			Text: a.Text, TupleOID: a.TupleOID,
 			Columns: append([]string(nil), a.Columns...),
-			Author:  a.Author, Seq: a.Seq, Extra: extra,
+			Author:  a.Author, Seq: a.Seq, Extra: extra, ID: a.ID,
 		})
 	}
 
@@ -300,4 +317,135 @@ func (db *DB) replaySnapshot(snap *snapshot) error {
 		}
 	}
 	return nil
+}
+
+// replaySnapshotPreserveIDs rebuilds state from a checkpoint through the
+// forced-ID apply paths, so OIDs, annotation IDs, and logical timestamps
+// come back exactly as the logged run assigned them — WAL records
+// replayed on top then reference the same identifiers they were logged
+// against. The watermarks are restored last so gaps left by uncommitted
+// operations survive the round trip.
+func (db *DB) replaySnapshotPreserveIDs(snap *snapshot) error {
+	for i := range snap.Instances {
+		if err := db.applyDefineInstance(&snap.Instances[i]); err != nil {
+			return err
+		}
+	}
+
+	tableOf := map[int64]string{} // OID -> table name
+	for _, st := range snap.Tables {
+		cols := make([]model.Column, len(st.Columns))
+		for i, c := range st.Columns {
+			cols[i] = model.Column{Name: c.Name, Kind: c.Kind}
+		}
+		t, err := db.cat.CreateTable(st.Name, model.NewSchema("", cols...))
+		if err != nil {
+			return err
+		}
+		for _, inst := range st.Instances {
+			if err := db.applyLinkInstance(st.Name, inst, false); err != nil {
+				return err
+			}
+		}
+		for _, tu := range st.Tuples {
+			if _, err := t.InsertWithOID(tu.OID, tu.Values); err != nil {
+				return err
+			}
+			tableOf[tu.OID] = st.Name
+		}
+	}
+
+	for _, a := range snap.Annotations {
+		table := tableOf[a.TupleOID]
+		if table == "" {
+			continue
+		}
+		if _, err := db.applyAddAnnotation(table, a.TupleOID, a.ID, a.Seq, a.Text, a.Columns, a.Author); err != nil {
+			return err
+		}
+		for _, oid := range a.Extra {
+			if t2 := tableOf[oid]; t2 != "" {
+				if err := db.applyAttachAnnotation(t2, oid, a.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for _, st := range snap.Tables {
+		for _, col := range st.DataIdx {
+			if err := db.applyCreateDataIndex(st.Name, col); err != nil {
+				return err
+			}
+		}
+		for _, inst := range st.SummaryIdx {
+			if err := db.createSummaryIndex(st.Name, inst); err != nil {
+				return err
+			}
+		}
+		for _, inst := range st.BaselineIdx {
+			if err := db.createBaselineIndex(st.Name, inst); err != nil {
+				return err
+			}
+		}
+	}
+
+	db.cat.SetNextOID(snap.NextOID)
+	db.cat.Anns.SetCounters(snap.NextAnnID, snap.NextAnnSeq)
+	return nil
+}
+
+// writeSnapshotAtomic encodes snap to path crash-safely: the bytes go to
+// a temp file in the same directory, are fsynced, and only then renamed
+// over the destination, so a crash at any point leaves either the old
+// complete file or the new complete file — never a torn mix. The
+// directory is fsynced after the rename so the new name itself survives.
+func writeSnapshotAtomic(path string, snap *snapshot) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("engine: snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if err := gob.NewEncoder(f).Encode(snap); err != nil {
+		return fail(fmt.Errorf("engine: encoding snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("engine: syncing snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return fail(fmt.Errorf("engine: closing snapshot: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("engine: publishing snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveFile writes a logical snapshot to path crash-safely (temp file +
+// fsync + rename): a crash mid-save leaves any previous snapshot at path
+// intact rather than a truncated dump.
+func (db *DB) SaveFile(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var snap *snapshot
+	err := withRetry(SnapshotRetry, func() error {
+		var berr error
+		snap, berr = db.buildSnapshot()
+		return berr
+	})
+	if err != nil {
+		return err
+	}
+	return writeSnapshotAtomic(path, snap)
 }

@@ -1,0 +1,594 @@
+package engine
+
+// Write-ahead logging and crash recovery. The engine logs LOGICAL
+// records — one per mutating API call, carrying the operation's inputs
+// plus any identifiers the call would assign (OIDs, annotation IDs,
+// logical timestamps) — and recovery replays the committed prefix
+// through the same deterministic apply paths the live engine uses. The
+// protocol is redo-only ARIES-lite:
+//
+//   - Append before apply: while holding the exclusive lock, a mutator
+//     first appends its record (capturing peeked IDs), then applies it.
+//     The buffer pool stamps pages dirtied under that lock with the
+//     log's appended LSN and forces the log through a page's LSN before
+//     its image reaches the backing store (pager.PageLogger).
+//   - Group commit: every auto-committed operation appends a commit
+//     record under the same lock hold, then waits — outside the lock,
+//     so readers drain during the fsync — for the log to become durable
+//     through its commit LSN. A dedicated flusher batches all commits
+//     that arrive within Config.GroupCommitWindow into one fsync.
+//   - Recovery: Open loads the last checkpoint (exact IDs preserved),
+//     scans the log — truncating a torn tail to the longest valid
+//     prefix — determines the committed transaction set from the commit
+//     records found, and replays committed records with LSN beyond the
+//     checkpoint in order. Records of uncommitted transactions are
+//     skipped; the forced-ID apply paths reproduce the gaps those
+//     transactions left in the ID sequences.
+//   - Checkpoints: a quiesced snapshot (no active transactions, log
+//     forced through the capture LSN, written to a temp file, fsynced,
+//     renamed) bounds recovery time; the log is compacted once the
+//     checkpoint is durable.
+//
+// Rollback does not undo: the transaction's records are never
+// committed, so its effects vanish at the next restart, but until then
+// the live state has diverged from the committed prefix and
+// checkpointing is refused (a checkpoint would persist the rolled-back
+// effects).
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// Log file names inside Config.WALDir.
+const (
+	walFile        = "wal.log"
+	checkpointFile = "checkpoint.snap"
+)
+
+// WAL record types. recCommit marks a transaction's records as durable
+// intent; everything else is one logical redo record.
+const (
+	recCommit wal.Type = iota + 1
+	recCreateTable
+	recInsertTuple
+	recDeleteTuple
+	recCreateDataIndex
+	recDefineInstance
+	recLinkInstance
+	recUnlinkInstance
+	recCreateSummaryIndex
+	recCreateBaselineIndex
+	recDropSummaryIndex
+	recDropBaselineIndex
+	recAddAnnotation
+	recAttachAnnotation
+	recDeleteAnnotation
+)
+
+// Record payloads, gob-encoded. Identifier fields (OID, ID, Seq) are
+// the values the original call assigned, so replay forces them.
+type (
+	pCreateTable struct {
+		Name    string
+		Columns []snapshotColumnDef
+	}
+	pInsertTuple struct {
+		Table  string
+		OID    int64
+		Values []model.Value
+	}
+	pDeleteTuple struct {
+		Table string
+		OID   int64
+	}
+	pCreateDataIndex struct {
+		Table, Column string
+	}
+	pDefineInstance struct {
+		Inst snapshotInstance
+	}
+	pLinkInstance struct {
+		Table, Instance string
+		Indexable       bool
+	}
+	pInstanceRef struct { // unlink, create/drop summary & baseline index
+		Table, Instance string
+	}
+	pAddAnnotation struct {
+		Table   string
+		OID     int64
+		ID, Seq int64
+		Text    string
+		Columns []string
+		Author  string
+	}
+	pAttachAnnotation struct {
+		Table      string
+		OID, AnnID int64
+	}
+	pDeleteAnnotation struct {
+		Table string
+		AnnID int64
+	}
+)
+
+// ErrTxnDone reports an operation on a committed or rolled-back Txn.
+var ErrTxnDone = errors.New("engine: transaction already finished")
+
+// logAppend encodes payload and appends one record; with no WAL
+// attached it is a no-op returning LSN 0. The caller holds the
+// exclusive lock (all appends happen under it, so the log is frozen
+// whenever the shared lock is held — checkpoints rely on this). An
+// encode failure is a programming bug (payload types are closed) and
+// panics; an append failure is an I/O error the mutator must surface.
+func (db *DB) logAppend(t wal.Type, txid uint64, payload any) (uint64, error) {
+	if db.wal == nil {
+		return 0, nil
+	}
+	var buf bytes.Buffer
+	if payload != nil {
+		if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+			panic(fmt.Errorf("engine: encoding wal payload %T: %w", payload, err))
+		}
+	}
+	return db.wal.Append(t, txid, buf.Bytes())
+}
+
+// runAuto executes one mutation as its own transaction. fn runs under
+// the exclusive lock with a fresh transaction ID: it appends its
+// operation record and applies it, returning the record's LSN (0 if
+// nothing was logged — WAL off or validation failed before the
+// append). If a record was appended, the commit record follows under
+// the SAME lock hold — a checkpoint can therefore never capture
+// effects of an auto-transaction without also covering its commit
+// record — and the commit is forced durable after the lock is
+// released, so concurrent readers drain while the fsync runs.
+//
+// When fn appended its record but failed during apply, the commit
+// record is still written: replay reproduces the identical
+// deterministic outcome (including partial application), keeping
+// recovered state byte-equivalent to the live state that the caller
+// observed alongside the returned error.
+func (db *DB) runAuto(fn func(txid uint64) (uint64, error)) error {
+	db.mu.Lock()
+	db.nextTxID++
+	txid := db.nextTxID
+	opLSN, err := fn(txid)
+	var commitLSN uint64
+	var l *wal.Log
+	if opLSN != 0 {
+		var cerr error
+		commitLSN, cerr = db.logAppend(recCommit, txid, nil)
+		if err == nil {
+			err = cerr
+		}
+		l = db.wal
+	}
+	db.mu.Unlock()
+	if commitLSN != 0 && l != nil {
+		if cerr := l.Commit(commitLSN); cerr != nil && err == nil {
+			err = cerr
+		}
+		db.maybeCheckpoint()
+	}
+	return err
+}
+
+// walLog returns the attached log under the shared lock (nil when
+// durability is off).
+func (db *DB) walLog() *wal.Log {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.wal
+}
+
+// Open creates or reopens a database. With Config.WALDir set, the
+// directory holds the durable state — a checkpoint snapshot and the
+// write-ahead log — and Open recovers it to the committed prefix:
+// checkpoint load (exact IDs), torn-tail truncation, committed-set
+// scan, ordered redo of committed records. With WALDir empty, Open is
+// New: an ephemeral in-memory database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.WALDir == "" {
+		return New(cfg), nil
+	}
+	if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: wal dir: %w", err)
+	}
+	acct := newAccountant(cfg)
+
+	// Checkpoint, if any.
+	var snap *snapshot
+	ckptPath := filepath.Join(cfg.WALDir, checkpointFile)
+	if f, err := os.Open(ckptPath); err == nil {
+		var s snapshot
+		derr := gob.NewDecoder(f).Decode(&s)
+		f.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("engine: decoding checkpoint: %w", derr)
+		}
+		if s.Version != 1 {
+			return nil, fmt.Errorf("engine: unsupported checkpoint version %d", s.Version)
+		}
+		if cfg.PageCap == 0 {
+			cfg.PageCap = s.PageCap
+		}
+		snap = &s
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("engine: opening checkpoint: %w", err)
+	}
+
+	var db *DB
+	var ckptLSN uint64
+	err := withRetry(SnapshotRetry, func() error {
+		db = newDB(cfg, acct)
+		if snap == nil {
+			return nil
+		}
+		ckptLSN = snap.WalLSN
+		return db.replaySnapshotPreserveIDs(snap)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Log scan: truncate any torn tail, then find the committed set by
+	// reading the WHOLE intact log for commit records before replaying —
+	// a transaction's commit record may sit far past its operations.
+	logPath := filepath.Join(cfg.WALDir, walFile)
+	res, err := wal.Recover(logPath)
+	if err != nil {
+		return nil, err
+	}
+	committed := make(map[uint64]bool)
+	var maxTx uint64
+	for _, rec := range res.Records {
+		if rec.TxID > maxTx {
+			maxTx = rec.TxID
+		}
+		if rec.Type == recCommit {
+			committed[rec.TxID] = true
+		}
+	}
+	for _, rec := range res.Records {
+		if rec.LSN <= ckptLSN || rec.Type == recCommit || !committed[rec.TxID] {
+			continue
+		}
+		if err := db.replayRecord(rec); err != nil {
+			return nil, fmt.Errorf("engine: wal replay of lsn %d: %w", rec.LSN, err)
+		}
+		db.recoveryReplayed++
+	}
+
+	next := res.LastLSN()
+	if ckptLSN > next {
+		next = ckptLSN
+	}
+	l, err := wal.Open(logPath, wal.Options{
+		GroupCommitWindow: cfg.GroupCommitWindow,
+		SyncDelay:         cfg.WALSyncDelay,
+		NextLSN:           next + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Publish the log before any concurrent use; transaction IDs resume
+	// past every ID seen in the scanned log so replayed and new
+	// transactions never collide.
+	db.wal = l
+	db.walDir = cfg.WALDir
+	db.checkpointEvery = cfg.CheckpointEveryN
+	db.nextTxID = maxTx
+	acct.SetPageLogger(l)
+	return db, nil
+}
+
+// replayRecord redoes one committed record through the engine's
+// deterministic apply paths. Apply-level errors are swallowed: the
+// original call hit the same deterministic error (or deterministic
+// partial application) when the record was logged, so replay reproduces
+// that exact outcome. Only decode failures — corruption that passed the
+// CRC, or version skew — are returned.
+func (db *DB) replayRecord(rec wal.Record) error {
+	dec := func(v any) error {
+		return gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(v)
+	}
+	switch rec.Type {
+	case recCreateTable:
+		var p pCreateTable
+		if err := dec(&p); err != nil {
+			return err
+		}
+		cols := make([]model.Column, len(p.Columns))
+		for i, c := range p.Columns {
+			cols[i] = model.Column{Name: c.Name, Kind: c.Kind}
+		}
+		db.cat.CreateTable(p.Name, model.NewSchema("", cols...))
+	case recInsertTuple:
+		var p pInsertTuple
+		if err := dec(&p); err != nil {
+			return err
+		}
+		if t, err := db.cat.Table(p.Table); err == nil {
+			t.InsertWithOID(p.OID, p.Values)
+		}
+	case recDeleteTuple:
+		var p pDeleteTuple
+		if err := dec(&p); err != nil {
+			return err
+		}
+		if t, err := db.cat.Table(p.Table); err == nil {
+			if rid, ok := t.DiskTupleLoc(p.OID); ok {
+				db.applyDeleteTuple(t, p.Table, p.OID, rid)
+			}
+		}
+	case recCreateDataIndex:
+		var p pCreateDataIndex
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyCreateDataIndex(p.Table, p.Column)
+	case recDefineInstance:
+		var p pDefineInstance
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyDefineInstance(&p.Inst)
+	case recLinkInstance:
+		var p pLinkInstance
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyLinkInstance(p.Table, p.Instance, p.Indexable)
+	case recUnlinkInstance:
+		var p pInstanceRef
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyUnlinkInstance(p.Table, p.Instance)
+	case recCreateSummaryIndex:
+		var p pInstanceRef
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.createSummaryIndex(p.Table, p.Instance)
+	case recCreateBaselineIndex:
+		var p pInstanceRef
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.createBaselineIndex(p.Table, p.Instance)
+	case recDropSummaryIndex:
+		var p pInstanceRef
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyDropSummaryIndex(p.Table, p.Instance)
+	case recDropBaselineIndex:
+		var p pInstanceRef
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyDropBaselineIndex(p.Table, p.Instance)
+	case recAddAnnotation:
+		var p pAddAnnotation
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyAddAnnotation(p.Table, p.OID, p.ID, p.Seq, p.Text, p.Columns, p.Author)
+	case recAttachAnnotation:
+		var p pAttachAnnotation
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyAttachAnnotation(p.Table, p.OID, p.AnnID)
+	case recDeleteAnnotation:
+		var p pDeleteAnnotation
+		if err := dec(&p); err != nil {
+			return err
+		}
+		db.applyDeleteAnnotation(p.Table, p.AnnID)
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// Txn batches several mutations into one atomic durability unit: its
+// records share a transaction ID and become durable together when
+// Commit's record is forced. Concurrency-wise each operation still
+// takes the exclusive lock individually — Txn controls atomicity of
+// RECOVERY, not isolation — and its in-memory effects are visible to
+// queries as they happen.
+type Txn struct {
+	db   *DB
+	id   uint64
+	last uint64 // LSN of the last record this transaction logged
+	done bool
+}
+
+// Begin starts a transaction. While any transaction is open,
+// checkpoints are refused (the live state may contain effects whose
+// commit record does not exist yet).
+func (db *DB) Begin() *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextTxID++
+	db.activeTxns++
+	return &Txn{db: db, id: db.nextTxID}
+}
+
+// run executes one operation under the exclusive lock with this
+// transaction's ID, tracking the highest LSN it logged.
+func (tx *Txn) run(fn func() (uint64, error)) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.db.mu.Lock()
+	lsn, err := fn()
+	if lsn > tx.last {
+		tx.last = lsn
+	}
+	tx.db.mu.Unlock()
+	return err
+}
+
+// Insert adds a tuple within the transaction.
+func (tx *Txn) Insert(table string, values ...model.Value) (int64, error) {
+	var oid int64
+	err := tx.run(func() (uint64, error) {
+		var lsn uint64
+		var e error
+		oid, lsn, e = tx.db.insertOp(tx.id, table, values)
+		return lsn, e
+	})
+	return oid, err
+}
+
+// AddAnnotation attaches a raw annotation within the transaction.
+func (tx *Txn) AddAnnotation(table string, oid int64, text string, columns []string, author string) (*model.Annotation, error) {
+	var ann *model.Annotation
+	err := tx.run(func() (uint64, error) {
+		var lsn uint64
+		var e error
+		ann, lsn, e = tx.db.addAnnotationOp(tx.id, table, oid, text, columns, author)
+		return lsn, e
+	})
+	return ann, err
+}
+
+// AttachAnnotation attaches an existing annotation to another tuple
+// within the transaction.
+func (tx *Txn) AttachAnnotation(table string, oid, annID int64) error {
+	return tx.run(func() (uint64, error) {
+		return tx.db.attachAnnotationOp(tx.id, table, oid, annID)
+	})
+}
+
+// DeleteAnnotation removes an annotation within the transaction.
+func (tx *Txn) DeleteAnnotation(table string, annID int64) error {
+	return tx.run(func() (uint64, error) {
+		return tx.db.deleteAnnotationOp(tx.id, table, annID)
+	})
+}
+
+// DeleteTuple removes a tuple within the transaction.
+func (tx *Txn) DeleteTuple(table string, oid int64) error {
+	return tx.run(func() (uint64, error) {
+		return tx.db.deleteTupleOp(tx.id, table, oid)
+	})
+}
+
+// Commit appends the transaction's commit record and forces it durable
+// under the group-commit policy. After Commit returns nil, every
+// operation of the transaction survives any crash.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	db := tx.db
+	db.mu.Lock()
+	tx.done = true
+	db.activeTxns--
+	var commitLSN uint64
+	var err error
+	var l *wal.Log
+	if tx.last != 0 {
+		commitLSN, err = db.logAppend(recCommit, tx.id, nil)
+		l = db.wal
+	}
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if commitLSN != 0 && l != nil {
+		if err := l.Commit(commitLSN); err != nil {
+			return err
+		}
+		db.maybeCheckpoint()
+	}
+	return nil
+}
+
+// Rollback abandons the transaction. Logging is redo-only, so the
+// transaction's in-memory effects are NOT undone — recovery discards
+// them at the next restart because its commit record never exists. In
+// the meantime the live state has diverged from the committed prefix,
+// so checkpointing is disabled until restart.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	db := tx.db
+	db.mu.Lock()
+	tx.done = true
+	db.activeTxns--
+	if tx.last != 0 {
+		db.dirtyRollback = true
+	}
+	db.mu.Unlock()
+}
+
+// maybeCheckpoint triggers a checkpoint after Config.CheckpointEveryN
+// committed operations. Best-effort: a refused or failed attempt leaves
+// the counter high so the next commit retries.
+func (db *DB) maybeCheckpoint() {
+	if db.checkpointEvery <= 0 {
+		return
+	}
+	if db.walOps.Add(1) < int64(db.checkpointEvery) {
+		return
+	}
+	db.Checkpoint()
+}
+
+// Checkpoint captures a quiesced snapshot of the database and compacts
+// the log up to it, bounding recovery time. It returns (false, nil) —
+// refused, not failed — when durability is off, a transaction is open,
+// or a rollback has poisoned the live state. The snapshot is taken
+// under the shared lock (readers proceed; mutators and therefore log
+// appends are frozen), forced to disk via temp file + fsync + rename,
+// and only then is the log truncated.
+func (db *DB) Checkpoint() (bool, error) {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil || db.activeTxns > 0 || db.dirtyRollback {
+		return false, nil
+	}
+	snapLSN := db.wal.AppendedLSN()
+	// The WAL rule extends to checkpoints: everything the snapshot
+	// captures must be durable in the log before the snapshot can
+	// supersede it.
+	if err := db.wal.Flush(snapLSN); err != nil {
+		return false, err
+	}
+	var snap *snapshot
+	err := withRetry(SnapshotRetry, func() error {
+		var berr error
+		snap, berr = db.buildSnapshot()
+		return berr
+	})
+	if err != nil {
+		return false, err
+	}
+	snap.WalLSN = snapLSN
+	if err := writeSnapshotAtomic(filepath.Join(db.walDir, checkpointFile), snap); err != nil {
+		return false, err
+	}
+	if _, err := db.wal.Compact(snapLSN); err != nil {
+		return false, err
+	}
+	db.checkpoints.Add(1)
+	db.walOps.Store(0)
+	return true, nil
+}

@@ -1,0 +1,567 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// tortureWorkload drives a deterministic mixed mutation sequence through
+// the public API: DDL, inserts, annotations (auto-commit and explicit
+// transactions), a rolled-back transaction, deletes, index builds and
+// drops, and a second table with a cross-table attachment. It is the
+// logged history the boundary-kill matrix replays prefixes of.
+func tortureWorkload(t *testing.T, db *DB) {
+	t.Helper()
+	schema := model.NewSchema("",
+		model.Column{Name: "id", Kind: model.KindInt},
+		model.Column{Name: "name", Kind: model.KindText},
+		model.Column{Name: "family", Kind: model.KindText},
+	)
+	if _, err := db.CreateTable("Birds", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClassifier("ClassBird1",
+		[]string{"Disease", "Anatomy", "Behavior", "Other"}, birdTraining); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineSnippet("TextSummary1", 200, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LinkInstance("Birds", "ClassBird1", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LinkInstance("Birds", "TextSummary1", false); err != nil {
+		t.Fatal(err)
+	}
+	var oids []int64
+	var annIDs []int64
+	for i := 1; i <= 5; i++ {
+		oid, err := db.Insert("Birds",
+			model.NewInt(int64(i)), model.NewText(fmt.Sprintf("Bird%03d", i)), model.NewText("Anatidae"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+		ann, err := db.AddAnnotation("Birds", oid, annText("Disease", i), nil, "tester")
+		if err != nil {
+			t.Fatal(err)
+		}
+		annIDs = append(annIDs, ann.ID)
+	}
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateDataIndex("Birds", "id"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit transaction, committed: its records become durable as one
+	// unit when the commit record is forced.
+	tx := db.Begin()
+	oid6, err := tx.Insert("Birds",
+		model.NewInt(6), model.NewText("Bird006"), model.NewText("Corvidae"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txAnn, err := tx.AddAnnotation("Birds", oid6, annText("Anatomy", 6), nil, "txer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.AttachAnnotation("Birds", oids[0], txAnn.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit transaction, rolled back: its records stay in the log with
+	// no commit record, so every recovery discards them — and the IDs it
+	// consumed stay consumed (the later adds log past the gap).
+	rb := db.Begin()
+	if _, err := rb.Insert("Birds",
+		model.NewInt(7), model.NewText("Bird007"), model.NewText("Laridae")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.AddAnnotation("Birds", oids[1], annText("Behavior", 7), nil, "txer"); err != nil {
+		t.Fatal(err)
+	}
+	rb.Rollback()
+
+	if _, err := db.AddAnnotation("Birds", oids[2], annText("Other", 8), []string{"name"}, "tester"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteAnnotation("Birds", annIDs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteTuple("Birds", oids[4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateBaselineIndex("Birds", "ClassBird1"); err != nil {
+		t.Fatal(err)
+	}
+	db.DropSummaryIndex("Birds", "ClassBird1")
+	if err := db.UnlinkInstance("Birds", "TextSummary1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second table plus a cross-table attachment of an existing annotation.
+	spots := model.NewSchema("", model.Column{Name: "place", Kind: model.KindText})
+	if _, err := db.CreateTable("Spots", spots); err != nil {
+		t.Fatal(err)
+	}
+	spotOID, err := db.Insert("Spots", model.NewText("lakeshore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachAnnotation("Spots", spotOID, annIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// logicalState captures a DB's complete logical content for differential
+// comparison (single-threaded tests; no lock needed).
+func logicalState(t *testing.T, db *DB) *snapshot {
+	t.Helper()
+	snap, err := db.buildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// oracleCommittedPrefix builds the ground-truth state for a log prefix:
+// a fresh in-memory database with exactly the committed records redone,
+// in order — the state recovery must reproduce for a crash at that
+// boundary.
+func oracleCommittedPrefix(t *testing.T, recs []wal.Record) *DB {
+	t.Helper()
+	odb := New(Config{PageCap: 16})
+	committed := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Type == recCommit {
+			committed[r.TxID] = true
+		}
+	}
+	for _, r := range recs {
+		if r.Type == recCommit || !committed[r.TxID] {
+			continue
+		}
+		if err := odb.replayRecord(r); err != nil {
+			t.Fatalf("oracle replay of lsn %d: %v", r.LSN, err)
+		}
+	}
+	return odb
+}
+
+// TestRecoveryTortureEveryBoundary is the kill-at-every-boundary matrix:
+// the mixed workload runs once against a durable database, then for
+// every record boundary — and for a torn cut inside every record — the
+// log prefix is copied to a fresh directory and recovered, and the
+// result is compared structurally against the committed-prefix oracle.
+func TestRecoveryTortureEveryBoundary(t *testing.T) {
+	base := t.TempDir()
+	live := filepath.Join(base, "live")
+	db, err := Open(Config{WALDir: live, PageCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tortureWorkload(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logPath := filepath.Join(live, walFile)
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wal.Recover(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || len(res.Records) == 0 {
+		t.Fatalf("clean shutdown produced torn=%v records=%d", res.Torn, len(res.Records))
+	}
+	t.Logf("torture log: %d records, %d bytes", len(res.Records), len(logBytes))
+
+	recoverAt := func(name string, cutLen int64, wantRecords int) {
+		dir := filepath.Join(base, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walFile), logBytes[:cutLen], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rdb, err := Open(Config{WALDir: dir, PageCap: 16})
+		if err != nil {
+			t.Fatalf("%s: recovery failed: %v", name, err)
+		}
+		defer rdb.Close()
+		odb := oracleCommittedPrefix(t, res.Records[:wantRecords])
+		got, want := logicalState(t, rdb), logicalState(t, odb)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: recovered state diverges from committed-prefix oracle (%d records)\n got: %+v\nwant: %+v",
+				name, wantRecords, got, want)
+		}
+	}
+
+	// Crash exactly after each record (including the empty log), and
+	// crash mid-record: the torn tail must be truncated and the state
+	// must match the previous boundary.
+	recoverAt("cut-0", 0, 0)
+	for i := range res.Records {
+		end := res.End
+		if i+1 < len(res.Offsets) {
+			end = res.Offsets[i+1]
+		}
+		recoverAt(fmt.Sprintf("cut-%d", i+1), end, i+1)
+		mid := res.Offsets[i] + (end-res.Offsets[i])/2
+		recoverAt(fmt.Sprintf("torn-%d", i+1), mid, i)
+	}
+}
+
+// TestReopenDurability is the basic end-to-end loop: mutate, close,
+// reopen, and find the committed state again — twice, so recovery's own
+// output recovers.
+func TestReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{WALDir: dir, PageCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tortureWorkload(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var want *snapshot
+	for round := 1; round <= 2; round++ {
+		rdb, err := Open(Config{WALDir: dir, PageCap: 16})
+		if err != nil {
+			t.Fatalf("reopen %d: %v", round, err)
+		}
+		got := logicalState(t, rdb)
+		if want == nil {
+			want = got
+			if n := len(got.Tables); n != 2 {
+				t.Fatalf("reopen %d: %d tables, want 2", round, n)
+			}
+			// The rolled-back insert (Bird007) must not have survived.
+			for _, st := range got.Tables {
+				if st.Name != "Birds" {
+					continue
+				}
+				for _, tu := range st.Tuples {
+					if tu.Values[1].Text == "Bird007" {
+						t.Errorf("rolled-back tuple survived recovery")
+					}
+				}
+			}
+		} else if !reflect.DeepEqual(got, want) {
+			t.Errorf("reopen %d: state changed across a no-op restart", round)
+		}
+		if m := rdb.Metrics().WAL; m == nil {
+			t.Errorf("reopen %d: durable database reports no WAL metrics", round)
+		} else if m.RecoveryReplayedRecords == 0 {
+			t.Errorf("reopen %d: expected replayed records, got 0", round)
+		}
+		if err := rdb.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointBoundsRecovery verifies checkpoints do their one job:
+// after a checkpoint, recovery replays only the records logged since it,
+// and the recovered state still matches the live state exactly.
+func TestCheckpointBoundsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{WALDir: dir, PageCap: 16, CheckpointEveryN: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := model.NewSchema("",
+		model.Column{Name: "id", Kind: model.KindInt},
+		model.Column{Name: "name", Kind: model.KindText},
+	)
+	if _, err := db.CreateTable("Birds", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DefineClassifier("ClassBird1",
+		[]string{"Disease", "Anatomy", "Behavior", "Other"}, birdTraining); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LinkInstance("Birds", "ClassBird1", false); err != nil {
+		t.Fatal(err)
+	}
+	total := 40
+	for i := 1; i <= total; i++ {
+		oid, err := db.Insert("Birds", model.NewInt(int64(i)), model.NewText(fmt.Sprintf("Bird%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.AddAnnotation("Birds", oid, annText("Disease", i), nil, "tester"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := db.Metrics().WAL
+	if m == nil || m.Checkpoints == 0 {
+		t.Fatalf("expected automatic checkpoints, metrics=%+v", m)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	want := logicalState(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rdb, err := Open(Config{WALDir: dir, PageCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if got := logicalState(t, rdb); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered state diverges from pre-shutdown state")
+	}
+	rm := rdb.Metrics().WAL
+	if rm == nil {
+		t.Fatal("no WAL metrics after reopen")
+	}
+	// 2 ops per loop iteration; the checkpoint threshold is 5 logged
+	// operations, so recovery must replay a bounded tail, not the 80+
+	// record history.
+	if rm.RecoveryReplayedRecords > 20 {
+		t.Errorf("checkpoint did not bound recovery: replayed %d records", rm.RecoveryReplayedRecords)
+	}
+	// An explicit checkpoint right after recovery must succeed and reset
+	// the replay debt to zero for the next open.
+	if ok, err := rdb.Checkpoint(); err != nil || !ok {
+		t.Fatalf("explicit checkpoint after recovery: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestWALGroupCommitRaceStress hammers a durable database with 16
+// concurrent committers (mixed auto-commit and explicit transactions)
+// and concurrent readers under a group-commit window, then recovers and
+// checks the log reproduced the exact final state. Run with -race.
+func TestWALGroupCommitRaceStress(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{WALDir: dir, PageCap: 16, GroupCommitWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := model.NewSchema("",
+		model.Column{Name: "id", Kind: model.KindInt},
+		model.Column{Name: "name", Kind: model.KindText},
+	)
+	if _, err := db.CreateTable("Birds", schema); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := int64(w*perWorker + i)
+				name := fmt.Sprintf("W%02d-%03d", w, i)
+				if w%2 == 0 {
+					oid, err := db.Insert("Birds", model.NewInt(id), model.NewText(name))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if _, err := db.AddAnnotation("Birds", oid, annText("Behavior", i), nil, name); err != nil {
+						errCh <- err
+						return
+					}
+				} else {
+					tx := db.Begin()
+					oid, err := tx.Insert("Birds", model.NewInt(id), model.NewText(name))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if _, err := tx.AddAnnotation("Birds", oid, annText("Anatomy", i), nil, name); err != nil {
+						errCh <- err
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				if i%5 == 0 {
+					if _, err := db.Query("SELECT name FROM Birds WITHOUT SUMMARIES", nil); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	m := db.Metrics().WAL
+	if m == nil {
+		t.Fatal("no WAL metrics")
+	}
+	if m.Fsyncs >= m.Commits && m.Commits > workers {
+		t.Logf("group commit produced no amortization: fsyncs=%d commits=%d", m.Fsyncs, m.Commits)
+	}
+	want := logicalState(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rdb, err := Open(Config{WALDir: dir, PageCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if got := logicalState(t, rdb); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered state diverges after concurrent commit stress")
+	}
+	tbl, err := rdb.Table("Birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != workers*perWorker {
+		t.Errorf("recovered %d tuples, want %d", tbl.Len(), workers*perWorker)
+	}
+	if n := rdb.AnnotationCount(); n != workers*perWorker {
+		t.Errorf("recovered %d annotations, want %d", n, workers*perWorker)
+	}
+}
+
+// TestReadersNotBlockedByCommitWait verifies the group-commit wait
+// happens outside the database lock: while a committer sits in its
+// durability wait, a query must proceed and report the exact LSN horizon
+// it observed.
+func TestReadersNotBlockedByCommitWait(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{
+		WALDir:            dir,
+		PageCap:           16,
+		GroupCommitWindow: 150 * time.Millisecond,
+		WALSyncDelay:      20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := model.NewSchema("", model.Column{Name: "name", Kind: model.KindText})
+	if _, err := db.CreateTable("Birds", schema); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Insert("Birds", model.NewText("blocked-on-fsync"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the insert append and enter its wait
+	start := time.Now()
+	res, err := db.Query("SELECT name FROM Birds WITHOUT SUMMARIES", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("query blocked behind a commit wait: took %v", d)
+	}
+	if res.AsOfLSN == 0 {
+		t.Errorf("durable query reported AsOfLSN=0")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALOffUnchanged pins the compatibility contract: without a WALDir
+// the DB reports no WAL metrics and renders the exact same metrics
+// report as before durability existed.
+func TestWALOffUnchanged(t *testing.T) {
+	db := New(Config{PageCap: 16})
+	if m := db.Metrics(); m.WAL != nil {
+		t.Fatalf("WAL metrics present without a WAL: %+v", m.WAL)
+	}
+	if s := db.Metrics().String(); strings.Contains(s, "wal:") {
+		t.Errorf("metrics report mentions wal without a WAL:\n%s", s)
+	}
+	res, err := Open(Config{PageCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.walLog() != nil {
+		t.Errorf("Open without WALDir attached a log")
+	}
+}
+
+// TestSaveFileAtomic covers the crash-safe snapshot path: SaveFile
+// round-trips through Load, a failed SaveFile leaves the previous
+// snapshot intact, and no temp debris survives.
+func TestSaveFileAtomic(t *testing.T) {
+	db, _ := testDB(t, 8)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.snap")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := loaded.Table("Birds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 8 {
+		t.Fatalf("loaded %d tuples, want 8", tbl.Len())
+	}
+
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failing save (unwritable target directory) must not touch the
+	// existing snapshot.
+	if err := db.SaveFile(filepath.Join(dir, "missing", "db.snap")); err == nil {
+		t.Fatal("SaveFile into a missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("failed SaveFile modified the existing snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "db.snap" {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}

@@ -91,6 +91,22 @@ func (pageCodec[T]) DecodePage(data []byte) (any, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, err
 	}
+	// Structural validation: a torn or bit-flipped page image that still
+	// gob-decodes must not be installed silently — the inconsistency
+	// would otherwise surface later as a wrong answer instead of an
+	// integrity error here.
+	if len(w.Live) != len(w.OIDs) {
+		return nil, fmt.Errorf("heap: corrupt page image: %d oids but %d liveness flags", len(w.OIDs), len(w.Live))
+	}
+	live := 0
+	for _, l := range w.Live {
+		if l {
+			live++
+		}
+	}
+	if live != len(w.Vals) {
+		return nil, fmt.Errorf("heap: corrupt page image: %d live slots but %d values", live, len(w.Vals))
+	}
 	p := &page[T]{slots: make([]record[T], len(w.OIDs))}
 	vi := 0
 	for i := range w.OIDs {

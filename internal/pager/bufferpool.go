@@ -1,7 +1,9 @@
 package pager
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sync"
 )
@@ -31,7 +33,9 @@ type pageKey struct {
 }
 
 // frame is one buffer slot: the cached page object plus the pin count,
-// dirty bit, and the clock algorithm's reference bit.
+// dirty bit, the clock algorithm's reference bit, and the page-LSN —
+// the WAL watermark the page's latest mutation is covered by, which
+// eviction must make durable before writing the page back.
 type frame struct {
 	key   pageKey
 	val   any
@@ -39,6 +43,55 @@ type frame struct {
 	dirty bool
 	ref   bool
 	valid bool
+	lsn   uint64
+}
+
+// CorruptPageError reports a page image in the backing store that
+// failed its integrity check on read — a torn write (partial page
+// image) or bit rot that gob decoding might otherwise absorb silently.
+// Like *FaultError it surfaces by panic from the storage layers and is
+// recovered into an ordinary error at the executor boundary.
+type CorruptPageError struct {
+	Space  int32
+	Page   int64
+	Reason string
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("pager: corrupt page image for page %d in space %d: %s", e.Page, e.Space, e.Reason)
+}
+
+// Page images are framed [crc u32][len u32][payload] in the backing
+// store: the CRC (Castagnoli) covers the payload and the length echoes
+// it, so a torn (short) write or a flipped bit is detected on read
+// instead of being handed to the gob decoder, which can misparse a
+// truncated stream without erroring.
+const pageImageHeader = 8
+
+var pageImageCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// framePageImage prepends the integrity header to an encoded page.
+func framePageImage(data []byte) []byte {
+	buf := make([]byte, pageImageHeader+len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(data, pageImageCRC))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(data)))
+	copy(buf[pageImageHeader:], data)
+	return buf
+}
+
+// unframePageImage verifies and strips the integrity header.
+func unframePageImage(buf []byte, k pageKey) ([]byte, error) {
+	if len(buf) < pageImageHeader {
+		return nil, &CorruptPageError{Space: k.space, Page: k.page, Reason: fmt.Sprintf("image shorter than header (%d bytes)", len(buf))}
+	}
+	payload := buf[pageImageHeader:]
+	if n := binary.LittleEndian.Uint32(buf[4:8]); int(n) != len(payload) {
+		return nil, &CorruptPageError{Space: k.space, Page: k.page, Reason: fmt.Sprintf("length mismatch: header says %d, span holds %d", n, len(payload))}
+	}
+	if crc := crc32.Checksum(payload, pageImageCRC); crc != binary.LittleEndian.Uint32(buf[0:4]) {
+		return nil, &CorruptPageError{Space: k.space, Page: k.page, Reason: "checksum mismatch"}
+	}
+	return payload, nil
 }
 
 // span is a page's extent in the backing file. Gob pages vary in size,
@@ -192,15 +245,28 @@ func (p *BufferPool) Get(space int32, page int64) any {
 	}
 	i := p.freeFrame()
 	p.acct.physRead() // may panic *FaultError before any state changes
+	v := p.readSpan(k, sp)
+	p.install(i, k, v, false)
+	return v
+}
+
+// readSpan reads and decodes one page image, verifying its integrity
+// frame. Torn or corrupt images panic *CorruptPageError; decode errors
+// on a checksum-valid image indicate a codec bug and panic generically.
+// The caller holds p.mu and has charged the physical read.
+func (p *BufferPool) readSpan(k pageKey, sp span) any {
 	buf := make([]byte, sp.len)
 	if _, err := p.file.ReadAt(buf, sp.off); err != nil {
 		panic(fmt.Errorf("pager: backing store read: %w", err))
 	}
-	v, err := p.codecs[k.space].DecodePage(buf)
+	payload, err := unframePageImage(buf, k)
+	if err != nil {
+		panic(err)
+	}
+	v, err := p.codecs[k.space].DecodePage(payload)
 	if err != nil {
 		panic(fmt.Errorf("pager: page decode: %w", err))
 	}
-	p.install(i, k, v, false)
 	return v
 }
 
@@ -209,10 +275,27 @@ func (p *BufferPool) Get(space int32, page int64) any {
 // store is clean until a caller unpins it dirty. The caller holds p.mu.
 func (p *BufferPool) install(i int, k pageKey, v any, dirty bool) {
 	p.frames[i] = frame{key: k, val: v, pins: 1, dirty: dirty, ref: true, valid: true}
+	if dirty {
+		p.stampLSN(&p.frames[i])
+	}
 	p.table[k] = i
 	p.resident++
 	if p.resident > p.maxResident {
 		p.maxResident = p.resident
+	}
+}
+
+// stampLSN records on a dirtied frame the WAL's current appended LSN.
+// The engine appends a record before applying its mutation, so at the
+// moment a page is dirtied the log already holds every record whose
+// effects the page can contain — the appended watermark is therefore a
+// (conservative) upper bound usable as the page-LSN. The caller holds
+// p.mu.
+func (p *BufferPool) stampLSN(f *frame) {
+	if lg := p.acct.PageLogger(); lg != nil {
+		if v := lg.AppendedLSN(); v > f.lsn {
+			f.lsn = v
+		}
 	}
 }
 
@@ -232,6 +315,7 @@ func (p *BufferPool) Unpin(space int32, page int64, dirty bool) {
 	f.pins--
 	if dirty {
 		f.dirty = true
+		p.stampLSN(f)
 	}
 	f.ref = true
 }
@@ -315,14 +399,7 @@ func (p *BufferPool) Prefetch(space int32, pages []int64) int {
 		}
 		p.acct.physRead() // may panic *FaultError before any state changes
 		p.acct.prefetched.Add(1)
-		buf := make([]byte, sp.len)
-		if _, err := p.file.ReadAt(buf, sp.off); err != nil {
-			panic(fmt.Errorf("pager: backing store read: %w", err))
-		}
-		v, err := p.codecs[k.space].DecodePage(buf)
-		if err != nil {
-			panic(fmt.Errorf("pager: page decode: %w", err))
-		}
+		v := p.readSpan(k, sp)
 		p.install(i, k, v, false)
 		p.frames[p.table[k]].pins = 0 // installed warm, not claimed
 		installed++
@@ -389,13 +466,19 @@ func (p *BufferPool) tryFreeFrame() int {
 }
 
 // evict writes frame i back if dirty and releases it. The write-back is
-// ordered so that an injected fault leaves the pool consistent: encode
-// (pure), charge the physical write (may panic — nothing has changed
-// yet, the victim stays resident and dirty), then update the backing
-// store and release the frame. The caller holds p.mu.
+// ordered so that an injected fault leaves the pool consistent: force
+// the WAL through the page-LSN (the write-ahead rule — may block on an
+// fsync, may fail), encode (pure), charge the physical write (may panic
+// — nothing has changed yet, the victim stays resident and dirty), then
+// update the backing store and release the frame. The caller holds p.mu.
 func (p *BufferPool) evict(i int) {
 	f := &p.frames[i]
 	if f.dirty {
+		if lg := p.acct.PageLogger(); lg != nil && f.lsn > 0 {
+			if err := lg.Flush(f.lsn); err != nil {
+				panic(fmt.Errorf("pager: wal flush before write-back of page %d in space %d: %w", f.key.page, f.key.space, err))
+			}
+		}
 		data, err := p.codecs[f.key.space].EncodePage(f.val)
 		if err != nil {
 			panic(fmt.Errorf("pager: page encode: %w", err))
@@ -414,21 +497,29 @@ func (p *BufferPool) release(i int) {
 	p.resident--
 }
 
-// writeSpan stores a page image, reusing its existing extent when it
-// still fits, else a recycled extent, else fresh space at the file end.
-// The caller holds p.mu.
+// writeSpan stores a page image wrapped in its integrity frame, reusing
+// the existing extent when it still fits, else a recycled extent, else
+// fresh space at the file end. A short write — the torn-page case a
+// real device can produce — is surfaced immediately rather than left
+// for the read side, which would still catch it by checksum. The caller
+// holds p.mu.
 func (p *BufferPool) writeSpan(k pageKey, data []byte) {
+	framed := framePageImage(data)
 	sp, ok := p.spans[k]
-	if ok && sp.cap >= len(data) {
-		sp.len = len(data)
+	if ok && sp.cap >= len(framed) {
+		sp.len = len(framed)
 	} else {
 		if ok {
 			p.freeSpans = append(p.freeSpans, sp)
 		}
-		sp = p.allocSpan(len(data))
+		sp = p.allocSpan(len(framed))
 	}
-	if _, err := p.file.WriteAt(data, sp.off); err != nil {
+	n, err := p.file.WriteAt(framed, sp.off)
+	if err != nil {
 		panic(fmt.Errorf("pager: backing store write: %w", err))
+	}
+	if n != len(framed) {
+		panic(fmt.Errorf("pager: short backing store write: %d of %d bytes", n, len(framed)))
 	}
 	p.spans[k] = sp
 }

@@ -146,6 +146,50 @@ type Accountant struct {
 	// injection move to the pool's physical transfers, so a cache hit
 	// pays nothing.
 	pool atomic.Pointer[BufferPool]
+
+	// logger, when non-nil, is the write-ahead log the buffer pool
+	// consults on the write path (see PageLogger).
+	logger atomic.Pointer[pageLoggerRef]
+}
+
+// PageLogger is the write-ahead-log contract the buffer pool enforces
+// on its write path: every dirty frame is stamped with the log's
+// current appended LSN when it is unpinned dirty (the page cannot
+// contain effects of records not yet appended, because the engine
+// appends before applying), and before a dirty page image reaches the
+// backing store the pool calls Flush with that page-LSN — the classic
+// WAL rule "log hits disk before the page does".
+type PageLogger interface {
+	// AppendedLSN returns the LSN of the last appended record.
+	AppendedLSN() uint64
+	// Flush forces the log durable through at least lsn.
+	Flush(lsn uint64) error
+}
+
+// pageLoggerRef boxes the interface for atomic.Pointer.
+type pageLoggerRef struct{ l PageLogger }
+
+// SetPageLogger attaches (or, with nil, detaches) the write-ahead log
+// observed by the buffer pool's write path. Safe to call while I/O is
+// in flight.
+func (a *Accountant) SetPageLogger(l PageLogger) {
+	if l == nil {
+		a.logger.Store(nil)
+		return
+	}
+	a.logger.Store(&pageLoggerRef{l: l})
+}
+
+// PageLogger returns the attached write-ahead log, or nil.
+func (a *Accountant) PageLogger() PageLogger {
+	if a == nil {
+		return nil
+	}
+	ref := a.logger.Load()
+	if ref == nil {
+		return nil
+	}
+	return ref.l
 }
 
 // Pool returns the attached buffer pool, or nil when page accesses are

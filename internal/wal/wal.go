@@ -1,0 +1,491 @@
+// Package wal implements the engine's write-ahead log: an append-only
+// file of typed, CRC-checksummed, LSN-stamped records with group-commit
+// durability and torn-tail recovery.
+//
+// Records are logical redo records (the engine encodes its mutations;
+// this package only frames and persists them). The protocol is
+// redo-only ARIES-lite:
+//
+//   - every mutation appends a record BEFORE the in-memory effect may
+//     reach any durable structure (the buffer pool enforces this via
+//     the page-LSN it stamps on dirty frames — see pager.PageLogger);
+//   - a commit waits until its record's LSN is durable (fsynced);
+//   - on open, Recover scans the file, validates each record's CRC and
+//     LSN monotonicity, and truncates the first torn or corrupt frame
+//     and everything after it, leaving the longest valid prefix.
+//
+// Group commit: with a non-zero window, committers do not fsync
+// themselves; they register with a dedicated flusher goroutine that
+// sleeps the window, issues ONE fsync for everything appended so far,
+// and releases every committer the sync covered. With a zero window
+// each commit forces its own fsync (the classic one-fsync-per-commit
+// baseline the Figure 20 benchmark compares against).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Type tags a record's payload; meanings are assigned by the engine.
+type Type uint8
+
+// Record is one log entry. LSNs are assigned by Append, start at 1, and
+// increase by exactly 1 per record (they are record sequence numbers,
+// not byte offsets, so compaction preserves monotonicity). TxID groups
+// records of one transaction; the engine uses 0 for autocommit.
+type Record struct {
+	LSN     uint64
+	TxID    uint64
+	Type    Type
+	Payload []byte
+}
+
+// Frame layout: [len u32][crc u32][lsn u64][txid u64][type u8][payload].
+// The CRC (Castagnoli) covers lsn..payload, so a torn header, torn
+// payload, or bit flip anywhere in the record fails verification.
+const headerSize = 4 + 4 + 8 + 8 + 1
+
+// maxPayload bounds a frame's declared payload length; a larger value
+// in the header is corruption, not a record.
+const maxPayload = 1 << 28
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+func encodeFrame(rec Record) []byte {
+	buf := make([]byte, headerSize+len(rec.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(rec.Payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], rec.LSN)
+	binary.LittleEndian.PutUint64(buf[16:24], rec.TxID)
+	buf[24] = byte(rec.Type)
+	copy(buf[headerSize:], rec.Payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], castagnoli))
+	return buf
+}
+
+// Metrics is a snapshot of the log's durability counters.
+type Metrics struct {
+	// Appends counts records appended.
+	Appends int64
+	// Fsyncs counts fsyncs issued (group commit, direct flushes, and
+	// close-time finalization).
+	Fsyncs int64
+	// Commits counts Commit calls.
+	Commits int64
+	// Batches counts group-commit fsyncs that released at least one
+	// waiting committer; BatchCommits totals the committers released, so
+	// BatchCommits/Batches is the average group size.
+	Batches      int64
+	BatchCommits int64
+	// AppendedLSN / DurableLSN are the high-water marks.
+	AppendedLSN uint64
+	DurableLSN  uint64
+}
+
+// Options configures Open.
+type Options struct {
+	// GroupCommitWindow is how long the flusher goroutine accumulates
+	// committers before issuing one shared fsync. 0 disables grouping:
+	// every Commit issues its own fsync.
+	GroupCommitWindow time.Duration
+	// SyncDelay is slept inside every fsync to model device sync latency
+	// (the write-side analogue of pager.Accountant.SetReadDelay; on
+	// tmpfs-backed test and bench environments a real fsync is nearly
+	// free, which would hide the cost group commit amortizes).
+	SyncDelay time.Duration
+	// NextLSN is the first LSN Append will assign; recovery passes
+	// lastLSN+1 to continue the sequence. 0 means 1.
+	NextLSN uint64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	f         *os.File
+	window    time.Duration
+	syncDelay time.Duration
+
+	// mu guards the append/durability state; cond signals durableLSN
+	// advances (and error/close) to waiting committers.
+	mu          sync.Mutex
+	cond        *sync.Cond
+	nextLSN     uint64
+	appendedLSN uint64
+	durableLSN  uint64
+	waiting     []uint64 // LSNs of committers blocked in Commit
+	err         error    // sticky: an append or sync failure poisons the log
+	closed      bool
+
+	// syncMu serializes fsyncs (the flusher, direct Flush calls, and
+	// zero-window commits). Lock order where both are held: syncMu
+	// before mu.
+	syncMu sync.Mutex
+
+	flushCh     chan struct{}
+	flusherDone chan struct{}
+
+	// appendedA/durableA mirror the LSN watermarks for lock-free reads
+	// (the buffer pool stamps page LSNs on every dirty unpin).
+	appendedA atomic.Uint64
+	durableA  atomic.Uint64
+
+	appends      atomic.Int64
+	fsyncs       atomic.Int64
+	commits      atomic.Int64
+	batches      atomic.Int64
+	batchCommits atomic.Int64
+}
+
+// Open opens (creating if needed) the log file at path, positioned to
+// append after any existing content. Callers recovering an existing log
+// run Recover first (truncating any torn tail) and pass the resulting
+// NextLSN.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	next := opts.NextLSN
+	if next == 0 {
+		next = 1
+	}
+	l := &Log{
+		f:           f,
+		window:      opts.GroupCommitWindow,
+		syncDelay:   opts.SyncDelay,
+		nextLSN:     next,
+		appendedLSN: next - 1,
+		durableLSN:  next - 1,
+		flushCh:     make(chan struct{}, 1),
+		flusherDone: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.appendedA.Store(next - 1)
+	l.durableA.Store(next - 1)
+	go l.flusher()
+	return l, nil
+}
+
+// Append frames and writes one record, assigning and returning its LSN.
+// The record is in the OS page cache after Append returns, but not
+// necessarily durable — callers needing durability follow with Commit
+// (group commit) or Flush (immediate).
+func (l *Log) Append(t Type, txid uint64, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	lsn := l.nextLSN
+	if _, err := l.f.Write(encodeFrame(Record{LSN: lsn, TxID: txid, Type: t, Payload: payload})); err != nil {
+		// A partial frame may have reached the file; the sticky error
+		// keeps every later append and commit failing loudly, and the
+		// torn tail is truncated at the next recovery.
+		l.err = fmt.Errorf("wal: append: %w", err)
+		l.cond.Broadcast()
+		return 0, l.err
+	}
+	l.nextLSN++
+	l.appendedLSN = lsn
+	l.appendedA.Store(lsn)
+	l.appends.Add(1)
+	return lsn, nil
+}
+
+// AppendedLSN returns the LSN of the last appended record (0 before the
+// first append). Lock-free; safe from any goroutine.
+func (l *Log) AppendedLSN() uint64 { return l.appendedA.Load() }
+
+// DurableLSN returns the highest LSN known durable.
+func (l *Log) DurableLSN() uint64 { return l.durableA.Load() }
+
+// Commit blocks until lsn is durable. With a group-commit window it
+// registers with the flusher and shares its fsync with every concurrent
+// committer; with a zero window it issues its own fsync. lsn 0 is a
+// no-op (the engine's WAL-off paths pass 0).
+func (l *Log) Commit(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	l.commits.Add(1)
+	if l.window <= 0 {
+		return l.flushStrict()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.durableLSN >= lsn {
+		return nil
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	// Register once; finishSync removes the entry when a sync covers it
+	// (the removal count is the group-commit batch-size metric).
+	l.waiting = append(l.waiting, lsn)
+	for l.durableLSN < lsn {
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		select {
+		case l.flushCh <- struct{}{}:
+		default:
+		}
+		l.cond.Wait()
+	}
+	return nil
+}
+
+// Flush forces everything appended so far to durable storage if lsn is
+// not yet durable — the buffer pool calls this before writing back a
+// dirty page (WAL rule: log first). Unlike Commit it never waits on the
+// group-commit window.
+func (l *Log) Flush(lsn uint64) error {
+	if l.durableA.Load() >= lsn {
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.syncMu.Lock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil || l.durableLSN >= lsn {
+		err := l.err
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		return err
+	}
+	target := l.appendedLSN
+	l.mu.Unlock()
+	err := l.doSync()
+	l.syncMu.Unlock()
+	return l.finishSync(target, err)
+}
+
+// flushStrict is the zero-window commit path: one fsync per commit,
+// serialized, with no batching — deliberately the single-fsync baseline.
+func (l *Log) flushStrict() error {
+	l.syncMu.Lock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		return ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		l.syncMu.Unlock()
+		return err
+	}
+	target := l.appendedLSN
+	l.mu.Unlock()
+	err := l.doSync()
+	l.syncMu.Unlock()
+	return l.finishSync(target, err)
+}
+
+// doSync issues one fsync (plus the modeled device latency). The caller
+// holds syncMu and NOT mu.
+func (l *Log) doSync() error {
+	if l.syncDelay > 0 {
+		time.Sleep(l.syncDelay)
+	}
+	l.fsyncs.Add(1)
+	return l.f.Sync()
+}
+
+// finishSync publishes a completed fsync: advance the durable
+// watermark to target, account the released committers as one batch,
+// and wake everyone.
+func (l *Log) finishSync(target uint64, syncErr error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if syncErr != nil {
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: fsync: %w", syncErr)
+		}
+		l.waiting = l.waiting[:0]
+		l.cond.Broadcast()
+		return l.err
+	}
+	if target > l.durableLSN {
+		l.durableLSN = target
+		l.durableA.Store(target)
+	}
+	released := 0
+	kept := l.waiting[:0]
+	for _, w := range l.waiting {
+		if w <= l.durableLSN {
+			released++
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	l.waiting = kept
+	if released > 0 {
+		l.batches.Add(1)
+		l.batchCommits.Add(int64(released))
+	}
+	l.cond.Broadcast()
+	return l.err
+}
+
+// flusher is the group-commit goroutine: on each wakeup it sleeps the
+// window (letting committers accumulate), then issues one fsync
+// covering everything appended. Signals arriving during the sync are
+// buffered in flushCh, so no commit is ever stranded.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	for range l.flushCh {
+		if l.window > 0 {
+			time.Sleep(l.window)
+		}
+		l.mu.Lock()
+		target := l.appendedLSN
+		needed := l.durableLSN < target && l.err == nil && !l.closed
+		l.mu.Unlock()
+		if !needed {
+			continue
+		}
+		l.syncMu.Lock()
+		err := l.doSync()
+		l.syncMu.Unlock()
+		l.finishSync(target, err)
+	}
+}
+
+// Compact truncates the log to empty, valid only when upTo equals the
+// last appended LSN — i.e. when a checkpoint at upTo supersedes every
+// record. Returns false (without error) when records were appended
+// since upTo or the log is unusable; the caller simply compacts at the
+// next checkpoint. LSNs continue from where they were (they are
+// sequence numbers, not offsets), so recovery ordering is unaffected.
+func (l *Log) Compact(upTo uint64) (bool, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.err != nil || l.appendedLSN != upTo {
+		return false, l.err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.err = fmt.Errorf("wal: compact: %w", err)
+		l.cond.Broadcast()
+		return false, l.err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: compact: %w", err)
+		l.cond.Broadcast()
+		return false, l.err
+	}
+	if l.syncDelay > 0 {
+		time.Sleep(l.syncDelay)
+	}
+	l.fsyncs.Add(1)
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: compact: %w", err)
+		l.cond.Broadcast()
+		return false, l.err
+	}
+	// Every appended record is superseded by the checkpoint, so the
+	// durable watermark catches up and any waiting committer is released.
+	if l.appendedLSN > l.durableLSN {
+		l.durableLSN = l.appendedLSN
+		l.durableA.Store(l.durableLSN)
+	}
+	released := 0
+	for _, w := range l.waiting {
+		if w <= l.durableLSN {
+			released++
+		}
+	}
+	if released > 0 {
+		l.batches.Add(1)
+		l.batchCommits.Add(int64(released))
+	}
+	l.waiting = l.waiting[:0]
+	l.cond.Broadcast()
+	return true, nil
+}
+
+// Close finalizes the log: stops the flusher, issues a last fsync so a
+// cleanly closed log is fully durable, releases any waiting committers,
+// and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.flushCh)
+	<-l.flusherDone
+	l.syncMu.Lock()
+	var syncErr error
+	l.mu.Lock()
+	target := l.appendedLSN
+	if l.err == nil && l.durableLSN < target {
+		l.mu.Unlock()
+		syncErr = l.doSync()
+		l.mu.Lock()
+		if syncErr == nil && target > l.durableLSN {
+			l.durableLSN = target
+			l.durableA.Store(target)
+		}
+	}
+	l.waiting = l.waiting[:0]
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.syncMu.Unlock()
+	cerr := l.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: close: %w", syncErr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: close: %w", cerr)
+	}
+	return nil
+}
+
+// Metrics snapshots the counters.
+func (l *Log) Metrics() Metrics {
+	return Metrics{
+		Appends:      l.appends.Load(),
+		Fsyncs:       l.fsyncs.Load(),
+		Commits:      l.commits.Load(),
+		Batches:      l.batches.Load(),
+		BatchCommits: l.batchCommits.Load(),
+		AppendedLSN:  l.appendedA.Load(),
+		DurableLSN:   l.durableA.Load(),
+	}
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestAppendScanRoundtrip(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("payload-%d", i))
+		lsn, err := l.Append(Type(i%5+1), uint64(i%3), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+		want = append(want, Record{LSN: lsn, TxID: uint64(i % 3), Type: Type(i%5 + 1), Payload: payload})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Fatal("clean log reported torn")
+	}
+	if len(res.Records) != len(want) {
+		t.Fatalf("%d records, want %d", len(res.Records), len(want))
+	}
+	for i, rec := range res.Records {
+		w := want[i]
+		if rec.LSN != w.LSN || rec.TxID != w.TxID || rec.Type != w.Type || !bytes.Equal(rec.Payload, w.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, w)
+		}
+	}
+	if res.LastLSN() != 20 {
+		t.Fatalf("LastLSN = %d, want 20", res.LastLSN())
+	}
+}
+
+// A cut anywhere inside the final frame must truncate back to the
+// preceding record boundary, and the reopened log must continue the LSN
+// sequence.
+func TestTornTailTruncated(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(1, 0, []byte("body-of-record")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way into the last frame.
+	cut := full.Offsets[4] + headerSize/2
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn {
+		t.Fatal("expected torn tail")
+	}
+	if len(res.Records) != 4 || res.End != full.Offsets[4] {
+		t.Fatalf("recovered %d records ending at %d, want 4 ending at %d", len(res.Records), res.End, full.Offsets[4])
+	}
+	if fi, _ := os.Stat(path); fi.Size() != res.End {
+		t.Fatalf("file not truncated: %d bytes, want %d", fi.Size(), res.End)
+	}
+	// Reopen and append: the sequence continues.
+	l2, err := Open(path, Options{NextLSN: res.LastLSN() + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(2, 0, []byte("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("continued lsn = %d, want 5", lsn)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Torn || len(res2.Records) != 5 || res2.LastLSN() != 5 {
+		t.Fatalf("after reopen: torn=%v records=%d last=%d", res2.Torn, len(res2.Records), res2.LastLSN())
+	}
+}
+
+// A bit flip in the middle of the log stops the scan at the last record
+// before the corruption: records past a broken frame are unreachable.
+func TestCorruptionStopsScan(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(1, 0, []byte("some-payload-bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in record 3 (index 2).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[full.Offsets[2]+headerSize] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn || len(res.Records) != 2 {
+		t.Fatalf("torn=%v records=%d, want torn with 2 records", res.Torn, len(res.Records))
+	}
+}
+
+// Concurrent committers under a group-commit window share fsyncs: far
+// fewer syncs than commits, with a batch metric reflecting the sharing.
+func TestGroupCommitBatches(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{GroupCommitWindow: 2 * time.Millisecond, SyncDelay: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const committers = 8
+	const perCommitter = 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, committers)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perCommitter; i++ {
+				lsn, err := l.Append(1, 0, []byte("op"))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	m := l.Metrics()
+	if m.Commits != committers*perCommitter {
+		t.Fatalf("commits = %d, want %d", m.Commits, committers*perCommitter)
+	}
+	if m.Fsyncs >= m.Commits {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d commits", m.Fsyncs, m.Commits)
+	}
+	if m.Batches == 0 || m.BatchCommits < m.Batches {
+		t.Fatalf("batch accounting: batches=%d batchCommits=%d", m.Batches, m.BatchCommits)
+	}
+	if m.DurableLSN != m.AppendedLSN {
+		t.Fatalf("durable %d != appended %d after all commits", m.DurableLSN, m.AppendedLSN)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Window 0 is the single-fsync-per-commit baseline: every commit pays
+// its own sync.
+func TestZeroWindowCommitsFsyncEach(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(1, 0, []byte("op"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := l.Metrics()
+	if m.Fsyncs < n {
+		t.Fatalf("strict commits: %d fsyncs for %d commits", m.Fsyncs, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 4; i++ {
+		last, err = l.Append(1, 0, []byte("op"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stale watermark: refused without error.
+	if ok, err := l.Compact(last - 1); ok || err != nil {
+		t.Fatalf("stale compact: ok=%v err=%v", ok, err)
+	}
+	if ok, err := l.Compact(last); !ok || err != nil {
+		t.Fatalf("compact: ok=%v err=%v", ok, err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("log not truncated: %d bytes", fi.Size())
+	}
+	// LSNs continue past the compaction point.
+	lsn, err := l.Append(1, 0, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != last+1 {
+		t.Fatalf("post-compact lsn = %d, want %d", lsn, last+1)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || res.Records[0].LSN != last+1 {
+		t.Fatalf("post-compact scan: %d records, first lsn %d", len(res.Records), res.Records[0].LSN)
+	}
+}
+
+// Concurrent appends, commits, flushes, and watermark reads under the
+// race detector.
+func TestWALConcurrentAppendCommit(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path, Options{GroupCommitWindow: time.Millisecond, SyncDelay: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				lsn, err := l.Append(Type(g%3+1), uint64(g), []byte("concurrent"))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if i%2 == 0 {
+					if err := l.Commit(lsn); err != nil {
+						errCh <- err
+						return
+					}
+				} else if err := l.Flush(lsn); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if a, d := l.AppendedLSN(), l.DurableLSN(); d > a {
+					errCh <- fmt.Errorf("durable %d ahead of appended %d", d, a)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || len(res.Records) != 80 {
+		t.Fatalf("torn=%v records=%d, want 80 clean records", res.Torn, len(res.Records))
+	}
+}
