@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke recovery-torture
+.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -20,17 +20,18 @@ race:
 
 # race-core focuses the race detector on the layers that share a buffer
 # pool across parallel scan workers, with extra iterations on the
-# page-partitioned parallel index fetch.
+# page-partitioned parallel index fetch and the lock-free epoch readers.
 race-core:
 	$(GO) test -race ./internal/engine/... ./internal/exec/...
 	$(GO) test -race -count=4 -run 'TestParallelSortedFetchMatchesSerial|TestSummaryIndexScanPartitionedConcatenation' ./internal/engine/... ./internal/exec/...
+	$(GO) test -race -count=2 -run 'TestEpochReaderStress' ./internal/engine/
 
 # bench-smoke regenerates one representative figure plus the parallel
 # speedup, buffer-pool, and group-commit grids at the reduced quick
 # scale and writes a machine-readable BENCH_smoke.json snapshot (figures
 # + engine metrics) so perf regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21 -json BENCH_smoke.json
 
 # recovery-torture runs the WAL crash matrix: the mixed workload's log is
 # cut at every record boundary (and inside every record) and each prefix
@@ -39,3 +40,10 @@ bench-smoke:
 recovery-torture:
 	$(GO) test -count=1 -run 'TestRecoveryTortureEveryBoundary|TestReopenDurability|TestCheckpointBoundsRecovery' ./internal/engine/
 	$(GO) test -race -count=2 -run 'TestWALGroupCommitRaceStress|TestReadersNotBlockedByCommitWait' ./internal/engine/
+
+# mvcc-stress hammers the copy-on-write epoch machinery under the race
+# detector: 8 lock-free readers against concurrent transactions with
+# rollbacks and automatic checkpoints, Close racing in-flight queries,
+# and the rollback-then-checkpoint regression.
+mvcc-stress:
+	$(GO) test -race -count=2 -run 'TestEpochReaderStress|TestCloseUnderLoad|TestRollbackThenCheckpoint' ./internal/engine/

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..20); empty = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..21); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -90,6 +90,7 @@ func main() {
 		{[]int{18}, bench.Fig18BufferPool},
 		{[]int{19}, bench.Fig19FetchPath},
 		{[]int{20}, bench.Fig20GroupCommit},
+		{[]int{21}, bench.Fig21MVCCReaders},
 	}
 
 	ran := false
@@ -115,7 +116,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..20)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..21)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

@@ -297,7 +297,7 @@ meta: \tables  \stats <table>  \metrics  \explain <query>  \load <birds> <avg>
 		case err != nil:
 			fmt.Println("error:", err)
 		case !ok:
-			fmt.Println("checkpoint refused (no -wal, an open transaction, or a prior rollback)")
+			fmt.Println("checkpoint refused (no -wal or an open transaction)")
 		default:
 			fmt.Println("checkpoint written; wal compacted")
 		}

@@ -60,9 +60,10 @@ func Open(cfg Config) *DB { return engine.New(cfg) }
 func OpenDurable(cfg Config) (*DB, error) { return engine.Open(cfg) }
 
 // Txn is an explicit transaction handle from DB.Begin: its mutations
-// become durable and atomic at Commit; Rollback abandons them (the
-// log's redo-only design makes rollback a restart-time filter, and it
-// disables checkpointing until the next reopen).
+// are validated immediately but buffered, becoming visible, durable,
+// and atomic together at Commit; Rollback discards the buffer without
+// a trace (checkpointing stays available — only the reserved IDs stay
+// consumed).
 type Txn = engine.Txn
 
 // Load reconstructs a database from a snapshot written by DB.Save. The
@@ -97,6 +98,11 @@ type Budget = exec.Budget
 func NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes int64) *Budget {
 	return exec.NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes)
 }
+
+// ErrClosed is the sentinel every entry point reports (wrapped, test
+// with errors.Is) once Close has begun; in-flight queries admitted
+// before Close either complete normally or fail with it.
+var ErrClosed = engine.ErrClosed
 
 // ErrBudgetExceeded is the sentinel wrapped by every budget violation;
 // match with errors.Is.

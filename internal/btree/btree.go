@@ -14,6 +14,17 @@
 // siblings a rebalance touches) for their duration; scans pin
 // hand-over-hand, one node at a time. Logical charges are identical in
 // both modes, at the same call sites.
+//
+// When the accountant carries an MVCC epoch clock, nodes are versioned
+// for snapshot reads: each node carries the epoch stamp of the mutation
+// that produced it, the (single) writer clones a node copy-on-write
+// before its first touch in a new epoch — pushing the superseded
+// version onto a per-node overlay chain — and AsOf returns a read-only
+// view frozen at a snapshot epoch that resolves every node to the
+// version visible there, without taking the writer's lock. Freed nodes
+// (merge victims, collapsed roots, released trees) are reclaimed via
+// the clock's retire mechanism only once no pinned epoch can still
+// reach them; node ids are never reused.
 package btree
 
 import (
@@ -21,14 +32,18 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/mvcc"
 	"repro/internal/pager"
 )
 
 // DefaultOrder is the default maximum number of entries per node.
 const DefaultOrder = 64
 
-// Tree is a B+Tree. Not safe for concurrent mutation.
+// Tree is a B+Tree. Not safe for concurrent mutation; with a clock
+// attached, any number of AsOf views may read concurrently with the
+// single mutator.
 type Tree struct {
 	acct   *pager.Accountant
 	pool   *pager.BufferPool
@@ -36,12 +51,40 @@ type Tree struct {
 	order  int // max entries per node
 	rootID int64
 	nextID int64
-	mem    map[int64]*node // node table when no pool is attached
+	mem    map[int64]*node // node table when no pool and no clock
 	size   int
 	nodes  int
+
+	// clock/v enable MVCC node versioning; view/snap mark a read-only
+	// snapshot view produced by AsOf (rootID/size/nodes are then frozen
+	// copies of the writer's fields at the view's epoch).
+	clock *mvcc.Clock
+	v     *treeState
+	view  bool
+	snap  uint64
 }
 
-// node ids start at 1; 0 means "none" (end of the leaf chain).
+// treeState is the version store shared between a versioned tree and
+// its snapshot views: superseded node versions and — in unpooled mode —
+// the resident node table, which readers and deferred reclamations
+// access without the writer's lock and so must live behind a mutex.
+type treeState struct {
+	mu      sync.RWMutex
+	overlay map[int64][]nodeVer // superseded versions, newest last
+	mem     map[int64]*node     // unpooled resident nodes (nil when pooled)
+}
+
+// nodeVer is one superseded node version: n was the node's current
+// version for epochs in [n.stamp, until).
+type nodeVer struct {
+	until uint64
+	n     *node
+}
+
+// node ids start at 1; 0 means "none" (end of the leaf chain). stamp is
+// the epoch of the mutation that produced this version (zero when
+// unversioned); it is written before the node becomes reachable and
+// never rewritten.
 type node struct {
 	id       int64
 	leaf     bool
@@ -49,6 +92,7 @@ type node struct {
 	vals     []int64 // leaf only; len == len(keys)
 	children []int64 // internal only; len == len(keys)+1
 	next     int64   // leaf chain
+	stamp    uint64
 }
 
 // nodeWire is the gob form of a node for buffer-pool write-back.
@@ -59,6 +103,7 @@ type nodeWire struct {
 	Vals     []int64
 	Children []int64
 	Next     int64
+	Stamp    uint64
 }
 
 type nodeCodec struct{}
@@ -68,7 +113,7 @@ func (nodeCodec) EncodePage(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(nodeWire{
 		ID: n.id, Leaf: n.leaf, Keys: n.keys, Vals: n.vals,
-		Children: n.children, Next: n.next,
+		Children: n.children, Next: n.next, Stamp: n.stamp,
 	})
 	if err != nil {
 		return nil, err
@@ -93,21 +138,28 @@ func (nodeCodec) DecodePage(data []byte) (any, error) {
 	}
 	return &node{
 		id: w.ID, leaf: w.Leaf, keys: w.Keys, vals: w.Vals,
-		children: w.Children, next: w.Next,
+		children: w.Children, next: w.Next, stamp: w.Stamp,
 	}, nil
 }
 
 // New builds a tree of the given order (maximum entries per node); order
 // < 4 is raised to 4. If acct has a buffer pool attached, the tree
-// registers its own node space with it.
+// registers its own node space with it; if acct carries an MVCC clock,
+// nodes are versioned for snapshot reads.
 func New(acct *pager.Accountant, order int) *Tree {
 	if order < 4 {
 		order = 4
 	}
 	t := &Tree{acct: acct, order: order, nextID: 1}
+	if c := acct.Clock(); c != nil {
+		t.clock = c
+		t.v = &treeState{overlay: make(map[int64][]nodeVer)}
+	}
 	if pool := acct.Pool(); pool != nil {
 		t.pool = pool
 		t.space = pool.NewSpace(nodeCodec{})
+	} else if t.v != nil {
+		t.v.mem = make(map[int64]*node)
 	} else {
 		t.mem = make(map[int64]*node)
 	}
@@ -118,6 +170,9 @@ func New(acct *pager.Accountant, order int) *Tree {
 		t.pool.Unpin(t.space, root.id, true)
 	}
 	t.nodes = 1
+	if t.v != nil {
+		t.clock.AddPruner(t.pruneVersions)
+	}
 	return t
 }
 
@@ -126,13 +181,61 @@ func New(acct *pager.Accountant, order int) *Tree {
 // Call Release on the old tree once it is swapped out.
 func NewLike(t *Tree) *Tree { return New(t.acct, t.order) }
 
+// AsOf returns a read-only view of the tree frozen at epoch snap. It
+// must be taken while the tree's current state IS the state at snap
+// (the engine takes views at epoch publication, under the writer lock);
+// the view then resolves node versions against later mutations without
+// any lock, for as long as the caller holds a clock pin on snap.
+func (t *Tree) AsOf(snap uint64) *Tree {
+	g := *t
+	g.view = true
+	g.snap = snap
+	return &g
+}
+
 // Release drops the tree's nodes from the buffer pool (no-op without a
-// pool). The tree must not be used afterwards.
+// pool). The tree must not be used afterwards. With a clock attached
+// the reclamation is deferred until no pinned epoch can still resolve
+// the tree's nodes through a snapshot view.
 func (t *Tree) Release() {
+	if t.v != nil {
+		pool, space, v := t.pool, t.space, t.v
+		t.clock.Retire(func() {
+			if pool != nil {
+				pool.DropSpace(space)
+			}
+			v.mu.Lock()
+			v.mem = nil
+			v.overlay = make(map[int64][]nodeVer)
+			v.mu.Unlock()
+		})
+		return
+	}
 	if t.pool != nil {
 		t.pool.DropSpace(t.space)
 	}
 	t.mem = nil
+}
+
+// stampNew returns the epoch stamp for a node the writer creates now.
+func (t *Tree) stampNew() uint64 {
+	if t.v != nil {
+		return t.clock.Stamp()
+	}
+	return 0
+}
+
+// memNode reads id's current version from the in-memory table (unpooled
+// mode). Versioned tables are shared with concurrent readers and
+// deferred reclamations, so access goes through the version-store lock.
+func (t *Tree) memNode(id int64) *node {
+	if t.v != nil {
+		t.v.mu.RLock()
+		n := t.v.mem[id]
+		t.v.mu.RUnlock()
+		return n
+	}
+	return t.mem[id]
 }
 
 // attach assigns n a fresh id and materializes it — pinned (and dirty)
@@ -140,11 +243,80 @@ func (t *Tree) Release() {
 func (t *Tree) attach(n *node) {
 	n.id = t.nextID
 	t.nextID++
+	n.stamp = t.stampNew()
 	if t.pool != nil {
 		t.pool.NewPage(t.space, n.id, n)
+	} else if t.v != nil {
+		t.v.mu.Lock()
+		t.v.mem[n.id] = n
+		t.v.mu.Unlock()
 	} else {
 		t.mem[n.id] = n
 	}
+}
+
+// pruneVersions discards node versions no pinned epoch can still
+// resolve. Registered with the clock at construction.
+func (t *Tree) pruneVersions(min uint64) {
+	t.v.mu.Lock()
+	for id, vs := range t.v.overlay {
+		i := 0
+		for i < len(vs) && vs[i].until <= min {
+			i++
+		}
+		if i == len(vs) {
+			delete(t.v.overlay, id)
+		} else if i > 0 {
+			t.v.overlay[id] = vs[i:]
+		}
+	}
+	t.v.mu.Unlock()
+}
+
+// cloneNode deep-copies a node version for copy-on-write mutation.
+func cloneNode(n *node, st uint64) *node {
+	return &node{
+		id: n.id, leaf: n.leaf,
+		keys:     append([]string(nil), n.keys...),
+		vals:     append([]int64(nil), n.vals...),
+		children: append([]int64(nil), n.children...),
+		next:     n.next, stamp: st,
+	}
+}
+
+// overlayNode finds the newest superseded version of id visible at the
+// view's snapshot.
+func (t *Tree) overlayNode(id int64) *node {
+	t.v.mu.RLock()
+	defer t.v.mu.RUnlock()
+	vs := t.v.overlay[id]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].n.stamp <= t.snap {
+			return vs[i].n
+		}
+	}
+	return nil
+}
+
+// readNode resolves id's version visible at the view's snapshot. The
+// current version comes back pinned in pooled mode (pinned=true; the
+// caller must unpin); superseded versions are immutable and unpinned.
+func (t *Tree) readNode(id int64) (*node, bool) {
+	if t.pool != nil {
+		n := t.pool.Get(t.space, id).(*node)
+		if n.stamp <= t.snap {
+			return n, true
+		}
+		t.pool.Unpin(t.space, id, false)
+	} else {
+		t.v.mu.RLock()
+		n := t.v.mem[id]
+		t.v.mu.RUnlock()
+		if n != nil && n.stamp <= t.snap {
+			return n, false
+		}
+	}
+	return t.overlayNode(id), false
 }
 
 // Len returns the number of stored entries.
@@ -160,10 +332,20 @@ func (t *Tree) Nodes() int { return t.nodes }
 // in pooled mode the frame is unpinned immediately, and the returned
 // object stays valid (if the frame is later evicted the object is merely
 // a stale immutable copy, which read-only single-threaded callers
-// tolerate).
+// tolerate). On a view, the snapshot-resolved version is returned.
 func (t *Tree) peek(id int64) *node {
+	if t.view {
+		n, pinned := t.readNode(id)
+		if pinned {
+			t.pool.Unpin(t.space, id, false)
+		}
+		if n == nil {
+			n = &node{leaf: true}
+		}
+		return n
+	}
 	if t.pool == nil {
-		return t.mem[id]
+		return t.memNode(id)
 	}
 	n := t.pool.Get(t.space, id).(*node)
 	t.pool.Unpin(t.space, id, false)
@@ -175,13 +357,37 @@ func (t *Tree) peek(id int64) *node {
 // unwinds (including via an injected-fault panic).
 func (t *Tree) pinTrack(cur *int64, id int64) *node {
 	if t.pool == nil {
-		return t.mem[id]
+		return t.memNode(id)
 	}
 	n := t.pool.Get(t.space, id).(*node)
 	if *cur != 0 {
 		t.pool.Unpin(t.space, *cur, false)
 	}
 	*cur = id
+	return n
+}
+
+// readTrack is pinTrack for all read paths: on a view it resolves the
+// snapshot version (pinning it hand-over-hand only when the current
+// version serves the snapshot, so the seed pin discipline — and its
+// eviction pattern — is preserved for single-threaded runs); otherwise
+// it is exactly pinTrack.
+func (t *Tree) readTrack(cur *int64, id int64) *node {
+	if !t.view {
+		return t.pinTrack(cur, id)
+	}
+	n, pinned := t.readNode(id)
+	if t.pool != nil && *cur != 0 {
+		t.pool.Unpin(t.space, *cur, false)
+	}
+	if pinned {
+		*cur = id
+	} else {
+		*cur = 0
+	}
+	if n == nil {
+		n = &node{leaf: true} // defensive: no version at snapshot
+	}
 	return n
 }
 
@@ -212,6 +418,11 @@ func (t *Tree) minEntries() int { return t.order / 2 }
 // loads to the in-memory table. A mutation pins its descent path plus
 // the siblings a rebalance touches, so the frame budget a tree needs is
 // about twice its height; pager.MinPoolFrames covers default-order trees.
+//
+// On a versioned tree, get is also the copy-on-write point: a node
+// whose current version belongs to an earlier epoch is cloned before it
+// is handed to the mutation, with the superseded version pushed onto
+// the overlay for snapshot readers.
 type pinScope struct {
 	t     *Tree
 	ids   []int64
@@ -220,15 +431,41 @@ type pinScope struct {
 
 func (t *Tree) scope() *pinScope { return &pinScope{t: t} }
 
-// get pins id and returns its node; the pin is held until put, drop, or
-// release.
+// get pins id and returns its node, cloned copy-on-write if snapshot
+// readers may still resolve the current version; the pin is held until
+// put, drop, or release.
 func (s *pinScope) get(id int64) *node {
-	if s.t.pool == nil {
-		return s.t.mem[id]
+	t := s.t
+	if t.pool == nil {
+		n := t.memNode(id)
+		if t.v != nil {
+			if st := t.clock.Stamp(); n.stamp != st {
+				cl := cloneNode(n, st)
+				t.v.mu.Lock()
+				t.v.overlay[id] = append(t.v.overlay[id], nodeVer{until: st, n: n})
+				t.v.mem[id] = cl
+				t.v.mu.Unlock()
+				return cl
+			}
+		}
+		return n
 	}
-	n := s.t.pool.Get(s.t.space, id).(*node)
+	n := t.pool.Get(t.space, id).(*node)
 	s.ids = append(s.ids, id)
 	s.dirty = append(s.dirty, false)
+	if t.v != nil {
+		if st := t.clock.Stamp(); n.stamp != st {
+			cl := cloneNode(n, st)
+			// Publish the superseded version before swapping the frame
+			// value, so a reader that sees the clone finds the old version
+			// already on the overlay.
+			t.v.mu.Lock()
+			t.v.overlay[id] = append(t.v.overlay[id], nodeVer{until: st, n: n})
+			t.v.mu.Unlock()
+			t.pool.SetValue(t.space, id, cl)
+			return cl
+		}
+	}
 	return n
 }
 
@@ -269,10 +506,25 @@ func (s *pinScope) put(id int64) {
 }
 
 // drop releases every pin the scope holds on id and deletes the node
-// (merge victims, collapsed roots).
+// (merge victims, collapsed roots). On a versioned tree the physical
+// reclamation is deferred through the clock: a reader pinned at an
+// earlier epoch may still resolve the node's resident current version,
+// and no epoch at or after the in-progress one references the id (ids
+// are never reused), so dropping once the minimum pinned epoch reaches
+// the mutation's stamp is exact.
 func (s *pinScope) drop(id int64) {
-	if s.t.pool == nil {
-		delete(s.t.mem, id)
+	t := s.t
+	if t.pool == nil {
+		if t.v != nil {
+			v := t.v
+			t.clock.Retire(func() {
+				v.mu.Lock()
+				delete(v.mem, id)
+				v.mu.Unlock()
+			})
+			return
+		}
+		delete(t.mem, id)
 		return
 	}
 	for i := range s.ids {
@@ -281,7 +533,12 @@ func (s *pinScope) drop(id int64) {
 			s.ids[i] = 0
 		}
 	}
-	s.t.pool.Drop(s.t.space, id)
+	if t.v != nil {
+		pool, space := t.pool, t.space
+		t.clock.Retire(func() { pool.Drop(space, id) })
+		return
+	}
+	t.pool.Drop(t.space, id)
 }
 
 // release unpins everything the scope still holds.
@@ -315,7 +572,7 @@ func upperBound(n *node, key string) int {
 // visited node is one page read. Pins hand-over-hand through *cur; the
 // returned leaf is left pinned for the caller.
 func (t *Tree) descendLower(cur *int64, key string) *node {
-	n := t.pinTrack(cur, t.rootID)
+	n := t.readTrack(cur, t.rootID)
 	t.acct.ReadNode(1)
 	for !n.leaf {
 		// Separator keys[i] is the minimum key of children[i+1]: route to
@@ -325,7 +582,7 @@ func (t *Tree) descendLower(cur *int64, key string) *node {
 		// keys[i] == key means children[i+1] starts at key; the leftmost
 		// duplicate may still live at the end of children[i]'s subtree, so
 		// descend into children[i].
-		n = t.pinTrack(cur, n.children[lowerBound(n, key)])
+		n = t.readTrack(cur, n.children[lowerBound(n, key)])
 		t.acct.ReadNode(1)
 	}
 	return n
@@ -371,7 +628,7 @@ func (t *Tree) ScanRange(from, to string, fn func(key string, val int64) bool) {
 		if n.next == 0 {
 			return
 		}
-		n = t.pinTrack(&cur, n.next)
+		n = t.readTrack(&cur, n.next)
 		t.acct.ReadNode(1)
 		from = "" // subsequent leaves start at position 0
 	}
@@ -392,7 +649,7 @@ func (t *Tree) ScanFrom(from string, fn func(key string, val int64) bool) {
 		if n.next == 0 {
 			return
 		}
-		n = t.pinTrack(&cur, n.next)
+		n = t.readTrack(&cur, n.next)
 		t.acct.ReadNode(1)
 		from = ""
 	}
@@ -649,7 +906,8 @@ func (t *Tree) mergeChildren(s *pinScope, n *node, i int) {
 // Validate checks the structural invariants: key order within and across
 // nodes, separator correctness, uniform leaf depth, occupancy bounds for
 // non-root nodes, and leaf-chain consistency. It returns the first
-// violation found.
+// violation found. On a snapshot view it validates the tree as of the
+// view's epoch.
 func (t *Tree) Validate() error {
 	depth := -1
 	var prevLeaf *node

@@ -27,6 +27,18 @@ func NewAnnotationStore(acct *pager.Accountant, pageCap int) *AnnotationStore {
 	}
 }
 
+// AsOf returns a read-only snapshot shell of the store frozen at epoch
+// snap (see Table.AsOf for the contract).
+func (s *AnnotationStore) AsOf(snap uint64) *AnnotationStore {
+	return &AnnotationStore{
+		file:    s.file.AsOf(snap),
+		byID:    s.byID.AsOf(snap),
+		byTuple: s.byTuple.AsOf(snap),
+		nextID:  s.nextID,
+		nextSeq: s.nextSeq,
+	}
+}
+
 // Add stores an annotation, assigning its ID and logical timestamp.
 // The Columns slice is retained; callers must not mutate it afterwards.
 func (s *AnnotationStore) Add(tupleOID int64, text string, columns []string, author string) *model.Annotation {

@@ -41,6 +41,24 @@ func New(acct *pager.Accountant, pageCap int) *Catalog {
 // Accountant returns the shared I/O accountant.
 func (c *Catalog) Accountant() *pager.Accountant { return c.acct }
 
+// AsOf returns a read-only snapshot shell of the catalog frozen at
+// epoch snap: every table and the annotation store resolve through
+// their version stores (see Table.AsOf for the contract). Cost is
+// O(#tables + #instances + #indexes), independent of data size.
+func (c *Catalog) AsOf(snap uint64) *Catalog {
+	cp := &Catalog{
+		tables:  make(map[string]*Table, len(c.tables)),
+		Anns:    c.Anns.AsOf(snap),
+		acct:    c.acct,
+		pageCap: c.pageCap,
+		nextOID: c.nextOID,
+	}
+	for k, t := range c.tables {
+		cp.tables[k] = t.AsOf(snap)
+	}
+	return cp
+}
+
 // NextOID returns the catalog-wide OID counter (the last OID assigned),
 // so a checkpoint can persist it and recovery can restore exact ID
 // assignment across restarts.

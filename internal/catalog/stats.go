@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // LabelStats maintains the paper's per-class-label statistics —
@@ -15,7 +16,14 @@ import (
 // incrementally, updated whenever a summary object changes. Internally
 // it keeps the exact frequency of every count value (counts are small
 // integers), from which the published statistics derive.
+//
+// Statistics objects are shared between the writer and concurrently
+// running snapshot readers (the optimizer consults them on the query
+// path), so every method is internally synchronized; readers observe
+// whatever the statistics say "now", which is fine — estimates need not
+// be epoch-exact.
 type LabelStats struct {
+	mu   sync.Mutex
 	freq map[int]int
 	n    int
 }
@@ -25,12 +33,24 @@ func NewLabelStats() *LabelStats { return &LabelStats{freq: make(map[int]int)} }
 
 // Add records one summary object carrying count v for this label.
 func (s *LabelStats) Add(v int) {
+	s.mu.Lock()
+	s.addLocked(v)
+	s.mu.Unlock()
+}
+
+func (s *LabelStats) addLocked(v int) {
 	s.freq[v]++
 	s.n++
 }
 
 // Remove forgets one observation of count v.
 func (s *LabelStats) Remove(v int) {
+	s.mu.Lock()
+	s.removeLocked(v)
+	s.mu.Unlock()
+}
+
+func (s *LabelStats) removeLocked(v int) {
 	if s.freq[v] == 0 {
 		return
 	}
@@ -44,17 +64,25 @@ func (s *LabelStats) Remove(v int) {
 // Replace atomically swaps an observation old -> new, the maintenance
 // path triggered by an annotation update.
 func (s *LabelStats) Replace(old, new int) {
-	s.Remove(old)
-	s.Add(new)
+	s.mu.Lock()
+	s.removeLocked(old)
+	s.addLocked(new)
+	s.mu.Unlock()
 }
 
 // N returns the number of observations (summary objects).
-func (s *LabelStats) N() int { return s.n }
+func (s *LabelStats) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // Values returns a copy of the exact count-value frequencies (used by
 // the benchmark harness to pick predicate constants with a target
 // selectivity).
 func (s *LabelStats) Values() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[int]int, len(s.freq))
 	for v, c := range s.freq {
 		out[v] = c
@@ -64,6 +92,12 @@ func (s *LabelStats) Values() map[int]int {
 
 // Min returns the smallest observed count (0 when empty).
 func (s *LabelStats) Min() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.minLocked()
+}
+
+func (s *LabelStats) minLocked() int {
 	min, ok := 0, false
 	for v := range s.freq {
 		if !ok || v < min {
@@ -75,6 +109,12 @@ func (s *LabelStats) Min() int {
 
 // Max returns the largest observed count (0 when empty).
 func (s *LabelStats) Max() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLocked()
+}
+
+func (s *LabelStats) maxLocked() int {
 	max := 0
 	for v := range s.freq {
 		if v > max {
@@ -85,16 +125,26 @@ func (s *LabelStats) Max() int {
 }
 
 // NumDistinct returns the number of distinct count values.
-func (s *LabelStats) NumDistinct() int { return len(s.freq) }
+func (s *LabelStats) NumDistinct() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freq)
+}
 
 // Histogram builds an equi-width histogram with the given number of
 // buckets over [Min, Max]. Bucket i covers counts in
 // [min + i·w, min + (i+1)·w).
 func (s *LabelStats) Histogram(buckets int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.histogramLocked(buckets)
+}
+
+func (s *LabelStats) histogramLocked(buckets int) []int {
 	if buckets <= 0 || s.n == 0 {
 		return nil
 	}
-	min, max := s.Min(), s.Max()
+	min, max := s.minLocked(), s.maxLocked()
 	width := float64(max-min+1) / float64(buckets)
 	h := make([]int, buckets)
 	for v, c := range s.freq {
@@ -111,15 +161,17 @@ func (s *LabelStats) Histogram(buckets int) []int {
 // using the equi-width histogram (uniformity within a bucket), matching
 // how the paper's extended optimizer estimates the S operator.
 func (s *LabelStats) SelectivityEq(v int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.n == 0 {
 		return 0
 	}
-	min, max := s.Min(), s.Max()
+	min, max := s.minLocked(), s.maxLocked()
 	if v < min || v > max {
 		return 0
 	}
 	const buckets = 10
-	h := s.Histogram(buckets)
+	h := s.histogramLocked(buckets)
 	width := float64(max-min+1) / float64(buckets)
 	b := int(float64(v-min) / width)
 	if b >= buckets {
@@ -132,10 +184,12 @@ func (s *LabelStats) SelectivityEq(v int) float64 {
 // SelectivityRange estimates the fraction of objects with lo <= count <=
 // hi via the histogram, with partial buckets interpolated.
 func (s *LabelStats) SelectivityRange(lo, hi int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.n == 0 || hi < lo {
 		return 0
 	}
-	min, max := s.Min(), s.Max()
+	min, max := s.minLocked(), s.maxLocked()
 	if hi < min || lo > max {
 		return 0
 	}
@@ -146,7 +200,7 @@ func (s *LabelStats) SelectivityRange(lo, hi int) float64 {
 		hi = max
 	}
 	const buckets = 10
-	h := s.Histogram(buckets)
+	h := s.histogramLocked(buckets)
 	width := float64(max-min+1) / float64(buckets)
 	total := 0.0
 	for b, c := range h {
@@ -162,10 +216,14 @@ func (s *LabelStats) SelectivityRange(lo, hi int) float64 {
 }
 
 // InstanceStats aggregates the statistics of one summary instance over a
-// relation: AvgObjectSize plus one LabelStats per classifier label.
+// relation: AvgObjectSize plus one LabelStats per classifier label. Like
+// LabelStats it is shared with concurrent snapshot readers and so
+// internally synchronized.
 type InstanceStats struct {
-	// Labels maps class label -> statistics, for classifier instances.
-	Labels map[string]*LabelStats
+	// mu guards labels and the size accumulators.
+	mu sync.Mutex
+	// labels maps class label -> statistics, for classifier instances.
+	labels map[string]*LabelStats
 	// sizeSum/sizeN track the average object size in bytes.
 	sizeSum int64
 	sizeN   int64
@@ -173,27 +231,33 @@ type InstanceStats struct {
 
 // NewInstanceStats builds stats with LabelStats for the given labels.
 func NewInstanceStats(labels []string) *InstanceStats {
-	is := &InstanceStats{Labels: make(map[string]*LabelStats, len(labels))}
+	is := &InstanceStats{labels: make(map[string]*LabelStats, len(labels))}
 	for _, l := range labels {
-		is.Labels[l] = NewLabelStats()
+		is.labels[l] = NewLabelStats()
 	}
 	return is
 }
 
 // ObserveSize records one object's size in bytes.
 func (is *InstanceStats) ObserveSize(bytes int) {
+	is.mu.Lock()
 	is.sizeSum += int64(bytes)
 	is.sizeN++
+	is.mu.Unlock()
 }
 
 // ForgetSize removes a size observation.
 func (is *InstanceStats) ForgetSize(bytes int) {
+	is.mu.Lock()
 	is.sizeSum -= int64(bytes)
 	is.sizeN--
+	is.mu.Unlock()
 }
 
 // AvgObjectSize returns the mean summary-object size in bytes.
 func (is *InstanceStats) AvgObjectSize() float64 {
+	is.mu.Lock()
+	defer is.mu.Unlock()
 	if is.sizeN == 0 {
 		return 0
 	}
@@ -202,24 +266,34 @@ func (is *InstanceStats) AvgObjectSize() float64 {
 
 // Label returns (creating if needed) the LabelStats for a label.
 func (is *InstanceStats) Label(name string) *LabelStats {
-	ls, ok := is.Labels[name]
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	ls, ok := is.labels[name]
 	if !ok {
 		ls = NewLabelStats()
-		is.Labels[name] = ls
+		is.labels[name] = ls
 	}
 	return ls
 }
 
-// String renders the stats in the style of the paper's Figure 6.
-func (is *InstanceStats) String() string {
-	names := make([]string, 0, len(is.Labels))
-	for n := range is.Labels {
+// LabelNames lists the labels with statistics, sorted.
+func (is *InstanceStats) LabelNames() []string {
+	is.mu.Lock()
+	names := make([]string, 0, len(is.labels))
+	for n := range is.labels {
 		names = append(names, n)
 	}
+	is.mu.Unlock()
 	sort.Strings(names)
+	return names
+}
+
+// String renders the stats in the style of the paper's Figure 6.
+func (is *InstanceStats) String() string {
+	names := is.LabelNames()
 	out := fmt.Sprintf("AvgObjectSize=%.0f", is.AvgObjectSize())
 	for _, n := range names {
-		ls := is.Labels[n]
+		ls := is.Label(n)
 		out += fmt.Sprintf(" %s{Min=%d,Max=%d,NumDistinct=%d}", n, ls.Min(), ls.Max(), ls.NumDistinct())
 	}
 	return out
@@ -227,8 +301,10 @@ func (is *InstanceStats) String() string {
 
 // ColumnStats tracks per-data-column statistics for the standard
 // optimizer paths: distinct-value counts drive equality selectivity and
-// join cardinality (the |R|·|S| / max(V(a,R), V(a,S)) heuristic).
+// join cardinality (the |R|·|S| / max(V(a,R), V(a,S)) heuristic). Shared
+// with concurrent snapshot readers; internally synchronized.
 type ColumnStats struct {
+	mu   sync.Mutex
 	freq map[string]int
 	n    int
 }
@@ -238,12 +314,16 @@ func NewColumnStats() *ColumnStats { return &ColumnStats{freq: make(map[string]i
 
 // Add records one value (by its canonical sort key).
 func (s *ColumnStats) Add(key string) {
+	s.mu.Lock()
 	s.freq[key]++
 	s.n++
+	s.mu.Unlock()
 }
 
 // Remove forgets one value.
 func (s *ColumnStats) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.freq[key] == 0 {
 		return
 	}
@@ -255,13 +335,23 @@ func (s *ColumnStats) Remove(key string) {
 }
 
 // N returns the number of observations.
-func (s *ColumnStats) N() int { return s.n }
+func (s *ColumnStats) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
 
 // NumDistinct returns the distinct-value count.
-func (s *ColumnStats) NumDistinct() int { return len(s.freq) }
+func (s *ColumnStats) NumDistinct() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freq)
+}
 
 // SelectivityEq estimates equality selectivity as 1/NumDistinct.
 func (s *ColumnStats) SelectivityEq() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.freq) == 0 {
 		return 0
 	}

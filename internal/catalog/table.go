@@ -58,6 +58,39 @@ type Table struct {
 
 	acct    *pager.Accountant
 	nextOID *int64 // catalog-wide OID counter
+
+	// view marks a read-only snapshot shell produced by AsOf: shared
+	// lazily-grown maps must not be mutated through it.
+	view bool
+}
+
+// AsOf returns a read-only snapshot shell of the table frozen at epoch
+// snap: storage and indexes resolve through their version stores, and
+// mutable catalog containers (the instance list, the stats map) are
+// copied so in-place catalog surgery on the live table cannot be seen.
+// Statistics values themselves are shared — they are internally
+// synchronized and estimates need not be epoch-exact. Must be taken
+// while the table's current state IS the state at snap (the engine
+// takes shells at epoch publication, under the writer lock).
+func (t *Table) AsOf(snap uint64) *Table {
+	cp := *t
+	cp.view = true
+	cp.Data = t.Data.AsOf(snap)
+	cp.oidIndex = t.oidIndex.AsOf(snap)
+	cp.SummaryStorage = t.SummaryStorage.AsOf(snap)
+	cp.sumIndex = t.sumIndex.AsOf(snap)
+	cp.Instances = append([]*SummaryInstance(nil), t.Instances...)
+	cp.InstStats = make(map[string]*InstanceStats, len(t.InstStats))
+	for k, v := range t.InstStats {
+		cp.InstStats[k] = v
+	}
+	if len(t.dataIndexes) > 0 {
+		cp.dataIndexes = make(map[string]*btree.Tree, len(t.dataIndexes))
+		for k, v := range t.dataIndexes {
+			cp.dataIndexes[k] = v.AsOf(snap)
+		}
+	}
+	return &cp
 }
 
 // CreateDataIndex builds (or returns) a standard B-Tree index over a
@@ -288,6 +321,8 @@ func (t *Table) Instance(name string) *SummaryInstance {
 func (t *Table) HasInstance(name string) bool { return t.Instance(name) != nil }
 
 // Stats returns (creating if needed) the InstanceStats for an instance.
+// On a snapshot shell a missing entry yields a fresh throwaway instead
+// of growing the map, which concurrent readers of the same epoch share.
 func (t *Table) Stats(instance string) *InstanceStats {
 	is, ok := t.InstStats[strings.ToLower(instance)]
 	if !ok {
@@ -296,6 +331,9 @@ func (t *Table) Stats(instance string) *InstanceStats {
 			labels = si.Labels
 		}
 		is = NewInstanceStats(labels)
+		if t.view {
+			return is
+		}
 		t.InstStats[strings.ToLower(instance)] = is
 	}
 	return is

@@ -73,15 +73,18 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, query string, opts *opt
 	o.Collector = exec.NewStatsCollector(db.acct)
 
 	start := time.Now()
-	db.mu.RLock()
+	ep, s, err := db.pinEpoch()
+	if err != nil {
+		return nil, err
+	}
 	io0 := db.acct.Stats()
-	res, resolver, err := db.runSelectResolved(ctx, sel, &o)
+	res, resolver, err := db.runSelectResolved(ctx, ep, sel, &o)
 	io1 := db.acct.Stats()
 	var root *optimizer.AnalyzedNode
 	if err == nil {
-		root = optimizer.Annotate(res.Plan, resolver, db.optimizerEnv(sel.Propagate), o)
+		root = optimizer.Annotate(res.Plan, resolver, ep.optimizerEnv(sel.Propagate), o)
 	}
-	db.mu.RUnlock()
+	db.clock.Unpin(s)
 	wall := time.Since(start)
 
 	rows := 0

@@ -18,6 +18,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/mining/bayes"
 	"repro/internal/model"
+	"repro/internal/mvcc"
 	"repro/internal/pager"
 	walpkg "repro/internal/wal"
 )
@@ -66,6 +67,12 @@ type Config struct {
 	// real fsync is nearly free, which would hide exactly the cost group
 	// commit exists to amortize. Benchmarks only; 0 for real devices.
 	WALSyncDelay time.Duration
+
+	// LockCoupledReads makes Query/RunSelectContext take the shared lock
+	// around execution (the pre-MVCC behavior, where readers serialize
+	// against mutators) instead of pinning an epoch lock-free. Debug and
+	// benchmark baseline only; results are identical either way.
+	LockCoupledReads bool
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -112,17 +119,29 @@ type DB struct {
 	walOps          atomic.Int64
 	// ckptMu serializes checkpoint attempts.
 	ckptMu sync.Mutex
-	// nextTxID, activeTxns, and dirtyRollback are guarded by mu:
-	// transaction IDs are assigned under the exclusive lock, and
-	// Checkpoint reads the other two under the shared lock to decide
-	// whether the live state equals the committed prefix.
-	nextTxID      uint64
-	activeTxns    int
-	dirtyRollback bool
+	// nextTxID and activeTxns are guarded by mu: transaction IDs are
+	// assigned under the exclusive lock, and Checkpoint reads activeTxns
+	// under the shared lock to decide whether the live state equals the
+	// committed prefix.
+	nextTxID   uint64
+	activeTxns int
 	// recoveryReplayed is set by Open before the DB is shared;
 	// checkpoints counts completed checkpoints.
 	recoveryReplayed int64
 	checkpoints      atomic.Int64
+
+	// clock is the MVCC epoch clock queries pin snapshots on (see
+	// epoch.go); mutators publish the next epoch at the end of their
+	// exclusive hold. lockCoupledReads mirrors Config.LockCoupledReads.
+	clock            *mvcc.Clock
+	lockCoupledReads bool
+	// closed (under mu) makes Close idempotent; closedA is its lock-free
+	// mirror the read path checks after pinning.
+	closed  bool
+	closedA atomic.Bool
+	// publishHook, when set before the DB is shared, observes every epoch
+	// publication's LSN watermark (crash-test instrumentation).
+	publishHook func(lsn uint64)
 }
 
 // New creates an empty, ephemeral database. Durable databases
@@ -157,17 +176,24 @@ func newDB(cfg Config, acct *pager.Accountant) *DB {
 		// every heap file and index registers its pages with it.
 		pager.NewBufferPool(acct, cfg.BufferPoolPages)
 	}
+	// The clock must be on the accountant before any storage exists, so
+	// every heap file and index self-attaches and versions its pages.
+	clock := mvcc.New()
+	acct.SetClock(clock)
 	db := &DB{
-		cat:         catalog.New(acct, cfg.PageCap),
-		acct:        acct,
-		instances:   make(map[string]*catalog.SummaryInstance),
-		classifiers: make(map[string]*bayes.Classifier),
-		summaryIdx:  make(map[string]map[string]*index.SummaryBTree),
-		baselineIdx: make(map[string]map[string]*index.Baseline),
+		cat:              catalog.New(acct, cfg.PageCap),
+		acct:             acct,
+		instances:        make(map[string]*catalog.SummaryInstance),
+		classifiers:      make(map[string]*bayes.Classifier),
+		summaryIdx:       make(map[string]map[string]*index.SummaryBTree),
+		baselineIdx:      make(map[string]map[string]*index.Baseline),
+		clock:            clock,
+		lockCoupledReads: cfg.LockCoupledReads,
 	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.defaultBudget.Store(cfg.Budget)
 	db.maxParallel.Store(int64(cfg.MaxParallelWorkers))
+	db.publishLocked() // initial empty epoch; the DB is not shared yet
 	return db
 }
 
@@ -201,13 +227,23 @@ func (db *DB) Accountant() *pager.Accountant { return db.acct }
 func (db *DB) BufferPool() *pager.BufferPool { return db.acct.Pool() }
 
 // Close releases resources held outside the Go heap — the write-ahead
-// log (flushed durable first) and the buffer pool's backing store. The
-// DB must not be used afterwards; a DB with neither needs no Close.
+// log (flushed durable first) and the buffer pool's backing store.
+// In-flight reads are drained first: new reads are turned away with
+// ErrClosed, and Close blocks until every pinned epoch is released, so
+// no query can touch the pool or backing store mid-teardown. Idempotent;
+// the DB must not be used afterwards.
 func (db *DB) Close() error {
 	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
 	l := db.wal
 	db.wal = nil
 	db.mu.Unlock()
+	db.closedA.Store(true)
+	db.clock.WaitIdle()
 	var err error
 	if l != nil {
 		db.acct.SetPageLogger(nil)
@@ -341,18 +377,26 @@ func (db *DB) applyDeleteTuple(t *catalog.Table, table string, oid int64, rid he
 	t.Delete(oid)
 }
 
-// Annotations returns the raw annotations attached to a tuple.
+// Annotations returns the raw annotations attached to a tuple, as of
+// the current epoch (nil after Close).
 func (db *DB) Annotations(oid int64) []*model.Annotation {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.cat.Anns.ForTuple(oid)
+	ep, s, err := db.pinEpoch()
+	if err != nil {
+		return nil
+	}
+	defer db.clock.Unpin(s)
+	return ep.cat.Anns.ForTuple(oid)
 }
 
-// AnnotationCount returns the total number of stored annotations.
+// AnnotationCount returns the total number of stored annotations, as of
+// the current epoch (0 after Close).
 func (db *DB) AnnotationCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.cat.Anns.Len()
+	ep, s, err := db.pinEpoch()
+	if err != nil {
+		return 0
+	}
+	defer db.clock.Unpin(s)
+	return ep.cat.Anns.Len()
 }
 
 // SummaryIndex returns the Summary-BTree on (table, instance), or nil.

@@ -55,14 +55,31 @@ func (db *DB) QueryContext(ctx context.Context, query string, opts *optimizer.Op
 }
 
 // RunSelectContext plans and executes an already-parsed SELECT under
-// ctx (see QueryContext for semantics).
+// ctx (see QueryContext for semantics). The read pins the current epoch
+// and runs without db.mu: mutators publish new epochs, readers never
+// block them (or each other).
 func (db *DB) RunSelectContext(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
 	ctx, cancel := db.applyTimeout(ctx)
 	defer cancel()
 	start := time.Now()
-	db.mu.RLock()
-	res, err := db.runSelect(ctx, sel, opts)
-	db.mu.RUnlock()
+	if db.lockCoupledReads {
+		// Benchmark baseline: emulate the pre-MVCC reader by taking the
+		// shared lock for the statement's duration, so readers queue
+		// behind mutators exactly as the lock-coupled engine did. Under
+		// the RLock the pinned epoch is necessarily the live state.
+		db.mu.RLock()
+	}
+	res, err := func() (*Result, error) {
+		ep, s, err := db.pinEpoch()
+		if err != nil {
+			return nil, err
+		}
+		defer db.clock.Unpin(s)
+		return db.runSelect(ctx, ep, sel, opts)
+	}()
+	if db.lockCoupledReads {
+		db.mu.RUnlock()
+	}
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)

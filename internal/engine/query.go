@@ -24,9 +24,10 @@ type Result struct {
 	// Plan is the optimized logical plan that produced the result.
 	Plan plan.Node
 	// AsOfLSN is the WAL position the result reflects: every record up
-	// to it is applied, none past it is. It is exact because all log
-	// appends happen under the exclusive lock the query's shared lock
-	// excludes. Zero when the database runs without a WAL.
+	// to it is applied, none past it is. It is the pinned epoch's LSN
+	// watermark, exact by construction — a mutator appends its records
+	// (commit record included) before publishing the epoch that exposes
+	// their effects. Zero when the database runs without a WAL.
 	AsOfLSN uint64
 }
 
@@ -43,28 +44,28 @@ func (db *DB) RunSelect(sel *sql.SelectStmt, opts *optimizer.Options) (*Result, 
 	return db.RunSelectContext(context.Background(), sel, opts)
 }
 
-// runSelect is the unlocked implementation (callers hold the shared
-// lock and have already layered the statement timeout onto ctx). The
+// runSelect is the lock-free implementation (callers hold a pin on ep
+// and have already layered the statement timeout onto ctx). The
 // deferred recover is the planning-time backstop: cost estimation and
 // access-path probing may touch index pages, so injected storage
 // faults can surface before the executor's own guards are in place.
-func (db *DB) runSelect(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
-	res, _, err := db.runSelectResolved(ctx, sel, opts)
+func (db *DB) runSelect(ctx context.Context, ep *dbEpoch, sel *sql.SelectStmt, opts *optimizer.Options) (*Result, error) {
+	res, _, err := db.runSelectResolved(ctx, ep, sel, opts)
 	return res, err
 }
 
 // runSelectResolved additionally returns the alias resolver so
 // ExplainAnalyze can re-annotate the optimized plan with cost-model
 // estimates after execution.
-func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, r *plan.AliasResolver, err error) {
+func (db *DB) runSelectResolved(ctx context.Context, ep *dbEpoch, sel *sql.SelectStmt, opts *optimizer.Options) (res *Result, r *plan.AliasResolver, err error) {
 	defer recoverInto("Planner", &err)
 	o := db.effectiveOptions(opts)
-	builder := &plan.Builder{Cat: db.cat}
+	builder := &plan.Builder{Cat: ep.cat}
 	root, resolver, err := builder.Build(sel)
 	if err != nil {
 		return nil, nil, err
 	}
-	env := db.optimizerEnv(sel.Propagate)
+	env := ep.optimizerEnv(sel.Propagate)
 	it, optimized, err := optimizer.Plan(root, resolver, env, o)
 	if err != nil {
 		return nil, resolver, err
@@ -93,10 +94,7 @@ func (db *DB) runSelectResolved(ctx context.Context, sel *sql.SelectStmt, opts *
 	for i := range cols {
 		cols[i] = schema.Col(i).Name
 	}
-	out := &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized}
-	if db.wal != nil {
-		out.AsOfLSN = db.wal.AppendedLSN()
-	}
+	out := &Result{Columns: cols, Schema: schema, Rows: rows, Plan: optimized, AsOfLSN: ep.lsn}
 	return out, resolver, nil
 }
 
@@ -111,14 +109,17 @@ func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
 		return "", fmt.Errorf("engine: Explain expects SELECT")
 	}
 	o := db.effectiveOptions(opts)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	builder := &plan.Builder{Cat: db.cat}
+	ep, s, err := db.pinEpoch()
+	if err != nil {
+		return "", err
+	}
+	defer db.clock.Unpin(s)
+	builder := &plan.Builder{Cat: ep.cat}
 	root, resolver, err := builder.Build(sel)
 	if err != nil {
 		return "", err
 	}
-	optimized := optimizer.Optimize(root, resolver, db.optimizerEnv(sel.Propagate), o)
+	optimized := optimizer.Optimize(root, resolver, ep.optimizerEnv(sel.Propagate), o)
 	return plan.Explain(optimized), nil
 }
 
@@ -136,15 +137,16 @@ func (db *DB) effectiveOptions(opts *optimizer.Options) optimizer.Options {
 	return o
 }
 
-func (db *DB) optimizerEnv(propagate bool) *optimizer.Env {
+// optimizerEnv builds the planner environment from the epoch's shells,
+// so planning and execution resolve every access path at the pinned
+// snapshot without touching the live (mutating) structures.
+func (ep *dbEpoch) optimizerEnv(propagate bool) *optimizer.Env {
 	return &optimizer.Env{
-		Cat: db.cat,
-		// Unlocked accessors: query execution already holds the shared
-		// lock; the public accessors would re-enter it.
-		SummaryIdx:  db.summaryIndex,
-		BaselineIdx: db.baselineIndex,
-		Annotations: db.cat.Anns.ForTuple,
-		Lookup:      db.cat.Anns.Lookup(),
+		Cat:         ep.cat,
+		SummaryIdx:  ep.summaryIndex,
+		BaselineIdx: ep.baselineIndex,
+		Annotations: ep.cat.Anns.ForTuple,
+		Lookup:      ep.cat.Anns.Lookup(),
 		Propagate:   propagate,
 	}
 }

@@ -29,11 +29,14 @@ package engine
 //     renamed) bounds recovery time; the log is compacted once the
 //     checkpoint is durable.
 //
-// Rollback does not undo: the transaction's records are never
-// committed, so its effects vanish at the next restart, but until then
-// the live state has diverged from the committed prefix and
-// checkpointing is refused (a checkpoint would persist the rolled-back
-// effects).
+// Rollback does not undo — it discards: a transaction's operations are
+// BUFFERED (validated and their identifiers reserved immediately, but
+// neither logged nor applied) until Commit appends the whole batch plus
+// the commit record and applies it under one exclusive hold. Rollback
+// just drops the buffer: the live state never contains uncommitted
+// effects, nothing reaches the log, and checkpoints stay available
+// after any number of rollbacks. Reserved OIDs and annotation IDs stay
+// consumed, leaving the same ID gaps an aborted logged run would.
 
 import (
 	"bytes"
@@ -42,7 +45,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/model"
 	"repro/internal/wal"
 )
@@ -157,6 +162,11 @@ func (db *DB) logAppend(t wal.Type, txid uint64, payload any) (uint64, error) {
 // deterministic outcome (including partial application), keeping
 // recovered state byte-equivalent to the live state that the caller
 // observed alongside the returned error.
+//
+// The next epoch is published before the lock drops — unconditionally,
+// because fn may have applied partial effects even on error, and the
+// live-visibility contract says queries see exactly what the mutator
+// left behind.
 func (db *DB) runAuto(fn func(txid uint64) (uint64, error)) error {
 	db.mu.Lock()
 	db.nextTxID++
@@ -172,6 +182,7 @@ func (db *DB) runAuto(fn func(txid uint64) (uint64, error)) error {
 		}
 		l = db.wal
 	}
+	db.publishLocked()
 	db.mu.Unlock()
 	if commitLSN != 0 && l != nil {
 		if cerr := l.Commit(commitLSN); cerr != nil && err == nil {
@@ -288,6 +299,13 @@ func Open(cfg Config) (*DB, error) {
 	db.checkpointEvery = cfg.CheckpointEveryN
 	db.nextTxID = maxTx
 	acct.SetPageLogger(l)
+	// Publish the recovery epoch: readers admitted from here on see the
+	// replayed committed prefix with AsOfLSN at the recovered log
+	// position. The DB is not shared yet, but publishLocked's contract
+	// asks for the lock.
+	db.mu.Lock()
+	db.publishLocked()
+	db.mu.Unlock()
 	return db, nil
 }
 
@@ -402,65 +420,149 @@ func (db *DB) replayRecord(rec wal.Record) error {
 	return nil
 }
 
-// Txn batches several mutations into one atomic durability unit: its
-// records share a transaction ID and become durable together when
-// Commit's record is forced. Concurrency-wise each operation still
-// takes the exclusive lock individually — Txn controls atomicity of
-// RECOVERY, not isolation — and its in-memory effects are visible to
-// queries as they happen.
+// Txn batches several mutations into one atomic unit. Each operation
+// validates against the live state plus the transaction's own pending
+// effects and reserves any identifiers it will assign (OIDs, annotation
+// IDs, timestamps), but its effects are BUFFERED: nothing is logged,
+// applied, or visible to queries until Commit, which appends every
+// record plus the commit record and applies the batch under one
+// exclusive hold before publishing the next epoch. Readers therefore
+// see either none or all of a transaction, and Rollback is a pure
+// discard of the buffer.
 type Txn struct {
 	db   *DB
 	id   uint64
-	last uint64 // LSN of the last record this transaction logged
+	ops  []txnOp
 	done bool
+	// Pending-visibility maps: later operations of this transaction must
+	// see its earlier buffered effects, which the live state does not
+	// contain until Commit applies them.
+	newOIDs map[string]map[int64]bool   // tx-inserted tuples, per lowercase table
+	delOIDs map[string]map[int64]bool   // tx-deleted tuples, per lowercase table
+	newAnns map[int64]*model.Annotation // tx-added annotations, by reserved ID
+	delAnns map[int64]bool              // tx-deleted annotation IDs
+}
+
+// txnOp is one buffered operation: the WAL record Commit will append
+// and the deterministic apply closure that redoes it. The closures are
+// the same replay-tolerant paths recovery uses, so apply-level errors
+// are swallowed exactly as replayRecord swallows them.
+type txnOp struct {
+	rt    wal.Type
+	pay   any
+	apply func(db *DB)
 }
 
 // Begin starts a transaction. While any transaction is open,
-// checkpoints are refused (the live state may contain effects whose
-// commit record does not exist yet).
+// checkpoints are refused — a simple quiesce rule kept even though
+// buffering means the live state never holds uncommitted effects.
 func (db *DB) Begin() *Txn {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.nextTxID++
 	db.activeTxns++
-	return &Txn{db: db, id: db.nextTxID}
+	return &Txn{
+		db:      db,
+		id:      db.nextTxID,
+		newOIDs: make(map[string]map[int64]bool),
+		delOIDs: make(map[string]map[int64]bool),
+		newAnns: make(map[int64]*model.Annotation),
+		delAnns: make(map[int64]bool),
+	}
 }
 
-// run executes one operation under the exclusive lock with this
-// transaction's ID, tracking the highest LSN it logged.
-func (tx *Txn) run(fn func() (uint64, error)) error {
+// run executes one validate-and-buffer step under the exclusive lock
+// with this transaction's ID.
+func (tx *Txn) run(fn func() error) error {
 	if tx.done {
 		return ErrTxnDone
 	}
 	tx.db.mu.Lock()
-	lsn, err := fn()
-	if lsn > tx.last {
-		tx.last = lsn
-	}
+	err := fn()
 	tx.db.mu.Unlock()
 	return err
 }
 
-// Insert adds a tuple within the transaction.
+// tupleVisible reports whether the transaction can see a tuple: live in
+// the table or buffered by an earlier Insert, and not buffered-deleted.
+func (tx *Txn) tupleVisible(t *catalog.Table, table string, oid int64) bool {
+	key := strings.ToLower(table)
+	if tx.delOIDs[key][oid] {
+		return false
+	}
+	if _, ok := t.DiskTupleLoc(oid); ok {
+		return true
+	}
+	return tx.newOIDs[key][oid]
+}
+
+// annVisible reports whether the transaction can see an annotation.
+func (tx *Txn) annVisible(annID int64) bool {
+	if tx.delAnns[annID] {
+		return false
+	}
+	if _, ok := tx.db.cat.Anns.Get(annID); ok {
+		return true
+	}
+	return tx.newAnns[annID] != nil
+}
+
+// Insert adds a tuple within the transaction, reserving and returning
+// the OID it will occupy after Commit.
 func (tx *Txn) Insert(table string, values ...model.Value) (int64, error) {
 	var oid int64
-	err := tx.run(func() (uint64, error) {
-		var lsn uint64
-		var e error
-		oid, lsn, e = tx.db.insertOp(tx.id, table, values)
-		return lsn, e
+	err := tx.run(func() error {
+		db := tx.db
+		t, err := db.cat.Table(table)
+		if err != nil {
+			return err
+		}
+		if len(values) != t.Schema.Len() {
+			return fmt.Errorf("catalog: %s expects %d values, got %d", t.Name, t.Schema.Len(), len(values))
+		}
+		oid = t.PeekOID()
+		db.cat.SetNextOID(oid) // consume: interleaved writers must not reuse it
+		key := strings.ToLower(table)
+		if tx.newOIDs[key] == nil {
+			tx.newOIDs[key] = make(map[int64]bool)
+		}
+		tx.newOIDs[key][oid] = true
+		p := pInsertTuple{Table: table, OID: oid, Values: values}
+		tx.ops = append(tx.ops, txnOp{rt: recInsertTuple, pay: p, apply: func(db *DB) {
+			if t, err := db.cat.Table(p.Table); err == nil {
+				t.InsertWithOID(p.OID, p.Values)
+			}
+		}})
+		return nil
 	})
 	return oid, err
 }
 
-// AddAnnotation attaches a raw annotation within the transaction.
+// AddAnnotation attaches a raw annotation within the transaction. The
+// returned annotation carries the reserved ID and timestamp; the stored
+// copy materializes at Commit.
 func (tx *Txn) AddAnnotation(table string, oid int64, text string, columns []string, author string) (*model.Annotation, error) {
 	var ann *model.Annotation
-	err := tx.run(func() (uint64, error) {
-		var lsn uint64
-		var e error
-		ann, lsn, e = tx.db.addAnnotationOp(tx.id, table, oid, text, columns, author)
-		return lsn, e
+	err := tx.run(func() error {
+		db := tx.db
+		t, err := db.cat.Table(table)
+		if err != nil {
+			return err
+		}
+		if !tx.tupleVisible(t, table, oid) {
+			return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+		}
+		id, seq := db.cat.Anns.PeekID(), db.cat.Anns.PeekSeq()
+		db.cat.Anns.SetCounters(id, seq) // consume the reserved identifiers
+		ann = &model.Annotation{ID: id, Text: text, TupleOID: oid, Columns: columns, Author: author, Seq: seq}
+		tx.newAnns[id] = ann
+		p := pAddAnnotation{
+			Table: table, OID: oid, ID: id, Seq: seq, Text: text, Columns: columns, Author: author,
+		}
+		tx.ops = append(tx.ops, txnOp{rt: recAddAnnotation, pay: p, apply: func(db *DB) {
+			db.applyAddAnnotation(p.Table, p.OID, p.ID, p.Seq, p.Text, p.Columns, p.Author)
+		}})
+		return nil
 	})
 	return ann, err
 }
@@ -468,28 +570,81 @@ func (tx *Txn) AddAnnotation(table string, oid int64, text string, columns []str
 // AttachAnnotation attaches an existing annotation to another tuple
 // within the transaction.
 func (tx *Txn) AttachAnnotation(table string, oid, annID int64) error {
-	return tx.run(func() (uint64, error) {
-		return tx.db.attachAnnotationOp(tx.id, table, oid, annID)
+	return tx.run(func() error {
+		db := tx.db
+		t, err := db.cat.Table(table)
+		if err != nil {
+			return err
+		}
+		if !tx.tupleVisible(t, table, oid) {
+			return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+		}
+		if !tx.annVisible(annID) {
+			return fmt.Errorf("engine: no annotation %d", annID)
+		}
+		p := pAttachAnnotation{Table: table, OID: oid, AnnID: annID}
+		tx.ops = append(tx.ops, txnOp{rt: recAttachAnnotation, pay: p, apply: func(db *DB) {
+			db.applyAttachAnnotation(p.Table, p.OID, p.AnnID)
+		}})
+		return nil
 	})
 }
 
 // DeleteAnnotation removes an annotation within the transaction.
 func (tx *Txn) DeleteAnnotation(table string, annID int64) error {
-	return tx.run(func() (uint64, error) {
-		return tx.db.deleteAnnotationOp(tx.id, table, annID)
+	return tx.run(func() error {
+		db := tx.db
+		if _, err := db.cat.Table(table); err != nil {
+			return err
+		}
+		if !tx.annVisible(annID) {
+			return fmt.Errorf("engine: no annotation %d", annID)
+		}
+		tx.delAnns[annID] = true
+		p := pDeleteAnnotation{Table: table, AnnID: annID}
+		tx.ops = append(tx.ops, txnOp{rt: recDeleteAnnotation, pay: p, apply: func(db *DB) {
+			db.applyDeleteAnnotation(p.Table, p.AnnID)
+		}})
+		return nil
 	})
 }
 
 // DeleteTuple removes a tuple within the transaction.
 func (tx *Txn) DeleteTuple(table string, oid int64) error {
-	return tx.run(func() (uint64, error) {
-		return tx.db.deleteTupleOp(tx.id, table, oid)
+	return tx.run(func() error {
+		db := tx.db
+		t, err := db.cat.Table(table)
+		if err != nil {
+			return err
+		}
+		if !tx.tupleVisible(t, table, oid) {
+			return fmt.Errorf("engine: %s has no tuple %d", table, oid)
+		}
+		key := strings.ToLower(table)
+		if tx.delOIDs[key] == nil {
+			tx.delOIDs[key] = make(map[int64]bool)
+		}
+		tx.delOIDs[key][oid] = true
+		p := pDeleteTuple{Table: table, OID: oid}
+		tx.ops = append(tx.ops, txnOp{rt: recDeleteTuple, pay: p, apply: func(db *DB) {
+			if t, err := db.cat.Table(p.Table); err == nil {
+				if rid, ok := t.DiskTupleLoc(p.OID); ok {
+					db.applyDeleteTuple(t, p.Table, p.OID, rid)
+				}
+			}
+		}})
+		return nil
 	})
 }
 
-// Commit appends the transaction's commit record and forces it durable
-// under the group-commit policy. After Commit returns nil, every
-// operation of the transaction survives any crash.
+// Commit makes the transaction real: under one exclusive hold it
+// appends every buffered record followed by the commit record, applies
+// the batch through the deterministic redo paths, and publishes the
+// next epoch. If any append fails the transaction aborts cleanly —
+// nothing is applied or published, and with no commit record in the log
+// recovery discards whatever records made it in. After a nil return the
+// whole transaction is visible to new readers and survives any crash
+// once the commit is forced durable under the group-commit policy.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
@@ -501,9 +656,22 @@ func (tx *Txn) Commit() error {
 	var commitLSN uint64
 	var err error
 	var l *wal.Log
-	if tx.last != 0 {
-		commitLSN, err = db.logAppend(recCommit, tx.id, nil)
-		l = db.wal
+	if len(tx.ops) > 0 {
+		for _, op := range tx.ops {
+			if _, err = db.logAppend(op.rt, tx.id, op.pay); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			commitLSN, err = db.logAppend(recCommit, tx.id, nil)
+		}
+		if err == nil {
+			for _, op := range tx.ops {
+				op.apply(db)
+			}
+			db.publishLocked()
+			l = db.wal
+		}
 	}
 	db.mu.Unlock()
 	if err != nil {
@@ -518,11 +686,11 @@ func (tx *Txn) Commit() error {
 	return nil
 }
 
-// Rollback abandons the transaction. Logging is redo-only, so the
-// transaction's in-memory effects are NOT undone — recovery discards
-// them at the next restart because its commit record never exists. In
-// the meantime the live state has diverged from the committed prefix,
-// so checkpointing is disabled until restart.
+// Rollback abandons the transaction by discarding its buffer. Nothing
+// was logged or applied, so there is nothing to undo: queries never saw
+// the transaction, the log holds no trace of it, and checkpoints remain
+// available. Only the reserved identifiers stay consumed, leaving ID
+// gaps exactly as an uncommitted logged run would.
 func (tx *Txn) Rollback() {
 	if tx.done {
 		return
@@ -531,15 +699,17 @@ func (tx *Txn) Rollback() {
 	db.mu.Lock()
 	tx.done = true
 	db.activeTxns--
-	if tx.last != 0 {
-		db.dirtyRollback = true
-	}
 	db.mu.Unlock()
 }
 
 // maybeCheckpoint triggers a checkpoint after Config.CheckpointEveryN
-// committed operations. Best-effort: a refused or failed attempt leaves
-// the counter high so the next commit retries.
+// committed operations. Exactly one of the committers racing past the
+// threshold claims the trigger by swapping the counter to zero; the
+// losers see a residue below the threshold restored and keep counting.
+// Without the claim, every commit past the threshold re-fired the
+// checkpoint until one completed — N concurrent committers meant up to
+// N redundant snapshots. Best-effort: a refused or failed attempt
+// re-arms by restoring the claimed count so the next commit retries.
 func (db *DB) maybeCheckpoint() {
 	if db.checkpointEvery <= 0 {
 		return
@@ -547,22 +717,34 @@ func (db *DB) maybeCheckpoint() {
 	if db.walOps.Add(1) < int64(db.checkpointEvery) {
 		return
 	}
-	db.Checkpoint()
+	old := db.walOps.Swap(0)
+	if old < int64(db.checkpointEvery) {
+		// Another committer already claimed this trigger; give the
+		// residue back.
+		db.walOps.Add(old)
+		return
+	}
+	if ok, err := db.Checkpoint(); err != nil || !ok {
+		db.walOps.Add(old)
+	}
 }
 
 // Checkpoint captures a quiesced snapshot of the database and compacts
 // the log up to it, bounding recovery time. It returns (false, nil) —
-// refused, not failed — when durability is off, a transaction is open,
-// or a rollback has poisoned the live state. The snapshot is taken
-// under the shared lock (readers proceed; mutators and therefore log
-// appends are frozen), forced to disk via temp file + fsync + rename,
-// and only then is the log truncated.
+// refused, not failed — when durability is off or a transaction is
+// open (buffered transactions never leak uncommitted effects into the
+// live state, but refusing keeps the capture rule trivially simple).
+// Rollback never poisons the live state, so rolled-back transactions
+// do not block checkpoints. The snapshot is taken under the shared
+// lock (mutators and therefore log appends are frozen; queries run on
+// pinned epochs and are unaffected), forced to disk via temp file +
+// fsync + rename, and only then is the log truncated.
 func (db *DB) Checkpoint() (bool, error) {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if db.wal == nil || db.activeTxns > 0 || db.dirtyRollback {
+	if db.wal == nil || db.activeTxns > 0 {
 		return false, nil
 	}
 	snapLSN := db.wal.AppendedLSN()

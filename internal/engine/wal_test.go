@@ -83,9 +83,9 @@ func tortureWorkload(t *testing.T, db *DB) {
 		t.Fatal(err)
 	}
 
-	// Explicit transaction, rolled back: its records stay in the log with
-	// no commit record, so every recovery discards them — and the IDs it
-	// consumed stay consumed (the later adds log past the gap).
+	// Explicit transaction, rolled back: its operations were buffered and
+	// never reach the log or the live state — only the IDs it reserved
+	// stay consumed (the later adds log past the gap).
 	rb := db.Begin()
 	if _, err := rb.Insert("Birds",
 		model.NewInt(7), model.NewText("Bird007"), model.NewText("Laridae")); err != nil {
@@ -174,6 +174,11 @@ func TestRecoveryTortureEveryBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Record every epoch publication's LSN watermark: each one is an
+	// extra kill point below (publishHook runs under the exclusive lock,
+	// so the slice needs no further synchronization).
+	var publishLSNs []uint64
+	db.publishHook = func(lsn uint64) { publishLSNs = append(publishLSNs, lsn) }
 	tortureWorkload(t, db)
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -226,6 +231,42 @@ func TestRecoveryTortureEveryBoundary(t *testing.T) {
 		recoverAt(fmt.Sprintf("cut-%d", i+1), end, i+1)
 		mid := res.Offsets[i] + (end-res.Offsets[i])/2
 		recoverAt(fmt.Sprintf("torn-%d", i+1), mid, i)
+	}
+
+	// Kill at every epoch publication: an epoch's LSN watermark must sit
+	// exactly on a commit-record boundary (records — commit included —
+	// are appended before the epoch publishes), and a crash at that
+	// instant must recover exactly the state the epoch exposed. A
+	// watermark inside a transaction's record run, or past the appended
+	// log, would surface here as a missing record or a diverged state.
+	lsnIndex := make(map[uint64]int, len(res.Records))
+	for i, r := range res.Records {
+		lsnIndex[r.LSN] = i
+	}
+	seen := map[uint64]bool{}
+	published := 0
+	for _, lsn := range publishLSNs {
+		if lsn == 0 || seen[lsn] {
+			continue // pre-WAL epoch, or a no-op republish at the same watermark
+		}
+		seen[lsn] = true
+		i, ok := lsnIndex[lsn]
+		if !ok {
+			t.Errorf("published epoch watermark %d matches no log record", lsn)
+			continue
+		}
+		if res.Records[i].Type != recCommit {
+			t.Errorf("published epoch watermark %d is record type %d, want a commit record", lsn, res.Records[i].Type)
+		}
+		end := res.End
+		if i+1 < len(res.Offsets) {
+			end = res.Offsets[i+1]
+		}
+		recoverAt(fmt.Sprintf("publish-%d", lsn), end, i+1)
+		published++
+	}
+	if published == 0 {
+		t.Error("workload published no epochs with a WAL watermark")
 	}
 }
 

@@ -41,10 +41,13 @@ func (db *DB) ZoomIn(table, instance, label, where string) ([]ZoomResult, error)
 func (db *DB) zoomContext(ctx context.Context, stmt *sql.ZoomStmt) (zooms []ZoomResult, err error) {
 	ctx, cancel := db.applyTimeout(ctx)
 	defer cancel()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	ep, s, err := db.pinEpoch()
+	if err != nil {
+		return nil, err
+	}
+	defer db.clock.Unpin(s)
 	defer recoverInto("Zoom", &err)
-	t, err := db.cat.Table(stmt.Table)
+	t, err := ep.cat.Table(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +61,7 @@ func (db *DB) zoomContext(ctx context.Context, stmt *sql.ZoomStmt) (zooms []Zoom
 		Limit:     -1,
 		Propagate: true,
 	}
-	res, err := db.runSelect(ctx, sel, nil)
+	res, err := db.runSelect(ctx, ep, sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +84,7 @@ func (db *DB) zoomContext(ctx context.Context, stmt *sql.ZoomStmt) (zooms []Zoom
 		}
 		zr := ZoomResult{TupleOID: row.Tuple.OID, Instance: obj.InstanceID}
 		for _, id := range ids {
-			if a, ok := db.cat.Anns.Get(id); ok {
+			if a, ok := ep.cat.Anns.Get(id); ok {
 				zr.Annotations = append(zr.Annotations, a)
 			}
 		}

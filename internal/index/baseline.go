@@ -45,6 +45,18 @@ func NewBaseline(acct *pager.Accountant, pageCap int, instance string) *Baseline
 	}
 }
 
+// AsOf returns a read-only snapshot view of the baseline scheme frozen
+// at epoch snap (see btree.Tree.AsOf for the contract).
+func (b *Baseline) AsOf(snap uint64) *Baseline {
+	return &Baseline{
+		Instance: b.Instance,
+		norm:     b.norm.AsOf(snap),
+		derived:  b.derived.AsOf(snap),
+		byOID:    b.byOID.AsOf(snap),
+		width:    b.width,
+	}
+}
+
 func oidKey(oid int64) string { return model.NewInt(oid).SortKey() }
 
 // IndexObject normalizes and indexes a classifier object: one NormRow

@@ -94,6 +94,17 @@ func NewSummaryBTree(acct *pager.Accountant, instance string) *SummaryBTree {
 	}
 }
 
+// AsOf returns a read-only snapshot view of the index frozen at epoch
+// snap (see btree.Tree.AsOf for the contract).
+func (x *SummaryBTree) AsOf(snap uint64) *SummaryBTree {
+	return &SummaryBTree{
+		Instance: x.Instance,
+		tree:     x.tree.AsOf(snap),
+		width:    x.width,
+		rebuilds: x.rebuilds,
+	}
+}
+
 // Width returns the current extended-count width.
 func (x *SummaryBTree) Width() int { return x.width }
 

@@ -299,6 +299,22 @@ func (p *BufferPool) stampLSN(f *frame) {
 	}
 }
 
+// SetValue replaces the cached object of a resident page. The MVCC
+// write path uses it to swap in a copy-on-write clone of a page whose
+// previous version snapshot readers still hold: the caller pins the
+// page, clones it, publishes the old object into its version chain, and
+// installs the clone here before unpinning dirty. The page must be
+// resident (the caller's pin guarantees it).
+func (p *BufferPool) SetValue(space int32, page int64, v any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i, ok := p.table[pageKey{space, page}]
+	if !ok {
+		panic(fmt.Errorf("pager: SetValue of non-resident page %d in space %d", page, space))
+	}
+	p.frames[i].val = v
+}
+
 // Unpin releases one pin. dirty records that the caller mutated the
 // page, so eviction must write it back.
 func (p *BufferPool) Unpin(space int32, page int64, dirty bool) {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/mvcc"
 )
 
 // Stats is a snapshot of I/O counters. NodeReads/NodeWrites are the
@@ -150,6 +152,28 @@ type Accountant struct {
 	// logger, when non-nil, is the write-ahead log the buffer pool
 	// consults on the write path (see PageLogger).
 	logger atomic.Pointer[pageLoggerRef]
+
+	// clock, when non-nil, is the MVCC epoch clock the storage layers
+	// (heap files, B-Trees) pick up at creation to version their pages
+	// for snapshot reads. The accountant only carries the reference —
+	// attaching it here reaches every storage object without threading a
+	// parameter through each constructor.
+	clock atomic.Pointer[mvcc.Clock]
+}
+
+// SetClock attaches (or, with nil, detaches) the MVCC epoch clock that
+// storage layers created against this accountant will version their
+// pages with. Attach it before creating the catalog so every heap file
+// and B-Tree participates.
+func (a *Accountant) SetClock(c *mvcc.Clock) { a.clock.Store(c) }
+
+// Clock returns the attached epoch clock, or nil when storage runs
+// unversioned (the pre-MVCC single-version behavior).
+func (a *Accountant) Clock() *mvcc.Clock {
+	if a == nil {
+		return nil
+	}
+	return a.clock.Load()
 }
 
 // PageLogger is the write-ahead-log contract the buffer pool enforces
