@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress
+.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress ingest-stress
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -31,7 +31,7 @@ race-core:
 # scale and writes a machine-readable BENCH_smoke.json snapshot (figures
 # + engine metrics) so perf regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21,22 -json BENCH_smoke.json
 
 # recovery-torture runs the WAL crash matrix: the mixed workload's log is
 # cut at every record boundary (and inside every record) and each prefix
@@ -47,3 +47,12 @@ recovery-torture:
 # and the rollback-then-checkpoint regression.
 mvcc-stress:
 	$(GO) test -race -count=2 -run 'TestEpochReaderStress|TestCloseUnderLoad|TestRollbackThenCheckpoint' ./internal/engine/
+
+# ingest-stress hammers the batched net-delta ingest buffer under the
+# race detector: concurrent annotation writers against lock-free epoch
+# readers (which force flush-on-demand through the dirty flag), the
+# interval flusher, and explicit flush/checkpoint calls, plus the
+# eager/batched differential and WAL-recovery identity suite.
+ingest-stress:
+	$(GO) test -race -count=2 -run 'TestIngestConcurrentStress|TestIngestIntervalFlush' ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestIngestEagerBatchedIdentity|TestIngestWALStreamAndRecovery|TestAttachDeleteReattachLifecycle' ./internal/engine/

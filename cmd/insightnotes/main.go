@@ -18,6 +18,13 @@
 // window, and a restart with the same -wal DIR recovers the committed
 // state.
 //
+// With -ingest-flush N the engine batches summary maintenance: each
+// annotation is logged and stored immediately (durability unchanged)
+// but classifier/snippet/cluster updates and index re-keys are applied
+// as net deltas every N operations — or sooner, forced by any read.
+// Query results are identical to eager mode; \metrics gains an ingest:
+// line showing the amortization.
+//
 // Everything else is executed as a statement: SELECT (results and
 // propagated summaries are printed), EXPLAIN [ANALYZE] SELECT ...,
 // ALTER TABLE ... ADD [INDEXABLE], and ZOOM IN ON ...
@@ -46,6 +53,7 @@ func main() {
 	walDir := flag.String("wal", "", "directory for the write-ahead log and checkpoints (empty = in-memory only)")
 	groupCommit := flag.Duration("group-commit", 0, "group-commit window, e.g. 500us (0 = fsync every commit; requires -wal)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every N logged operations (0 = never; requires -wal)")
+	ingestFlush := flag.Int("ingest-flush", 0, "batch summary maintenance, flushing net deltas every N annotation ops (0 = eager per-annotation maintenance)")
 	flag.Parse()
 
 	var db *engine.DB
@@ -57,6 +65,7 @@ func main() {
 				GroupCommitWindow: *groupCommit,
 				CheckpointEveryN:  *checkpointEvery,
 				BufferPoolPages:   *poolPages,
+				IngestFlushOps:    *ingestFlush,
 			})
 			if err != nil {
 				return err
@@ -70,13 +79,13 @@ func main() {
 			return nil
 		}
 		if nBirds == 0 {
-			db = engine.New(engine.Config{BufferPoolPages: *poolPages})
+			db = engine.New(engine.Config{BufferPoolPages: *poolPages, IngestFlushOps: *ingestFlush})
 			fmt.Println("started with an empty database")
 			return nil
 		}
 		ds, err := workload.Build(workload.Config{
 			Seed: 1, Birds: nBirds, AvgAnnotationsPerBird: avg,
-			BufferPoolPages: *poolPages,
+			BufferPoolPages: *poolPages, IngestFlushOps: *ingestFlush,
 		})
 		if err != nil {
 			return err

@@ -16,14 +16,24 @@ type AnnotationStore struct {
 	byTuple *btree.Tree // tuple-OID sort-key    -> RID
 	nextID  int64
 	nextSeq int64
+
+	// attached records each annotation's secondary tuple attachments
+	// (annotation ID -> extra tuple OIDs, in attach order, no duplicates).
+	// The byTuple index alone cannot answer "which tuples does annotation
+	// A touch?" without a full scan, and Delete needs exactly that to
+	// remove every byTuple entry the annotation owns. Writer-side only:
+	// mutated under the engine's exclusive lock, never consulted by
+	// snapshot readers (AsOf shells leave it nil).
+	attached map[int64][]int64
 }
 
 // NewAnnotationStore builds an empty store charged to acct.
 func NewAnnotationStore(acct *pager.Accountant, pageCap int) *AnnotationStore {
 	return &AnnotationStore{
-		file:    heap.NewFile[*model.Annotation](acct, pageCap),
-		byID:    btree.New(acct, btree.DefaultOrder),
-		byTuple: btree.New(acct, btree.DefaultOrder),
+		file:     heap.NewFile[*model.Annotation](acct, pageCap),
+		byID:     btree.New(acct, btree.DefaultOrder),
+		byTuple:  btree.New(acct, btree.DefaultOrder),
+		attached: make(map[int64][]int64),
 	}
 }
 
@@ -94,13 +104,52 @@ func (s *AnnotationStore) SetCounters(nextID, nextSeq int64) {
 // AttachTo additionally attaches an existing annotation to another
 // tuple — annotations may target arbitrary combinations of tuples, and
 // a shared annotation must not be double counted when the tuples join.
+// Attaching is idempotent: re-attaching to the primary tuple or to a
+// tuple already attached is a no-op, so a repeated attach can never
+// duplicate the byTuple entry (and thereby the annotation's summary
+// contribution). Returns true only when the attachment is new.
 func (s *AnnotationStore) AttachTo(annID, tupleOID int64) bool {
 	vals := s.byID.SearchEq(oidKey(annID))
 	if len(vals) == 0 {
 		return false
 	}
+	_, a, ok := s.file.Get(heap.DecodeRID(vals[0]))
+	if !ok || a.TupleOID == tupleOID {
+		return false
+	}
+	for _, oid := range s.attached[annID] {
+		if oid == tupleOID {
+			return false
+		}
+	}
 	s.byTuple.Insert(oidKey(tupleOID), vals[0])
+	s.attached[annID] = append(s.attached[annID], tupleOID)
 	return true
+}
+
+// IsAttached reports whether the annotation already targets the tuple,
+// either as its primary tuple or via a previous AttachTo.
+func (s *AnnotationStore) IsAttached(annID, tupleOID int64) bool {
+	a, ok := s.Get(annID)
+	if !ok {
+		return false
+	}
+	if a.TupleOID == tupleOID {
+		return true
+	}
+	for _, oid := range s.attached[annID] {
+		if oid == tupleOID {
+			return true
+		}
+	}
+	return false
+}
+
+// Attachments returns the annotation's secondary tuple OIDs in attach
+// order (nil when it only targets its primary tuple). The slice is the
+// store's own; callers must not mutate it.
+func (s *AnnotationStore) Attachments(annID int64) []int64 {
+	return s.attached[annID]
 }
 
 // Get fetches an annotation by ID.
@@ -124,7 +173,10 @@ func (s *AnnotationStore) ForTuple(tupleOID int64) []*model.Annotation {
 	return out
 }
 
-// Delete removes an annotation.
+// Delete removes an annotation, including every byTuple entry it owns:
+// the primary tuple's and one per secondary AttachTo attachment —
+// leaving the secondaries behind would make them dangle as dead index
+// entries resolving to a freed heap slot.
 func (s *AnnotationStore) Delete(id int64) bool {
 	vals := s.byID.SearchEq(oidKey(id))
 	if len(vals) == 0 {
@@ -138,6 +190,10 @@ func (s *AnnotationStore) Delete(id int64) bool {
 	s.file.Delete(rid)
 	s.byID.Delete(oidKey(id), vals[0])
 	s.byTuple.Delete(oidKey(a.TupleOID), vals[0])
+	for _, oid := range s.attached[id] {
+		s.byTuple.Delete(oidKey(oid), vals[0])
+	}
+	delete(s.attached, id)
 	return true
 }
 

@@ -254,3 +254,56 @@ func TestEstimateSizes(t *testing.T) {
 		t.Error("set size must sum object sizes")
 	}
 }
+
+// Deleting an annotation must remove EVERY byTuple entry it owns — the
+// primary tuple's and one per secondary attachment. A leaked secondary
+// entry dangles on a freed heap slot; once the slot is reused it
+// resolves to the wrong annotation entirely.
+func TestAnnotationDeleteRemovesAttachmentEntries(t *testing.T) {
+	c, _ := testCatalog(t)
+	a := c.Anns.Add(10, "shared annotation", nil, "alice")
+	if !c.Anns.AttachTo(a.ID, 20) {
+		t.Fatal("AttachTo failed")
+	}
+	if got := c.Anns.ForTuple(20); len(got) != 1 {
+		t.Fatalf("ForTuple(20) before delete = %d, want 1", len(got))
+	}
+	if !c.Anns.Delete(a.ID) {
+		t.Fatal("Delete failed")
+	}
+	// The freed heap slot is reused by the next Add; a leaked byTuple
+	// entry for tuple 20 would now resolve to the unrelated newcomer.
+	b := c.Anns.Add(30, "unrelated annotation", nil, "bob")
+	if got := c.Anns.ForTuple(20); len(got) != 0 {
+		t.Fatalf("ForTuple(20) after delete = %d entries (leaked attachment resolves to annotation %d)",
+			len(got), got[0].ID)
+	}
+	if got := c.Anns.ForTuple(30); len(got) != 1 || got[0].ID != b.ID {
+		t.Fatalf("ForTuple(30) = %v", got)
+	}
+}
+
+// AttachTo is idempotent: re-attaching to the primary tuple or to an
+// already-attached tuple is a no-op, never a duplicate byTuple entry.
+func TestAttachToIdempotent(t *testing.T) {
+	c, _ := testCatalog(t)
+	a := c.Anns.Add(10, "ann", nil, "alice")
+	if c.Anns.AttachTo(a.ID, 10) {
+		t.Error("re-attach to the primary tuple reported as new")
+	}
+	if !c.Anns.AttachTo(a.ID, 20) {
+		t.Error("first attach not reported as new")
+	}
+	if c.Anns.AttachTo(a.ID, 20) {
+		t.Error("repeated attach reported as new")
+	}
+	if n := len(c.Anns.ForTuple(20)); n != 1 {
+		t.Errorf("ForTuple(20) = %d entries, want 1", n)
+	}
+	if !c.Anns.IsAttached(a.ID, 10) || !c.Anns.IsAttached(a.ID, 20) || c.Anns.IsAttached(a.ID, 30) {
+		t.Error("IsAttached answers wrong")
+	}
+	if got := c.Anns.Attachments(a.ID); len(got) != 1 || got[0] != 20 {
+		t.Errorf("Attachments = %v, want [20]", got)
+	}
+}

@@ -73,6 +73,7 @@ func (db *DB) ExplainAnalyzeContext(ctx context.Context, query string, opts *opt
 	o.Collector = exec.NewStatsCollector(db.acct)
 
 	start := time.Now()
+	db.flushIfDirty()
 	ep, s, err := db.pinEpoch()
 	if err != nil {
 		return nil, err

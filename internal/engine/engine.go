@@ -73,6 +73,22 @@ type Config struct {
 	// against mutators) instead of pinning an epoch lock-free. Debug and
 	// benchmark baseline only; results are identical either way.
 	LockCoupledReads bool
+
+	// IngestFlushOps enables batched net-delta summary maintenance: when
+	// > 0, AddAnnotation/AttachAnnotation log and store the annotation as
+	// usual (durability is unchanged) but defer classifier/snippet/cluster
+	// maintenance and index re-keying into a per-tuple delta buffer that
+	// is flushed — net effects applied once, one epoch published — every
+	// IngestFlushOps buffered operations, on the flush interval, at txn
+	// commit, at checkpoint, on DB.FlushIngest, or before any read. 0 (the
+	// default) keeps the eager per-annotation path, byte-identical to the
+	// pre-batching engine.
+	IngestFlushOps int
+	// IngestFlushInterval bounds how long a buffered annotation can wait
+	// before a background flush publishes it (0 = no timer; flushes happen
+	// only on the threshold, reads, commits, and checkpoints). Ignored
+	// when IngestFlushOps is 0.
+	IngestFlushInterval time.Duration
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -142,6 +158,23 @@ type DB struct {
 	// publishHook, when set before the DB is shared, observes every epoch
 	// publication's LSN watermark (crash-test instrumentation).
 	publishHook func(lsn uint64)
+
+	// ingest is the net-delta maintenance buffer, nil in eager mode;
+	// ingestEvery mirrors Config.IngestFlushOps. Both are set before the
+	// DB is shared; the buffer itself is guarded by mu's exclusive lock.
+	ingest      *ingestBuffer
+	ingestEvery int
+	// ingestDirty is the lock-free "published epoch is behind the buffer"
+	// flag read paths consult: set when an op is buffered, cleared by
+	// publishLocked once the buffer has drained into a published epoch.
+	ingestDirty atomic.Bool
+	// ingestStop terminates the interval flusher goroutine, nil when no
+	// interval was configured.
+	ingestStop chan struct{}
+	// ingest telemetry (see IngestMetrics).
+	ingestBuffered, ingestFlushes   atomic.Int64
+	ingestFlushedOps, ingestPending atomic.Int64
+	ingestFlushedTuples             atomic.Int64
 }
 
 // New creates an empty, ephemeral database. Durable databases
@@ -152,7 +185,9 @@ func New(cfg Config) *DB {
 	if cfg.WALDir != "" {
 		panic("engine: Config.WALDir is set; use engine.Open for a durable database")
 	}
-	return newDB(cfg, newAccountant(cfg))
+	db := newDB(cfg, newAccountant(cfg))
+	db.startIngestFlusher(cfg.IngestFlushInterval)
+	return db
 }
 
 // newAccountant builds the shared I/O accountant with the configured
@@ -189,6 +224,10 @@ func newDB(cfg Config, acct *pager.Accountant) *DB {
 		baselineIdx:      make(map[string]map[string]*index.Baseline),
 		clock:            clock,
 		lockCoupledReads: cfg.LockCoupledReads,
+	}
+	if cfg.IngestFlushOps > 0 {
+		db.ingestEvery = cfg.IngestFlushOps
+		db.ingest = newIngestBuffer()
 	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.defaultBudget.Store(cfg.Budget)
@@ -241,6 +280,10 @@ func (db *DB) Close() error {
 	db.closed = true
 	l := db.wal
 	db.wal = nil
+	if db.ingestStop != nil {
+		close(db.ingestStop)
+		db.ingestStop = nil
+	}
 	db.mu.Unlock()
 	db.closedA.Store(true)
 	db.clock.WaitIdle()
@@ -361,6 +404,9 @@ func (db *DB) deleteTupleOp(txid uint64, table string, oid int64) (uint64, error
 }
 
 func (db *DB) applyDeleteTuple(t *catalog.Table, table string, oid int64, rid heap.RID) {
+	// Flush so the summary objects and counters unwound below reflect
+	// every buffered annotation, as they would under eager maintenance.
+	db.flushIngestLocked()
 	set := t.GetSummaries(oid)
 	for _, obj := range set {
 		t.ForgetSummary(obj)
@@ -372,7 +418,32 @@ func (db *DB) applyDeleteTuple(t *catalog.Table, table string, oid int64, rid he
 		}
 	}
 	for _, a := range db.cat.Anns.ForTuple(oid) {
+		// The annotation dies with the tuple. Every OTHER tuple it targets
+		// (its primary, or extra attachments) must shed its contribution,
+		// and each column-targeted attachment unwinds its table's counter.
+		others := make([]int64, 0, 1+len(db.cat.Anns.Attachments(a.ID)))
+		if a.TupleOID != oid {
+			others = append(others, a.TupleOID)
+		}
+		for _, o := range db.cat.Anns.Attachments(a.ID) {
+			if o != oid {
+				others = append(others, o)
+			}
+		}
 		db.cat.Anns.Delete(a.ID)
+		if len(a.Columns) > 0 && t.ColAttachedAnns > 0 {
+			t.ColAttachedAnns--
+		}
+		for _, o := range others {
+			t2, rid2, ok := db.tableForOID(o)
+			if !ok {
+				continue
+			}
+			if len(a.Columns) > 0 && t2.ColAttachedAnns > 0 {
+				t2.ColAttachedAnns--
+			}
+			db.shedAnnotation(t2, o, rid2, a.ID)
+		}
 	}
 	t.Delete(oid)
 }
@@ -380,6 +451,7 @@ func (db *DB) applyDeleteTuple(t *catalog.Table, table string, oid int64, rid he
 // Annotations returns the raw annotations attached to a tuple, as of
 // the current epoch (nil after Close).
 func (db *DB) Annotations(oid int64) []*model.Annotation {
+	db.flushIfDirty()
 	ep, s, err := db.pinEpoch()
 	if err != nil {
 		return nil
@@ -391,6 +463,7 @@ func (db *DB) Annotations(oid int64) []*model.Annotation {
 // AnnotationCount returns the total number of stored annotations, as of
 // the current epoch (0 after Close).
 func (db *DB) AnnotationCount() int {
+	db.flushIfDirty()
 	ep, s, err := db.pinEpoch()
 	if err != nil {
 		return 0
@@ -401,6 +474,7 @@ func (db *DB) AnnotationCount() int {
 
 // SummaryIndex returns the Summary-BTree on (table, instance), or nil.
 func (db *DB) SummaryIndex(table, instance string) *index.SummaryBTree {
+	db.flushIfDirty()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.summaryIndex(table, instance)
@@ -414,6 +488,7 @@ func (db *DB) summaryIndex(table, instance string) *index.SummaryBTree {
 
 // BaselineIndex returns the baseline index on (table, instance), or nil.
 func (db *DB) BaselineIndex(table, instance string) *index.Baseline {
+	db.flushIfDirty()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.baselineIndex(table, instance)

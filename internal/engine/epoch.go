@@ -93,6 +93,13 @@ func (db *DB) publishLocked() {
 		db.publishHook(ep.lsn)
 	}
 	db.clock.Publish(ep)
+	// The published epoch now reflects every flushed effect: if the ingest
+	// buffer is empty, read paths no longer need to force a flush. Cleared
+	// only here — after publication — so a reader that observes the flag
+	// low is guaranteed an epoch covering all previously buffered ops.
+	if db.ingest != nil && db.ingest.ops == 0 {
+		db.ingestDirty.Store(false)
+	}
 }
 
 // pinEpoch pins the current epoch for a read. The caller must Unpin the

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/catalog"
 	"repro/internal/heap"
@@ -135,6 +136,9 @@ func (db *DB) LinkInstance(table, instance string, indexable bool) error {
 }
 
 func (db *DB) applyLinkInstance(table, instance string, indexable bool) error {
+	// Buffered annotations were added while this instance was not linked;
+	// eager mode would have absorbed them into the old instance set only.
+	db.flushIngestLocked()
 	si, ok := db.instances[strings.ToLower(instance)]
 	if !ok {
 		return fmt.Errorf("engine: unknown summary instance %q", instance)
@@ -161,6 +165,9 @@ func (db *DB) UnlinkInstance(table, instance string) error {
 }
 
 func (db *DB) applyUnlinkInstance(table, instance string) error {
+	// Buffered annotations must reach the instance's summaries before it
+	// detaches, exactly as eager maintenance would have.
+	db.flushIngestLocked()
 	if err := db.cat.UnlinkInstance(table, instance); err != nil {
 		return err
 	}
@@ -183,6 +190,9 @@ func (db *DB) CreateSummaryIndex(table, instance string) error {
 }
 
 func (db *DB) createSummaryIndex(table, instance string) error {
+	// Bulk-load reads the stored summary objects; fold the buffered
+	// ingest tail in first so the new index starts complete.
+	db.flushIngestLocked()
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -240,6 +250,7 @@ func (db *DB) CreateBaselineIndex(table, instance string) error {
 }
 
 func (db *DB) createBaselineIndex(table, instance string) error {
+	db.flushIngestLocked()
 	t, err := db.cat.Table(table)
 	if err != nil {
 		return err
@@ -328,7 +339,7 @@ func (db *DB) forEachStoredObject(t *catalog.Table, instance string,
 // Section 4.1.2.
 func (db *DB) AddAnnotation(table string, oid int64, text string, columns []string, author string) (*model.Annotation, error) {
 	var ann *model.Annotation
-	err := db.runAuto(func(txid uint64) (uint64, error) {
+	err := db.runAutoIngest(func(txid uint64) (uint64, error) {
 		var lsn uint64
 		var e error
 		ann, lsn, e = db.addAnnotationOp(txid, table, oid, text, columns, author)
@@ -375,6 +386,9 @@ func (db *DB) applyAddAnnotation(table string, oid, id, seq int64, text string, 
 	if len(columns) > 0 {
 		t.ColAttachedAnns++
 	}
+	if db.bufferIngest(t, oid, ann) {
+		return ann, nil
+	}
 	db.absorb(t, oid, rid, ann)
 	return ann, nil
 }
@@ -384,7 +398,7 @@ func (db *DB) applyAddAnnotation(table string, oid, id, seq int64, text string, 
 // into that tuple's summaries. Because the annotation keeps its ID, a
 // later join of both tuples merges without double counting.
 func (db *DB) AttachAnnotation(table string, oid, annID int64) error {
-	return db.runAuto(func(txid uint64) (uint64, error) {
+	return db.runAutoIngest(func(txid uint64) (uint64, error) {
 		return db.attachAnnotationOp(txid, table, oid, annID)
 	})
 }
@@ -401,6 +415,12 @@ func (db *DB) attachAnnotationOp(txid uint64, table string, oid, annID int64) (u
 	}
 	if _, ok := db.cat.Anns.Get(annID); !ok {
 		return 0, fmt.Errorf("engine: no annotation %d", annID)
+	}
+	if db.cat.Anns.IsAttached(annID, oid) {
+		// Attaching is idempotent: the annotation already targets this
+		// tuple (as primary or via an earlier attach), so re-attaching
+		// must not double count it — nothing is logged or absorbed.
+		return 0, nil
 	}
 	lsn, err := db.logAppend(recAttachAnnotation, txid, pAttachAnnotation{Table: table, OID: oid, AnnID: annID})
 	if err != nil {
@@ -422,9 +442,16 @@ func (db *DB) applyAttachAnnotation(table string, oid, annID int64) error {
 	if !ok {
 		return fmt.Errorf("engine: no annotation %d", annID)
 	}
-	db.cat.Anns.AttachTo(annID, oid)
+	if !db.cat.Anns.AttachTo(annID, oid) {
+		// Already attached — replaying a historical duplicate attach
+		// record (or a racing re-attach) is a no-op, never a double count.
+		return nil
+	}
 	if len(ann.Columns) > 0 {
 		t.ColAttachedAnns++
+	}
+	if db.bufferIngest(t, oid, ann) {
+		return nil
 	}
 	db.absorb(t, oid, rid, ann)
 	return nil
@@ -529,12 +556,23 @@ func (db *DB) absorbIntoSnippet(si *catalog.SummaryInstance, obj *model.SummaryO
 		s := lsa.Summarizer{MaxChars: si.SnippetMaxChars, Concepts: 3, MinChars: si.SnippetMinChars}
 		snippet = s.Summarize(ann.Text)
 	} else {
-		snippet = ann.Text
-		if len(snippet) > si.SnippetMaxChars {
-			snippet = snippet[:si.SnippetMaxChars]
-		}
+		snippet = truncateRuneSafe(ann.Text, si.SnippetMaxChars)
 	}
 	obj.Reps = append(obj.Reps, model.Rep{Text: snippet, RepAnnID: ann.ID, Elements: []int64{ann.ID}})
+}
+
+// truncateRuneSafe cuts s to at most max bytes without splitting a
+// multi-byte UTF-8 rune: a cut that lands mid-rune backs up to the
+// rune's start so the result is always valid UTF-8.
+func truncateRuneSafe(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
 }
 
 // rebuildCluster re-clusters all of the tuple's annotations. Clustering
@@ -580,21 +618,58 @@ func (db *DB) deleteAnnotationOp(txid uint64, table string, annID int64) (uint64
 }
 
 func (db *DB) applyDeleteAnnotation(table string, annID int64) error {
-	t, err := db.cat.Table(table)
-	if err != nil {
+	// Net-delta deletes operate on flushed summaries so the re-derive
+	// below sees exactly the state eager maintenance would have built.
+	db.flushIngestLocked()
+	if _, err := db.cat.Table(table); err != nil {
 		return err
 	}
 	ann, ok := db.cat.Anns.Get(annID)
 	if !ok {
 		return fmt.Errorf("engine: no annotation %d", annID)
 	}
-	oid := ann.TupleOID
-	rid, _ := t.DiskTupleLoc(oid)
+	// The annotation contributes to its primary tuple AND every tuple it
+	// was later attached to; each must shed the contribution, or attached
+	// tuples keep stale classifier counts and dangling zoom element IDs.
+	// OIDs are catalog-wide unique, so each resolves to its owning table.
+	oids := append([]int64{ann.TupleOID}, db.cat.Anns.Attachments(annID)...)
 	db.cat.Anns.Delete(annID)
-	if len(ann.Columns) > 0 && t.ColAttachedAnns > 0 {
-		t.ColAttachedAnns--
+	for _, oid := range oids {
+		t, rid, ok := db.tableForOID(oid)
+		if !ok {
+			continue
+		}
+		// Each attachment with column targets bumped its table's counter
+		// by one; the delete must unwind every one of them.
+		if len(ann.Columns) > 0 && t.ColAttachedAnns > 0 {
+			t.ColAttachedAnns--
+		}
+		db.shedAnnotation(t, oid, rid, annID)
 	}
+	return nil
+}
 
+// tableForOID resolves a tuple OID to its owning table and heap location.
+// OIDs are allocated from a catalog-wide counter, so at most one table
+// holds any given OID.
+func (db *DB) tableForOID(oid int64) (*catalog.Table, heap.RID, bool) {
+	for _, name := range db.cat.TableNames() {
+		t, err := db.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		if rid, ok := t.DiskTupleLoc(oid); ok {
+			return t, rid, true
+		}
+	}
+	return nil, heap.RID{}, false
+}
+
+// shedAnnotation re-derives one tuple's summary objects after annotation
+// annID stopped targeting it — the per-tuple half of "Deleting
+// Annotation" (Section 4.1.2), shared by annotation deletes and the
+// cascade when a tuple delete removes a still-attached annotation.
+func (db *DB) shedAnnotation(t *catalog.Table, oid int64, rid heap.RID, annID int64) {
 	set := t.GetSummaries(oid).Clone()
 	for _, obj := range set {
 		si := t.Instance(obj.InstanceID)
@@ -615,10 +690,10 @@ func (db *DB) applyDeleteAnnotation(table string, annID int64) error {
 				old := r.Count
 				r.Elements = removeSorted(r.Elements, annID)
 				r.Count = len(r.Elements)
-				if idx := db.summaryIndex(table, si.Name); idx != nil {
+				if idx := db.summaryIndex(t.Name, si.Name); idx != nil {
 					idx.UpdateLabel(r.Label, old, r.Count, rid)
 				}
-				if idx := db.baselineIndex(table, si.Name); idx != nil {
+				if idx := db.baselineIndex(t.Name, si.Name); idx != nil {
 					idx.UpdateLabel(oid, r.Label, r.Count)
 				}
 			}
@@ -636,13 +711,17 @@ func (db *DB) applyDeleteAnnotation(table string, annID int64) error {
 		t.ObserveSummary(obj)
 	}
 	t.PutSummaries(oid, set)
-	return nil
 }
 
 func insertSorted(s []int64, v int64) []int64 {
 	i := 0
 	for i < len(s) && s[i] < v {
 		i++
+	}
+	if i < len(s) && s[i] == v {
+		// Element sets are sets: inserting an ID twice would double count
+		// the annotation in Rep.Count.
+		return s
 	}
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])

@@ -62,6 +62,10 @@ func (db *DB) RunSelectContext(ctx context.Context, sel *sql.SelectStmt, opts *o
 	ctx, cancel := db.applyTimeout(ctx)
 	defer cancel()
 	start := time.Now()
+	// Batched-ingest mode: publish any buffered net deltas before
+	// pinning (and before the optional RLock — flushing takes the
+	// exclusive lock), so the query sees fully maintained summaries.
+	db.flushIfDirty()
 	if db.lockCoupledReads {
 		// Benchmark baseline: emulate the pre-MVCC reader by taking the
 		// shared lock for the statement's duration, so readers queue

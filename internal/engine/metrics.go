@@ -108,6 +108,10 @@ type Metrics struct {
 	// WAL is the durability telemetry; nil when the database runs
 	// without a write-ahead log, so WAL-off snapshots are unchanged.
 	WAL *WALMetrics `json:",omitempty"`
+	// Ingest is the batched net-delta maintenance telemetry; nil when
+	// the database runs eager maintenance (Config.IngestFlushOps == 0),
+	// so eager-mode snapshots are unchanged.
+	Ingest *IngestMetrics `json:",omitempty"`
 }
 
 // WALMetrics is the durability half of the telemetry: log traffic, fsync
@@ -135,6 +139,23 @@ type WALMetrics struct {
 	// Checkpoints counts snapshots taken (and the log compacted) since
 	// open.
 	Checkpoints int64
+}
+
+// IngestMetrics is the batched-ingest half of the telemetry: how many
+// annotation operations deferred their maintenance, and how the flushes
+// amortized them.
+type IngestMetrics struct {
+	// BufferedOps counts annotation adds/attaches whose summary
+	// maintenance was deferred into the net-delta buffer.
+	BufferedOps int64
+	// Flushes counts buffer drains; FlushedOps and FlushedTuples total
+	// the operations and distinct tuples they applied, so
+	// FlushedOps/Flushes is the amortization factor.
+	Flushes       int64
+	FlushedOps    int64
+	FlushedTuples int64
+	// PendingOps is the number of operations currently buffered.
+	PendingOps int64
 }
 
 // Metrics snapshots the engine telemetry.
@@ -174,6 +195,15 @@ func (db *DB) Metrics() Metrics {
 		}
 		out.WAL = w
 	}
+	if db.ingest != nil {
+		out.Ingest = &IngestMetrics{
+			BufferedOps:   db.ingestBuffered.Load(),
+			Flushes:       db.ingestFlushes.Load(),
+			FlushedOps:    db.ingestFlushedOps.Load(),
+			FlushedTuples: db.ingestFlushedTuples.Load(),
+			PendingOps:    db.ingestPending.Load(),
+		}
+	}
 	return out
 }
 
@@ -209,6 +239,13 @@ func (m Metrics) String() string {
 			m.WAL.WALAppends, m.WAL.Fsyncs, m.WAL.Commits, m.WAL.GroupCommitBatches,
 			m.WAL.GroupCommitBatchSize, m.WAL.DurableLSN, m.WAL.AppendedLSN,
 			m.WAL.RecoveryReplayedRecords, m.WAL.Checkpoints)
+	}
+	// The ingest line appears only in batched mode, so eager output is
+	// unchanged.
+	if m.Ingest != nil {
+		fmt.Fprintf(&b, "ingest: buffered=%d flushes=%d flushedops=%d flushedtuples=%d pending=%d\n",
+			m.Ingest.BufferedOps, m.Ingest.Flushes, m.Ingest.FlushedOps,
+			m.Ingest.FlushedTuples, m.Ingest.PendingOps)
 	}
 	return b.String()
 }

@@ -109,6 +109,7 @@ func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
 		return "", fmt.Errorf("engine: Explain expects SELECT")
 	}
 	o := db.effectiveOptions(opts)
+	db.flushIfDirty()
 	ep, s, err := db.pinEpoch()
 	if err != nil {
 		return "", err

@@ -90,6 +90,7 @@ type snapshot struct {
 // backoff; only then is the result encoded to w in one pass (a writer
 // cannot be rewound, so encoding is never retried).
 func (db *DB) Save(w io.Writer) error {
+	db.flushIfDirty()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var snap *snapshot
@@ -436,6 +437,7 @@ func writeSnapshotAtomic(path string, snap *snapshot) error {
 // fsync + rename): a crash mid-save leaves any previous snapshot at path
 // intact rather than a truncated dump.
 func (db *DB) SaveFile(path string) error {
+	db.flushIfDirty()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var snap *snapshot

@@ -302,10 +302,18 @@ func Open(cfg Config) (*DB, error) {
 	// Publish the recovery epoch: readers admitted from here on see the
 	// replayed committed prefix with AsOfLSN at the recovered log
 	// position. The DB is not shared yet, but publishLocked's contract
-	// asks for the lock.
+	// asks for the lock. In batched-ingest mode, replayed annotation
+	// records were buffered exactly as live ones are; one final flush
+	// folds the whole net delta before the epoch publishes, and the
+	// batch-vs-eager identity argument (see ingest.go) makes the
+	// recovered summaries equal to an eager replay's — flush-vs-replay
+	// determinism costs nothing because the WAL stream itself is
+	// identical in both modes.
 	db.mu.Lock()
+	db.flushIngestLocked()
 	db.publishLocked()
 	db.mu.Unlock()
+	db.startIngestFlusher(cfg.IngestFlushInterval)
 	return db, nil
 }
 
@@ -669,6 +677,11 @@ func (tx *Txn) Commit() error {
 			for _, op := range tx.ops {
 				op.apply(db)
 			}
+			// Commit is a flush trigger: the transaction's own annotation
+			// adds (and any older autocommitted tail) buffered their
+			// maintenance; fold the net delta so the epoch published for
+			// this commit carries fully maintained summaries.
+			db.flushIngestLocked()
 			db.publishLocked()
 			l = db.wal
 		}
@@ -742,6 +755,12 @@ func (db *DB) maybeCheckpoint() {
 func (db *DB) Checkpoint() (bool, error) {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
+	// Checkpoints are a flush trigger. The snapshot itself is raw-logical
+	// (summaries re-derive on load), but flushing first — before taking
+	// the shared lock, which flushIngest must not be held under — keeps
+	// the invariant that a checkpointed database has no pending net
+	// deltas and its published epoch equals its stored state.
+	db.FlushIngest()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.wal == nil || db.activeTxns > 0 {

@@ -41,6 +41,7 @@ func (db *DB) ZoomIn(table, instance, label, where string) ([]ZoomResult, error)
 func (db *DB) zoomContext(ctx context.Context, stmt *sql.ZoomStmt) (zooms []ZoomResult, err error) {
 	ctx, cancel := db.applyTimeout(ctx)
 	defer cancel()
+	db.flushIfDirty()
 	ep, s, err := db.pinEpoch()
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ package index
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/heap"
@@ -83,6 +84,11 @@ type SummaryBTree struct {
 	tree     *btree.Tree
 	width    int
 	rebuilds int
+	// updates counts maintenance operations applied to the live index
+	// (entry inserts, deletes, and label re-keys), read atomically by the
+	// ingest benchmark to compare eager vs net-delta maintenance traffic.
+	// AsOf shells start at zero; snapshot views are never maintained.
+	updates int64
 }
 
 // NewSummaryBTree builds an empty index for the given instance.
@@ -114,6 +120,10 @@ func (x *SummaryBTree) Rebuilds() int { return x.rebuilds }
 // Len returns the number of indexed keys (k entries per indexed object).
 func (x *SummaryBTree) Len() int { return x.tree.Len() }
 
+// UpdateOps returns the cumulative count of maintenance operations
+// (inserts, deletes, re-keys) applied to this index.
+func (x *SummaryBTree) UpdateOps() int64 { return atomic.LoadInt64(&x.updates) }
+
 // Tree exposes the underlying B+Tree (for size accounting and tests).
 func (x *SummaryBTree) Tree() *btree.Tree { return x.tree }
 
@@ -135,6 +145,7 @@ func (x *SummaryBTree) IndexObject(obj *model.SummaryObject, ref heap.RID) error
 func (x *SummaryBTree) RemoveObject(obj *model.SummaryObject, ref heap.RID) {
 	for _, r := range obj.Reps {
 		x.tree.Delete(ItemizeKey(r.Label, r.Count, x.width), ref.Encode())
+		atomic.AddInt64(&x.updates, 1)
 	}
 }
 
@@ -143,10 +154,12 @@ func (x *SummaryBTree) RemoveObject(obj *model.SummaryObject, ref heap.RID) {
 // the modified label: O(2·log_B kN).
 func (x *SummaryBTree) UpdateLabel(label string, oldCount, newCount int, ref heap.RID) {
 	x.tree.Delete(ItemizeKey(label, oldCount, x.width), ref.Encode())
+	atomic.AddInt64(&x.updates, 1)
 	x.insertKey(label, newCount, ref)
 }
 
 func (x *SummaryBTree) insertKey(label string, count int, ref heap.RID) {
+	atomic.AddInt64(&x.updates, 1)
 	if count > maxCount(x.width) {
 		x.widen(count)
 	}

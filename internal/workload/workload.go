@@ -37,6 +37,10 @@ type Config struct {
 	// BufferPoolPages caps resident storage to a buffer pool of that
 	// many frames (0 = no pool, all pages resident).
 	BufferPoolPages int
+	// IngestFlushOps passes through engine.Config.IngestFlushOps: when
+	// > 0 the built database runs batched net-delta summary maintenance
+	// with that flush threshold (0 = eager per-annotation maintenance).
+	IngestFlushOps int
 	// SkipSynonyms omits the Synonyms table for single-table workloads.
 	SkipSynonyms bool
 }
@@ -160,7 +164,8 @@ func SynonymsSchema() *model.Schema {
 // experiments), tuples, synonyms, and annotations.
 func Build(cfg Config) (*Dataset, error) {
 	cfg = cfg.WithDefaults()
-	db := engine.New(engine.Config{PageCap: cfg.PageCap, BufferPoolPages: cfg.BufferPoolPages})
+	db := engine.New(engine.Config{PageCap: cfg.PageCap, BufferPoolPages: cfg.BufferPoolPages,
+		IngestFlushOps: cfg.IngestFlushOps})
 	ds := &Dataset{DB: db, Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
