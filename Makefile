@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress ingest-stress
+.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress ingest-stress serve-stress
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -31,7 +31,7 @@ race-core:
 # scale and writes a machine-readable BENCH_smoke.json snapshot (figures
 # + engine metrics) so perf regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21,22 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21,22,23 -json BENCH_smoke.json
 
 # recovery-torture runs the WAL crash matrix: the mixed workload's log is
 # cut at every record boundary (and inside every record) and each prefix
@@ -56,3 +56,15 @@ mvcc-stress:
 ingest-stress:
 	$(GO) test -race -count=2 -run 'TestIngestConcurrentStress|TestIngestIntervalFlush' ./internal/engine/
 	$(GO) test -race -count=1 -run 'TestIngestEagerBatchedIdentity|TestIngestWALStreamAndRecovery|TestAttachDeleteReattachLifecycle' ./internal/engine/
+
+# serve-stress hammers the HTTP front-end under the race detector:
+# concurrent sessions with shared prepared statements, per-tenant
+# admission shedding over real connections, graceful-drain vs in-flight
+# requests, plus the engine-side lifecycle suite (ingest-flusher join on
+# Close, Metrics consistency vs 8 query goroutines, plan-cache
+# staleness across DDL), and a 64-connection mixed read/ingest run of
+# the Figure 23 server benchmark.
+serve-stress:
+	$(GO) test -race -count=2 ./internal/server/
+	$(GO) test -race -count=2 -run 'TestIngestFlusherJoinedOnClose|TestIngestFlusherOpenCloseStress|TestMetricsSnapshotConsistency|TestPreparedConcurrentExecutions|TestPlanCacheStaleness' ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestFig23Smoke' ./internal/bench/

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..22); empty = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..23); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -92,6 +92,7 @@ func main() {
 		{[]int{20}, bench.Fig20GroupCommit},
 		{[]int{21}, bench.Fig21MVCCReaders},
 		{[]int{22}, bench.Fig22Ingest},
+		{[]int{23}, bench.Fig23ServerQPS},
 	}
 
 	ran := false
@@ -117,7 +118,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..22)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..23)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

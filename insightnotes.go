@@ -38,8 +38,9 @@ import (
 
 // DB is an InsightNotes+ database instance. See the engine methods:
 // CreateTable, Insert, AddAnnotation, DefineClassifier / DefineSnippet /
-// DefineCluster, Query, Exec (SELECT / ALTER TABLE / ZOOM IN), Explain,
-// ExplainAnalyze, Metrics, and ZoomIn.
+// DefineCluster, Query, Exec (SELECT / ALTER TABLE / ZOOM IN), Prepare /
+// QueryCached (plan-cached execution), Explain, ExplainAnalyze, Metrics,
+// PlanCacheStats, and ZoomIn.
 type DB = engine.DB
 
 // Config tunes a database instance.
@@ -98,6 +99,21 @@ type Budget = exec.Budget
 func NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes int64) *Budget {
 	return exec.NewBudget(maxBufferedRows, maxBufferedBytes, maxSpillBytes)
 }
+
+// Stmt is a prepared statement from DB.Prepare: a parameterized SELECT
+// (`?` placeholders) parsed once and re-executed with fresh parameters
+// via Execute / ExecuteContext. Executions go through the engine's
+// statement-hash plan cache (Config.PlanCacheSize), so repeated
+// executions with recurring parameter values skip parsing, plan
+// construction, and optimization; cached plans are invalidated
+// automatically when DDL, index creation, or a statistics refresh bumps
+// the catalog version. Stmt is safe for concurrent use.
+type Stmt = engine.Stmt
+
+// PlanCacheStats is the plan cache's counter snapshot from
+// DB.PlanCacheStats (also embedded in Metrics): hits, misses,
+// staleness invalidations, capacity evictions, and current size.
+type PlanCacheStats = optimizer.PlanCacheStats
 
 // ErrClosed is the sentinel every entry point reports (wrapped, test
 // with errors.Is) once Close has begun; in-flight queries admitted

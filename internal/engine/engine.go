@@ -19,6 +19,7 @@ import (
 	"repro/internal/mining/bayes"
 	"repro/internal/model"
 	"repro/internal/mvcc"
+	"repro/internal/optimizer"
 	"repro/internal/pager"
 	walpkg "repro/internal/wal"
 )
@@ -89,6 +90,17 @@ type Config struct {
 	// only on the threshold, reads, commits, and checkpoints). Ignored
 	// when IngestFlushOps is 0.
 	IngestFlushInterval time.Duration
+
+	// PlanCacheSize enables the statement-hash plan cache: up to that
+	// many optimized plan skeletons are kept, keyed by normalized
+	// statement text (plus the optimizer-options fingerprint) and
+	// validated against the catalog version, so repeated statements
+	// through Prepare/Stmt.ExecuteContext and QueryCachedContext skip
+	// parsing and optimization. Any DDL, index creation/drop, or
+	// explicit stats refresh invalidates every cached plan. 0 (the
+	// default) disables caching; the classic Query/Exec paths never
+	// consult the cache either way, so existing behavior is unchanged.
+	PlanCacheSize int
 }
 
 // DB is an InsightNotes+ database. Methods are safe for concurrent use:
@@ -169,12 +181,25 @@ type DB struct {
 	// publishLocked once the buffer has drained into a published epoch.
 	ingestDirty atomic.Bool
 	// ingestStop terminates the interval flusher goroutine, nil when no
-	// interval was configured.
+	// interval was configured; ingestDone is closed by the goroutine on
+	// exit so Close can join it (no flush may fire after Close returns).
 	ingestStop chan struct{}
+	ingestDone chan struct{}
 	// ingest telemetry (see IngestMetrics).
 	ingestBuffered, ingestFlushes   atomic.Int64
 	ingestFlushedOps, ingestPending atomic.Int64
 	ingestFlushedTuples             atomic.Int64
+
+	// catalogVersion counts catalog-shape changes — table/index DDL,
+	// instance links, summary/baseline index creation and drops, and
+	// explicit statistics refreshes. The plan cache keys every entry on
+	// it, so one bump invalidates all cached plans (see prepare.go).
+	catalogVersion atomic.Uint64
+	// planCache holds optimized plan skeletons; stmts caches parsed
+	// prepared statements by normalized text. Both nil when
+	// Config.PlanCacheSize is 0.
+	planCache *optimizer.PlanCache
+	stmts     *stmtCache
 }
 
 // New creates an empty, ephemeral database. Durable databases
@@ -229,6 +254,10 @@ func newDB(cfg Config, acct *pager.Accountant) *DB {
 		db.ingestEvery = cfg.IngestFlushOps
 		db.ingest = newIngestBuffer()
 	}
+	if cfg.PlanCacheSize > 0 {
+		db.planCache = optimizer.NewPlanCache(cfg.PlanCacheSize)
+		db.stmts = newStmtCache(cfg.PlanCacheSize)
+	}
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.defaultBudget.Store(cfg.Budget)
 	db.maxParallel.Store(int64(cfg.MaxParallelWorkers))
@@ -280,12 +309,20 @@ func (db *DB) Close() error {
 	db.closed = true
 	l := db.wal
 	db.wal = nil
+	done := db.ingestDone
 	if db.ingestStop != nil {
 		close(db.ingestStop)
 		db.ingestStop = nil
 	}
 	db.mu.Unlock()
 	db.closedA.Store(true)
+	// Join the interval flusher before tearing anything down: once Close
+	// returns, no background flush may fire (or even be mid-flight). The
+	// goroutine never blocks on Close — a flush it already started sees
+	// db.closed under mu and returns without touching WAL or pool state.
+	if done != nil {
+		<-done
+	}
 	db.clock.WaitIdle()
 	var err error
 	if l != nil {
@@ -316,6 +353,9 @@ func (db *DB) CreateTable(name string, schema *model.Schema) (*catalog.Table, er
 		}
 		var terr error
 		t, terr = db.cat.CreateTable(name, schema)
+		if terr == nil {
+			db.bumpCatalogVersion()
+		}
 		return lsn, terr
 	})
 	return t, err
@@ -372,8 +412,11 @@ func (db *DB) applyCreateDataIndex(table, column string) error {
 	if err != nil {
 		return err
 	}
-	_, err = t.CreateDataIndex(column)
-	return err
+	if _, err = t.CreateDataIndex(column); err != nil {
+		return err
+	}
+	db.bumpCatalogVersion()
+	return nil
 }
 
 // DeleteTuple removes a tuple, its summary objects, its index entries,

@@ -174,8 +174,11 @@ func (db *DB) startIngestFlusher(interval time.Duration) {
 		return
 	}
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	db.ingestStop = stop
+	db.ingestDone = done
 	go func() {
+		defer close(done)
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for {
@@ -183,6 +186,13 @@ func (db *DB) startIngestFlusher(interval time.Duration) {
 			case <-stop:
 				return
 			case <-tick.C:
+				// Prefer stop when both are ready: Close joins on done, so a
+				// tick racing the stop signal must not start another flush.
+				select {
+				case <-stop:
+					return
+				default:
+				}
 				db.flushIfDirty()
 			}
 		}

@@ -116,6 +116,7 @@ func (db *DB) registerInstance(si *catalog.SummaryInstance) error {
 		return fmt.Errorf("engine: summary instance %q already defined", si.Name)
 	}
 	db.instances[key] = si
+	db.bumpCatalogVersion()
 	return nil
 }
 
@@ -146,6 +147,7 @@ func (db *DB) applyLinkInstance(table, instance string, indexable bool) error {
 	if err := db.cat.LinkInstance(table, si); err != nil {
 		return err
 	}
+	db.bumpCatalogVersion()
 	if indexable {
 		return db.createSummaryIndex(table, instance)
 	}
@@ -173,6 +175,7 @@ func (db *DB) applyUnlinkInstance(table, instance string) error {
 	}
 	delete(db.summaryIdx[strings.ToLower(table)], strings.ToLower(instance))
 	delete(db.baselineIdx[strings.ToLower(table)], strings.ToLower(instance))
+	db.bumpCatalogVersion()
 	return nil
 }
 
@@ -234,6 +237,9 @@ func (db *DB) createSummaryIndex(table, instance string) error {
 		db.summaryIdx[tkey] = map[string]*index.SummaryBTree{}
 	}
 	db.summaryIdx[tkey][strings.ToLower(instance)] = idx
+	// A new access path exists: cached plans that chose a sequential
+	// scan for this instance's predicates are stale from here on.
+	db.bumpCatalogVersion()
 	return nil
 }
 
@@ -273,6 +279,7 @@ func (db *DB) createBaselineIndex(table, instance string) error {
 		db.baselineIdx[tkey] = map[string]*index.Baseline{}
 	}
 	db.baselineIdx[tkey][strings.ToLower(instance)] = idx
+	db.bumpCatalogVersion()
 	return nil
 }
 
@@ -293,6 +300,7 @@ func (db *DB) DropSummaryIndex(table, instance string) {
 
 func (db *DB) applyDropSummaryIndex(table, instance string) {
 	delete(db.summaryIdx[strings.ToLower(table)], strings.ToLower(instance))
+	db.bumpCatalogVersion()
 }
 
 // DropBaselineIndex removes the baseline index on (table, instance).
@@ -310,6 +318,7 @@ func (db *DB) DropBaselineIndex(table, instance string) {
 
 func (db *DB) applyDropBaselineIndex(table, instance string) {
 	delete(db.baselineIdx[strings.ToLower(table)], strings.ToLower(instance))
+	db.bumpCatalogVersion()
 }
 
 func (db *DB) forEachStoredObject(t *catalog.Table, instance string,

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/optimizer"
 	"repro/internal/pager"
 )
 
@@ -42,12 +44,22 @@ type metricCounters struct {
 	// optimizer inserted any parallel fragment (Gather, parallel build).
 	parallelPlans atomic.Int64
 	serialPlans   atomic.Int64
+
+	// snapMu makes Metrics() snapshots consistent: record holds it
+	// shared while bumping its counter group, Metrics holds it exclusive
+	// while loading them, so a snapshot never observes a statement's
+	// histogram bucket without its query count (or vice versa).
+	// Recording stays concurrent — readers of the lock only exclude the
+	// snapshot, and the adds themselves remain atomics.
+	snapMu sync.RWMutex
 }
 
 // record classifies one finished statement. Cancellations and deadline
 // expiries count separately from hard failures; budget violations and
 // injected storage faults are recognized through any wrapping layer.
 func (m *metricCounters) record(d time.Duration, rows int, err error) {
+	m.snapMu.RLock()
+	defer m.snapMu.RUnlock()
 	m.queries.Add(1)
 	m.queryNanos.Add(int64(d))
 	bucket := len(latencyBounds)
@@ -112,6 +124,13 @@ type Metrics struct {
 	// the database runs eager maintenance (Config.IngestFlushOps == 0),
 	// so eager-mode snapshots are unchanged.
 	Ingest *IngestMetrics `json:",omitempty"`
+	// PlanCache is the statement/plan cache telemetry; nil when
+	// Config.PlanCacheSize is 0, so cache-off snapshots are unchanged.
+	PlanCache *optimizer.PlanCacheStats `json:",omitempty"`
+	// CatalogVersion counts catalog-shape changes (DDL, index
+	// creation/drops, stats refreshes); plan-cache entries are valid
+	// only at the version they were optimized under.
+	CatalogVersion uint64 `json:",omitempty"`
 }
 
 // WALMetrics is the durability half of the telemetry: log traffic, fsync
@@ -158,9 +177,15 @@ type IngestMetrics struct {
 	PendingOps int64
 }
 
-// Metrics snapshots the engine telemetry.
+// Metrics snapshots the engine telemetry. The snapshot is consistent
+// with respect to concurrent record calls: the exclusive side of
+// snapMu briefly fences out recording, so histogram buckets always sum
+// to the query count (previously a snapshot could observe a
+// statement's latency bucket without its totals, or vice versa).
 func (db *DB) Metrics() Metrics {
 	m := &db.metrics
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
 	out := Metrics{
 		Queries:        m.queries.Load(),
 		RowsReturned:   m.rows.Load(),
@@ -204,6 +229,11 @@ func (db *DB) Metrics() Metrics {
 			PendingOps:    db.ingestPending.Load(),
 		}
 	}
+	if db.planCache != nil {
+		pc := db.planCache.Stats()
+		out.PlanCache = &pc
+		out.CatalogVersion = db.catalogVersion.Load()
+	}
 	return out
 }
 
@@ -246,6 +276,14 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "ingest: buffered=%d flushes=%d flushedops=%d flushedtuples=%d pending=%d\n",
 			m.Ingest.BufferedOps, m.Ingest.Flushes, m.Ingest.FlushedOps,
 			m.Ingest.FlushedTuples, m.Ingest.PendingOps)
+	}
+	// The plancache line appears only when caching is enabled, so
+	// cache-off output is unchanged.
+	if m.PlanCache != nil {
+		fmt.Fprintf(&b, "plancache: hits=%d misses=%d hitrate=%.1f%% invalidations=%d evictions=%d size=%d/%d catalogversion=%d\n",
+			m.PlanCache.Hits, m.PlanCache.Misses, 100*m.PlanCache.HitRate(),
+			m.PlanCache.Invalidations, m.PlanCache.Evictions,
+			m.PlanCache.Size, m.PlanCache.Capacity, m.CatalogVersion)
 	}
 	return b.String()
 }

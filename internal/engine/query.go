@@ -29,6 +29,9 @@ type Result struct {
 	// (commit record included) before publishing the epoch that exposes
 	// their effects. Zero when the database runs without a WAL.
 	AsOfLSN uint64
+	// CachedPlan reports that the plan came from the plan cache (always
+	// false on the classic Query/RunSelect paths, which bypass it).
+	CachedPlan bool
 }
 
 // Query parses, plans, optimizes, executes one SELECT statement. opts

@@ -237,6 +237,11 @@ func LoadWithConfig(r io.Reader, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Start the interval flusher only once replay has succeeded (retries
+	// rebuild the DB; a timer on a discarded attempt would leak). Before
+	// this call a snapshot-loaded database silently ignored
+	// IngestFlushInterval.
+	db.startIngestFlusher(cfg.IngestFlushInterval)
 	return db, nil
 }
 

@@ -338,6 +338,7 @@ func (db *DB) replayRecord(rec wal.Record) error {
 			cols[i] = model.Column{Name: c.Name, Kind: c.Kind}
 		}
 		db.cat.CreateTable(p.Name, model.NewSchema("", cols...))
+		db.bumpCatalogVersion()
 	case recInsertTuple:
 		var p pInsertTuple
 		if err := dec(&p); err != nil {

@@ -27,6 +27,9 @@ func (b *Builder) Build(stmt *sql.SelectStmt) (Node, *AliasResolver, error) {
 	if len(stmt.From) == 0 {
 		return nil, nil, fmt.Errorf("plan: query needs a FROM clause")
 	}
+	if n := sql.CountPlaceholders(stmt); n > 0 {
+		return nil, nil, fmt.Errorf("plan: statement has %d unbound parameter(s); bind them through a prepared statement", n)
+	}
 
 	// Resolve tables and aliases.
 	type source struct {

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// session is one client connection's server-side state: its tenant and
+// its prepared statements. Statements are engine.Stmt — parsed once,
+// safe for concurrent execution — so a session can be driven by several
+// in-flight requests at once.
+type session struct {
+	id     string
+	tenant string
+
+	mu       sync.Mutex
+	stmts    map[string]*engine.Stmt
+	nextStmt int
+
+	// lastUsed is a unix-nano touch stamp; the janitor expires sessions
+	// idle past SessionTimeout.
+	lastUsed atomic.Int64
+}
+
+func (s *session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+func (s *session) addStmt(st *engine.Stmt) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextStmt++
+	id := fmt.Sprintf("stmt-%d", s.nextStmt)
+	s.stmts[id] = st
+	return id
+}
+
+func (s *session) stmt(id string) (*engine.Stmt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[id]
+	if !ok {
+		return nil, errorf(http.StatusNotFound, CodeUnknownStatement,
+			"session %s has no statement %q", s.id, id)
+	}
+	return st, nil
+}
+
+func (s *session) closeStmt(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stmts[id]; !ok {
+		return errorf(http.StatusNotFound, CodeUnknownStatement,
+			"session %s has no statement %q", s.id, id)
+	}
+	delete(s.stmts, id)
+	return nil
+}
+
+// sessionTable holds the live sessions and runs the expiry janitor.
+type sessionTable struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	timeout  time.Duration
+	expired  atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newSessionTable(timeout, sweep time.Duration) *sessionTable {
+	t := &sessionTable{
+		sessions: make(map[string]*session),
+		timeout:  timeout,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(sweep)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.sweep(time.Now())
+			}
+		}
+	}()
+	return t
+}
+
+func (t *sessionTable) close() {
+	close(t.stop)
+	<-t.done
+}
+
+func (t *sessionTable) sweep(now time.Time) {
+	cutoff := now.Add(-t.timeout).UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, s := range t.sessions {
+		if s.lastUsed.Load() < cutoff {
+			delete(t.sessions, id)
+			t.expired.Add(1)
+		}
+	}
+}
+
+func (t *sessionTable) create(tenant string) *session {
+	var buf [12]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	s := &session{
+		id:     hex.EncodeToString(buf[:]),
+		tenant: tenant,
+		stmts:  make(map[string]*engine.Stmt),
+	}
+	s.touch()
+	t.mu.Lock()
+	t.sessions[s.id] = s
+	t.mu.Unlock()
+	return s
+}
+
+// get resolves a live session, applying lazy expiry (a session can be
+// past its deadline before the janitor's next sweep).
+func (t *sessionTable) get(id string) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, errorf(http.StatusNotFound, CodeUnknownSession, "no session %q", id)
+	}
+	if time.Since(time.Unix(0, s.lastUsed.Load())) > t.timeout {
+		delete(t.sessions, id)
+		t.expired.Add(1)
+		return nil, errorf(http.StatusNotFound, CodeUnknownSession, "session %q expired", id)
+	}
+	s.touch()
+	return s, nil
+}
+
+func (t *sessionTable) delete(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[id]; !ok {
+		return errorf(http.StatusNotFound, CodeUnknownSession, "no session %q", id)
+	}
+	delete(t.sessions, id)
+	return nil
+}
+
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}

@@ -155,6 +155,17 @@ type Neg struct {
 func (*Neg) exprNode()        {}
 func (n *Neg) String() string { return "-" + n.Expr.String() }
 
+// Placeholder is a positional `?` parameter in a prepared statement.
+// Index is the zero-based position in left-to-right source order. A
+// placeholder carries no value: Bind replaces the node with the Literal
+// bound at that position, and plans are only built from bound trees.
+type Placeholder struct {
+	Index int
+}
+
+func (*Placeholder) exprNode()        {}
+func (p *Placeholder) String() string { return "?" }
+
 // FuncCall is a scalar or aggregate function call, e.g. COUNT(*),
 // SUM(x), LOWER(name).
 type FuncCall struct {

@@ -76,7 +76,7 @@ func Lex(input string) ([]Token, error) {
 				return nil, &SyntaxError{Pos: start, Message: "unexpected '!'"}
 			}
 			toks = append(toks, Token{Kind: TokCompare, Text: text, Pos: start})
-		case strings.ContainsRune("(),.$*+-/;", rune(c)):
+		case strings.ContainsRune("(),.$*+-/;?", rune(c)):
 			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
 			i++
 		default:

@@ -1,0 +1,214 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// CountPlaceholders returns the number of `?` parameters in a statement.
+func CountPlaceholders(stmt Statement) int {
+	n := 0
+	WalkExprs(stmt, func(e Expr) {
+		if _, ok := e.(*Placeholder); ok {
+			n++
+		}
+	})
+	return n
+}
+
+// WalkExprs visits every expression node of a statement, depth-first.
+func WalkExprs(stmt Statement, fn func(Expr)) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		for i := range s.Items {
+			walkExpr(s.Items[i].Expr, fn)
+		}
+		for i := range s.Joins {
+			walkExpr(s.Joins[i].On, fn)
+		}
+		walkExpr(s.Where, fn)
+		for _, e := range s.GroupBy {
+			walkExpr(e, fn)
+		}
+		walkExpr(s.Having, fn)
+		for i := range s.OrderBy {
+			walkExpr(s.OrderBy[i].Expr, fn)
+		}
+	case *ZoomStmt:
+		walkExpr(s.Where, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *MethodCall:
+		walkExpr(n.Recv, fn)
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	case *Binary:
+		walkExpr(n.L, fn)
+		walkExpr(n.R, fn)
+	case *Not:
+		walkExpr(n.Expr, fn)
+	case *Neg:
+		walkExpr(n.Expr, fn)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// BindSelect returns a copy of sel with every `?` placeholder replaced
+// by the literal at its position in params. The statement itself is not
+// modified, so one parsed prepared statement can be bound concurrently
+// with different parameter sets. Expression subtrees without
+// placeholders are shared between the original and the copy; they are
+// never mutated by planning or execution.
+func BindSelect(sel *SelectStmt, params []model.Value) (*SelectStmt, error) {
+	want := CountPlaceholders(sel)
+	if len(params) != want {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), %d bound", want, len(params))
+	}
+	if want == 0 {
+		return sel, nil
+	}
+	out := *sel
+	out.Items = make([]SelectItem, len(sel.Items))
+	copy(out.Items, sel.Items)
+	for i := range out.Items {
+		out.Items[i].Expr = bindExpr(out.Items[i].Expr, params)
+	}
+	out.Joins = make([]JoinClause, len(sel.Joins))
+	copy(out.Joins, sel.Joins)
+	for i := range out.Joins {
+		out.Joins[i].On = bindExpr(out.Joins[i].On, params)
+	}
+	out.Where = bindExpr(sel.Where, params)
+	if len(sel.GroupBy) > 0 {
+		out.GroupBy = make([]Expr, len(sel.GroupBy))
+		for i, e := range sel.GroupBy {
+			out.GroupBy[i] = bindExpr(e, params)
+		}
+	}
+	out.Having = bindExpr(sel.Having, params)
+	if len(sel.OrderBy) > 0 {
+		out.OrderBy = make([]OrderItem, len(sel.OrderBy))
+		copy(out.OrderBy, sel.OrderBy)
+		for i := range out.OrderBy {
+			out.OrderBy[i].Expr = bindExpr(out.OrderBy[i].Expr, params)
+		}
+	}
+	return &out, nil
+}
+
+// bindExpr rebuilds the tree along paths that contain a placeholder;
+// placeholder-free subtrees are returned as-is (they are read-only to
+// the planner and executor).
+func bindExpr(e Expr, params []model.Value) Expr {
+	if e == nil || !hasPlaceholder(e) {
+		return e
+	}
+	switch n := e.(type) {
+	case *Placeholder:
+		return &Literal{Value: params[n.Index]}
+	case *MethodCall:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = bindExpr(a, params)
+		}
+		return &MethodCall{Recv: bindExpr(n.Recv, params), Name: n.Name, Args: args}
+	case *Binary:
+		return &Binary{Op: n.Op, L: bindExpr(n.L, params), R: bindExpr(n.R, params)}
+	case *Not:
+		return &Not{Expr: bindExpr(n.Expr, params)}
+	case *Neg:
+		return &Neg{Expr: bindExpr(n.Expr, params)}
+	case *FuncCall:
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = bindExpr(a, params)
+		}
+		return &FuncCall{Name: n.Name, Args: args, Star: n.Star}
+	default:
+		return e
+	}
+}
+
+func hasPlaceholder(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if _, ok := x.(*Placeholder); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// Normalize canonicalizes a statement's text for use as a cache key:
+// comments are stripped, runs of whitespace collapse to one space, and
+// everything outside string literals is lowercased (the dialect is
+// case-insensitive). String literals are preserved byte-for-byte —
+// collapsing whitespace inside them would make semantically different
+// statements share a key. Trailing semicolons and whitespace are
+// dropped. Normalize never fails: malformed input (e.g. an unterminated
+// string) normalizes to itself, and such statements are rejected by the
+// parser before any cache is consulted.
+func Normalize(input string) string {
+	var b strings.Builder
+	b.Grow(len(input))
+	pendingSpace := false
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = b.Len() > 0
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+			pendingSpace = b.Len() > 0
+		case c == '\'':
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(c)
+			i++
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						b.WriteString("''")
+						i += 2
+						continue
+					}
+					b.WriteByte('\'')
+					i++
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return strings.TrimRight(b.String(), " ;")
+}

@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPlaceholderParsing(t *testing.T) {
+	stmt, err := Parse("SELECT name FROM Birds WHERE weight > ? AND name LIKE ? LIMIT 3")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sel := stmt.(*SelectStmt)
+	if got := CountPlaceholders(sel); got != 2 {
+		t.Fatalf("CountPlaceholders = %d, want 2", got)
+	}
+	// Indexes follow source order.
+	var idxs []int
+	WalkExprs(sel, func(e Expr) {
+		if p, ok := e.(*Placeholder); ok {
+			idxs = append(idxs, p.Index)
+		}
+	})
+	if len(idxs) != 2 || idxs[0] != 0 || idxs[1] != 1 {
+		t.Fatalf("placeholder indexes = %v, want [0 1]", idxs)
+	}
+}
+
+func TestPlaceholderInMethodArgs(t *testing.T) {
+	stmt, err := Parse("SELECT name FROM Birds r WHERE r.$.getSummaryObject(?).getLabelValue(?) >= ?")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := CountPlaceholders(stmt); got != 3 {
+		t.Fatalf("CountPlaceholders = %d, want 3", got)
+	}
+}
+
+func TestBindSelect(t *testing.T) {
+	stmt, err := Parse("SELECT name FROM Birds WHERE weight > ? AND name LIKE ?")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sel := stmt.(*SelectStmt)
+
+	bound, err := BindSelect(sel, []model.Value{model.NewInt(5), model.NewText("sp%")})
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if bound == sel {
+		t.Fatalf("BindSelect returned the original statement for a parameterized query")
+	}
+	if got := CountPlaceholders(bound); got != 0 {
+		t.Fatalf("bound statement still has %d placeholder(s)", got)
+	}
+	// The original is untouched and can be bound again with other values.
+	if got := CountPlaceholders(sel); got != 2 {
+		t.Fatalf("original statement mutated: %d placeholders left", got)
+	}
+	want := "(weight > 5) AND (name LIKE 'sp%')"
+	if got := bound.Where.String(); got != "("+want+")" {
+		t.Fatalf("bound WHERE = %q", got)
+	}
+
+	// Arity mismatches are rejected both ways.
+	if _, err := BindSelect(sel, []model.Value{model.NewInt(5)}); err == nil {
+		t.Fatalf("binding 1 param to a 2-param statement should fail")
+	}
+	if _, err := BindSelect(sel, []model.Value{model.NewInt(1), model.NewInt(2), model.NewInt(3)}); err == nil {
+		t.Fatalf("binding 3 params to a 2-param statement should fail")
+	}
+}
+
+func TestBindSelectNoParamsSharesStatement(t *testing.T) {
+	stmt, _ := Parse("SELECT name FROM Birds")
+	sel := stmt.(*SelectStmt)
+	bound, err := BindSelect(sel, nil)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if bound != sel {
+		t.Fatalf("placeholder-free statements should bind to themselves")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  name\nFROM Birds ;", "select name from birds"},
+		{"select name from birds", "select name from birds"},
+		{"SELECT name FROM Birds -- trailing comment\nWHERE x = 1", "select name from birds where x = 1"},
+		// Whitespace and case inside string literals are preserved.
+		{"SELECT 'A  B' FROM t", "select 'A  B' from t"},
+		{"SELECT 'it''s  ok' FROM t", "select 'it''s  ok' from t"},
+		// Semantically different literals must not collide.
+		{"SELECT 'a b' FROM t", "select 'a b' from t"},
+		{"SELECT 'a  b' FROM t", "select 'a  b' from t"},
+		{"  SELECT 1 FROM t  ;  ", "select 1 from t"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if Normalize("SELECT 'a b' FROM t") == Normalize("SELECT 'a  b' FROM t") {
+		t.Fatalf("string-literal whitespace collapsed: distinct statements share a key")
+	}
+	if Normalize("SELECT  X  FROM t") != Normalize("select x from t") {
+		t.Fatalf("case/whitespace-insensitive statements should share a key")
+	}
+}

@@ -47,6 +47,9 @@ func ParseExpr(input string) (Expr, error) {
 type parser struct {
 	toks []Token
 	pos  int
+	// params counts `?` placeholders seen so far; each placeholder gets
+	// the next zero-based index in source order.
+	params int
 }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
@@ -600,6 +603,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case p.at(TokSymbol, "$"):
 		p.next()
 		return &DollarRef{}, nil
+
+	case p.at(TokSymbol, "?"):
+		p.next()
+		ph := &Placeholder{Index: p.params}
+		p.params++
+		return ph, nil
 
 	case p.at(TokSymbol, "("):
 		p.next()

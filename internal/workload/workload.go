@@ -41,6 +41,10 @@ type Config struct {
 	// > 0 the built database runs batched net-delta summary maintenance
 	// with that flush threshold (0 = eager per-annotation maintenance).
 	IngestFlushOps int
+	// PlanCacheSize passes through engine.Config.PlanCacheSize: when > 0
+	// the built database caches optimized plans for the prepared /
+	// QueryCached paths (0 = no cache, classic behavior everywhere).
+	PlanCacheSize int
 	// SkipSynonyms omits the Synonyms table for single-table workloads.
 	SkipSynonyms bool
 }
@@ -165,7 +169,7 @@ func SynonymsSchema() *model.Schema {
 func Build(cfg Config) (*Dataset, error) {
 	cfg = cfg.WithDefaults()
 	db := engine.New(engine.Config{PageCap: cfg.PageCap, BufferPoolPages: cfg.BufferPoolPages,
-		IngestFlushOps: cfg.IngestFlushOps})
+		IngestFlushOps: cfg.IngestFlushOps, PlanCacheSize: cfg.PlanCacheSize})
 	ds := &Dataset{DB: db, Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
