@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress ingest-stress serve-stress
+.PHONY: check build vet test race race-core bench-smoke recovery-torture mvcc-stress ingest-stress serve-stress vector-stress
 
 # check is the full CI gate: static analysis, a clean build, and the
 # test suite under the race detector.
@@ -31,7 +31,7 @@ race-core:
 # scale and writes a machine-readable BENCH_smoke.json snapshot (figures
 # + engine metrics) so perf regressions show up as diffs between runs.
 bench-smoke:
-	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21,22,23 -json BENCH_smoke.json
+	$(GO) run ./cmd/benchreport -quick -fig 10,17,18,19,20,21,22,23,24 -json BENCH_smoke.json
 
 # recovery-torture runs the WAL crash matrix: the mixed workload's log is
 # cut at every record boundary (and inside every record) and each prefix
@@ -68,3 +68,14 @@ serve-stress:
 	$(GO) test -race -count=2 ./internal/server/
 	$(GO) test -race -count=2 -run 'TestIngestFlusherJoinedOnClose|TestIngestFlusherOpenCloseStress|TestMetricsSnapshotConsistency|TestPreparedConcurrentExecutions|TestPlanCacheStaleness' ./internal/engine/
 	$(GO) test -race -count=1 -run 'TestFig23Smoke' ./internal/bench/
+
+# vector-stress exercises the vectorized executor end to end under the
+# race detector: the batch/row differential corpus across batch sizes,
+# vectorized scans feeding the parallel Gather exchange from 4 query
+# goroutines, mid-batch cancellation latency, the per-row allocation
+# budget, and the Figure 24 smoke run with its enforced >= 3x speedup
+# floor on the headline scan.
+vector-stress:
+	$(GO) test -race -count=1 -run 'TestVectorized|TestBatch|TestTransformBatch|TestMidBatchCancellationStopsWithinOneBatch' ./internal/engine/ ./internal/exec/
+	$(GO) test -race -count=1 -run 'TestVectorizedAllocBudget' .
+	$(GO) test -race -count=1 -run 'TestFig24Smoke' ./internal/bench/

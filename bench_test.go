@@ -401,6 +401,81 @@ func BenchmarkAblation_DemandDrivenPropagation(b *testing.B) {
 	})
 }
 
+// allocFixture builds the warm single-table dataset for the
+// vectorization allocation measurements: a plan cache so QueryCached
+// skips parse/optimize, and no synonyms or long annotations so the
+// scan-heavy query is the entire cost.
+func allocFixture(tb testing.TB) *engine.DB {
+	tb.Helper()
+	ds, err := workload.Build(workload.Config{
+		Seed: 1, Birds: 1000, AvgAnnotationsPerBird: 2,
+		SkipSynonyms: true, LongAnnotationFraction: -1,
+		PlanCacheSize: 8,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds.DB
+}
+
+const allocQuery = `SELECT id, sci_name FROM Birds b WHERE b.id > 0 WITHOUT SUMMARIES`
+
+// BenchmarkVectorizedScanAllocs reports the allocation profile of a
+// warm scan->filter->project query in row mode vs batch mode (compare
+// allocs/op between the two).
+func BenchmarkVectorizedScanAllocs(b *testing.B) {
+	db := allocFixture(b)
+	run := func(size int) func(*testing.B) {
+		opts := &optimizer.Options{MaxBatchSize: size}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryCached(allocQuery, nil, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("RowMode", run(1))
+	b.Run("Batch1024", run(1024))
+}
+
+// TestVectorizedAllocBudget is the regression guard on the batch-mode
+// allocation discipline: slab-carved rows and pooled batch containers
+// must keep a warm vectorized scan under 1 allocation per output row,
+// and strictly cheaper than the row-at-a-time execution of the same
+// cached plan. A per-row allocation sneaking back into the batch path
+// (row boxing, per-row alias maps, unpooled containers) trips this
+// immediately.
+func TestVectorizedAllocBudget(t *testing.T) {
+	db := allocFixture(t)
+	measure := func(size int) (allocsPerRow float64) {
+		opts := &optimizer.Options{MaxBatchSize: size}
+		res, err := db.QueryCached(allocQuery, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := len(res.Rows)
+		if rows != 1000 {
+			t.Fatalf("fixture drift: %d rows, want 1000", rows)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := db.QueryCached(allocQuery, nil, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs / float64(rows)
+	}
+	rowMode := measure(1)
+	batch := measure(1024)
+	if batch >= 1.0 {
+		t.Errorf("batch mode allocates %.2f/row, budget is < 1", batch)
+	}
+	if batch >= rowMode {
+		t.Errorf("batch mode (%.2f allocs/row) not cheaper than row mode (%.2f)", batch, rowMode)
+	}
+}
+
 // BenchmarkReport_Quick regenerates the full figure set at the quick
 // scale once per iteration — an end-to-end harness benchmark (run with
 // -benchtime=1x; it is skipped in -short mode).

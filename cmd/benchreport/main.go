@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..23); empty = all")
+	fig := flag.String("fig", "", "comma-separated figures to regenerate (2, 7..24); empty = all")
 	birds := flag.Int("birds", 0, "Birds-table cardinality (default from scale)")
 	grid := flag.String("grid", "", "comma-separated annotations-per-bird grid, e.g. 10,25,50")
 	quick := flag.Bool("quick", false, "use the reduced quick scale")
@@ -93,6 +93,7 @@ func main() {
 		{[]int{21}, bench.Fig21MVCCReaders},
 		{[]int{22}, bench.Fig22Ingest},
 		{[]int{23}, bench.Fig23ServerQPS},
+		{[]int{24}, bench.Fig24Vectorized},
 	}
 
 	ran := false
@@ -118,7 +119,7 @@ func main() {
 		tables = append(tables, tbl)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..23)\n", *fig)
+		fmt.Fprintf(os.Stderr, "no such figure: %s (valid: 2, 7..24)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

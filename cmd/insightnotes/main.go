@@ -54,6 +54,7 @@ func main() {
 	groupCommit := flag.Duration("group-commit", 0, "group-commit window, e.g. 500us (0 = fsync every commit; requires -wal)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after every N logged operations (0 = never; requires -wal)")
 	ingestFlush := flag.Int("ingest-flush", 0, "batch summary maintenance, flushing net deltas every N annotation ops (0 = eager per-annotation maintenance)")
+	batchSize := flag.Int("batch-size", 0, "vectorized execution batch capacity for scan-heavy pipelines (0 or 1 = row-at-a-time)")
 	flag.Parse()
 
 	var db *engine.DB
@@ -66,6 +67,7 @@ func main() {
 				CheckpointEveryN:  *checkpointEvery,
 				BufferPoolPages:   *poolPages,
 				IngestFlushOps:    *ingestFlush,
+				MaxBatchSize:      *batchSize,
 			})
 			if err != nil {
 				return err
@@ -79,13 +81,15 @@ func main() {
 			return nil
 		}
 		if nBirds == 0 {
-			db = engine.New(engine.Config{BufferPoolPages: *poolPages, IngestFlushOps: *ingestFlush})
+			db = engine.New(engine.Config{BufferPoolPages: *poolPages, IngestFlushOps: *ingestFlush,
+				MaxBatchSize: *batchSize})
 			fmt.Println("started with an empty database")
 			return nil
 		}
 		ds, err := workload.Build(workload.Config{
 			Seed: 1, Birds: nBirds, AvgAnnotationsPerBird: avg,
 			BufferPoolPages: *poolPages, IngestFlushOps: *ingestFlush,
+			MaxBatchSize: *batchSize,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// vectorBirdsFactor scales the Birds table up for the vectorization
+// experiment: batching attacks per-row executor overhead, which only
+// dominates on scans long enough that planning and result handling are
+// noise.
+const vectorBirdsFactor = 20
+
+// Fig24Vectorized measures batch-at-a-time execution (an extension
+// beyond the paper, whose engine is row-at-a-time): warm in-memory
+// scan-heavy queries under MaxBatchSize 1 (pure Volcano) vs 1024
+// (vectorized segments), reporting the speedup and verifying the
+// batched plans return identical rows. The dataset deliberately stays
+// resident (no read delay, no pool cap): vectorization amortizes CPU
+// overhead — per-row allocation, interpretation, cancellation polls,
+// panic traps — not I/O, so the warm cache is the regime it targets.
+func Fig24Vectorized(h *Harness) (*Table, error) {
+	ds, err := workload.Build(workload.Config{
+		Seed:                   h.Scale.Seed,
+		Birds:                  h.Scale.Birds * vectorBirdsFactor,
+		AvgAnnotationsPerBird:  2,
+		SkipSynonyms:           true,
+		LongAnnotationFraction: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := ds.DB
+	if err := db.CreateSummaryIndex("Birds", "ClassBird1"); err != nil {
+		return nil, err
+	}
+	birds, err := db.Table("Birds")
+	if err != nil {
+		return nil, err
+	}
+	c := pickGreaterConstant(birds, "ClassBird1", "Disease", 0.5)
+
+	queries := []struct {
+		name    string
+		q       string
+		enforce bool
+	}{
+		// The headline scan: a conjunctive multi-column predicate over the
+		// whole table with a selective output, so nearly all the work is
+		// per-row scan/filter overhead — the vectorized path's best case
+		// and the one the >= 3x floor is enforced on.
+		{"multi-predicate filter", `SELECT id FROM Birds b
+		   WHERE b.wingspan_cm > 150 AND b.weight_g > 6000 AND b.family <> 'Corvidae'
+		     AND b.status <> 'LC' WITHOUT SUMMARIES`, true},
+		// A wide projection keeps the output path honest: every surviving
+		// row carries three columns through the batched Project.
+		{"scan projection", `SELECT id, sci_name, wingspan_cm FROM Birds b
+		   WHERE b.id > 0 WITHOUT SUMMARIES`, false},
+		// The Summary-BTree scan fills batches from its hit list; the
+		// predicate is index-answered so no summaries are fetched.
+		{"summary index scan", fmt.Sprintf(`SELECT id FROM Birds r
+		   WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > %d
+		   WITHOUT SUMMARIES`, c), false},
+	}
+
+	t := &Table{
+		Figure:  "Figure 24 (extension)",
+		Title:   "Vectorized execution: warm scan-heavy queries, batch size 1 (row-at-a-time) vs 1024",
+		Headers: []string{"query", "rows", "row-mode (ms)", "batch=1024 (ms)", "speedup"},
+	}
+
+	for _, q := range queries {
+		if err := vectorCheckIdentical(db, q.q); err != nil {
+			return nil, err
+		}
+		rowOpts := &optimizer.Options{MaxBatchSize: 1}
+		batchOpts := &optimizer.Options{MaxBatchSize: 1024}
+		// Warm both plans once, then take the best of several reps.
+		if _, _, _, err := queryTime(db, q.q, batchOpts, 1); err != nil {
+			return nil, err
+		}
+		rowTime, rowRows, _, err := queryTime(db, q.q, rowOpts, 3)
+		if err != nil {
+			return nil, err
+		}
+		batchTime, batchRows, _, err := queryTime(db, q.q, batchOpts, 3)
+		if err != nil {
+			return nil, err
+		}
+		if rowRows != batchRows {
+			return nil, fmt.Errorf("fig24: %s returned %d rows vectorized, %d row-at-a-time",
+				q.name, batchRows, rowRows)
+		}
+		speedup := float64(rowTime) / float64(batchTime)
+		t.AddRow(q.name, fmt.Sprint(batchRows), ms(rowTime), ms(batchTime), ratio(rowTime, batchTime))
+		if q.enforce && speedup < 3.0 {
+			return nil, fmt.Errorf("fig24: vectorized %s only %.1fx over row mode, want >= 3x",
+				q.name, speedup)
+		}
+	}
+	t.AddNote("batches amortize per-row allocation, predicate interpretation, cancellation polls, and panic traps; rows verified identical per query")
+	t.AddNote("%d birds resident in memory; batch containers pooled, row storage slab-carved per batch",
+		h.Scale.Birds*vectorBirdsFactor)
+	return t, nil
+}
+
+// vectorCheckIdentical compares the full result contents (not just
+// counts) of the row-mode and vectorized executions of q.
+func vectorCheckIdentical(db *engine.DB, q string) error {
+	row, err := db.Query(q, &optimizer.Options{MaxBatchSize: 1})
+	if err != nil {
+		return err
+	}
+	batch, err := db.Query(q, &optimizer.Options{MaxBatchSize: 1024})
+	if err != nil {
+		return err
+	}
+	if len(row.Rows) != len(batch.Rows) {
+		return fmt.Errorf("fig24: row counts diverge: %d vs %d", len(row.Rows), len(batch.Rows))
+	}
+	for i := range row.Rows {
+		if row.Rows[i].Tuple.String() != batch.Rows[i].Tuple.String() {
+			return fmt.Errorf("fig24: row %d diverges between row mode and vectorized", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFig24Smoke runs the vectorization figure at the quick scale —
+// including its row-identity differential and the enforced >= 3x
+// speedup floor on the headline scan — so make vector-stress and CI
+// catch a vectorized-path regression without a full benchreport run.
+func TestFig24Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vectorization benchmark smoke skipped in -short mode")
+	}
+	h := NewHarness(QuickScale())
+	table, err := Fig24Vectorized(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("figure has %d rows, want 3:\n%s", len(table.Rows), table)
+	}
+	t.Logf("\n%s", table)
+}

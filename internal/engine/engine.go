@@ -39,6 +39,12 @@ type Config struct {
 	// queries only; queries can override it per statement through their
 	// optimizer options.
 	MaxParallelWorkers int
+	// MaxBatchSize is the default row-batch capacity for vectorized
+	// pipeline segments (see optimizer.Options.MaxBatchSize). 0 or 1
+	// plans pure row-at-a-time queries, byte-identical to the
+	// pre-vectorized engine; queries can override it per statement
+	// through their optimizer options.
+	MaxBatchSize int
 	// Faults installs a deterministic pager fault-injection policy on
 	// the database's I/O accountant (testing/chaos harnesses only).
 	Faults *pager.FaultPolicy
@@ -132,6 +138,10 @@ type DB struct {
 	// maxParallel is the default intra-query parallelism cap applied to
 	// queries whose options leave MaxParallelWorkers at 0.
 	maxParallel atomic.Int64
+
+	// maxBatch is the default vectorized-batch capacity applied to
+	// queries whose options leave MaxBatchSize at 0.
+	maxBatch atomic.Int64
 
 	// metrics is the always-on query telemetry (see Metrics).
 	metrics metricCounters
@@ -261,6 +271,7 @@ func newDB(cfg Config, acct *pager.Accountant) *DB {
 	db.stmtTimeout.Store(int64(cfg.StatementTimeout))
 	db.defaultBudget.Store(cfg.Budget)
 	db.maxParallel.Store(int64(cfg.MaxParallelWorkers))
+	db.maxBatch.Store(int64(cfg.MaxBatchSize))
 	db.publishLocked() // initial empty epoch; the DB is not shared yet
 	return db
 }
@@ -285,6 +296,14 @@ func (db *DB) SetMaxParallelWorkers(n int) { db.maxParallel.Store(int64(n)) }
 
 // MaxParallelWorkers returns the current default parallelism cap.
 func (db *DB) MaxParallelWorkers() int { return int(db.maxParallel.Load()) }
+
+// SetMaxBatchSize changes the default vectorized-batch capacity (0 or
+// 1 = row-at-a-time plans). Safe to call while queries are running;
+// each query snapshots the size at planning time.
+func (db *DB) SetMaxBatchSize(n int) { db.maxBatch.Store(int64(n)) }
+
+// MaxBatchSize returns the current default vectorized-batch capacity.
+func (db *DB) MaxBatchSize() int { return int(db.maxBatch.Load()) }
 
 // Accountant exposes the shared I/O accountant (benchmarks reset and
 // read it around measured operations).

@@ -129,7 +129,8 @@ func (db *DB) Explain(query string, opts *optimizer.Options) (string, error) {
 
 // effectiveOptions copies the caller's optimizer options (nil = all
 // defaults) and resolves engine-level defaults: a zero
-// MaxParallelWorkers inherits the DB-wide cap.
+// MaxParallelWorkers inherits the DB-wide cap, and a zero MaxBatchSize
+// inherits the DB-wide vectorized-batch capacity.
 func (db *DB) effectiveOptions(opts *optimizer.Options) optimizer.Options {
 	var o optimizer.Options
 	if opts != nil {
@@ -137,6 +138,9 @@ func (db *DB) effectiveOptions(opts *optimizer.Options) optimizer.Options {
 	}
 	if o.MaxParallelWorkers == 0 {
 		o.MaxParallelWorkers = db.MaxParallelWorkers()
+	}
+	if o.MaxBatchSize == 0 {
+		o.MaxBatchSize = db.MaxBatchSize()
 	}
 	return o
 }

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+func TestBatchSelectionAndTruncate(t *testing.T) {
+	b := GetBatch(8)
+	_, rows := intRows(6)
+	for _, r := range rows {
+		b.Append(r)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("dense len = %d, want 6", b.Len())
+	}
+	// Select the even physical slots.
+	sel := b.selStorage(3)
+	sel = append(sel, 0, 2, 4)
+	b.sel = sel
+	if b.Len() != 3 {
+		t.Fatalf("selected len = %d, want 3", b.Len())
+	}
+	for i, want := range []int{0, 2, 4} {
+		if b.Row(i) != rows[want] {
+			t.Fatalf("Row(%d) != physical row %d", i, want)
+		}
+	}
+	b.Truncate(2)
+	if b.Len() != 2 || b.Row(1) != rows[2] {
+		t.Fatalf("truncated selection wrong: len=%d", b.Len())
+	}
+	// Appending through a selection is a protocol violation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Append on a selected batch should panic")
+			}
+		}()
+		b.Append(rows[0])
+	}()
+	b.Release()
+	// The pool must hand back a clean container, never retained rows.
+	b2 := GetBatch(8)
+	if b2.Len() != 0 || b2.sel != nil {
+		t.Fatalf("pooled batch not clean: len=%d sel=%v", b2.Len(), b2.sel)
+	}
+	b2.Release()
+}
+
+func TestTransformBatchConsumesSelection(t *testing.T) {
+	b := GetBatch(8)
+	_, rows := intRows(5)
+	for _, r := range rows {
+		b.Append(r)
+	}
+	sel := b.selStorage(3)
+	b.sel = append(sel, 1, 3, 4)
+	transformBatch(b, func(r *Row) *Row { return r })
+	if b.sel != nil {
+		t.Fatal("transformBatch should consume the selection vector")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	for i, want := range []int{1, 3, 4} {
+		if b.Row(i) != rows[want] {
+			t.Fatalf("compacted row %d != physical row %d", i, want)
+		}
+	}
+	b.Release()
+}
+
+// TestBatchRoundTripPreservesRows pins the adapter contract: rows
+// travelling SliceIter -> rowToBatch -> batchToRow come out as the very
+// same pointers in the same order, and releasing the in-flight
+// containers never invalidates rows already handed out.
+func TestBatchRoundTripPreservesRows(t *testing.T) {
+	schema, rows := intRows(10)
+	it := NewBatchToRow(NewRowToBatch(NewSliceIter(schema, rows), 3))
+	out, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rows) {
+		t.Fatalf("round trip lost rows: %d of %d", len(out), len(rows))
+	}
+	for i := range out {
+		if out[i] != rows[i] {
+			t.Fatalf("row %d: adapter changed identity or order", i)
+		}
+	}
+}
+
+// TestVectorizedFilterProjectLimitMatchesRowMode drives the converted
+// streaming operators through their batch protocol and checks the
+// output against the row-at-a-time execution of the same tree.
+func TestVectorizedFilterProjectLimitMatchesRowMode(t *testing.T) {
+	out := model.NewSchema("", model.Column{Name: "v", Kind: model.KindInt})
+	build := func(batch int) Iterator {
+		schema, rows := intRows(100)
+		f := NewFilter(NewSliceIter(schema, rows), mustExpr(t, "v > 20"), nil)
+		f.BatchSize = batch
+		p := NewProject(f, []sql.Expr{mustExpr(t, "v")}, out, nil)
+		p.BatchSize = batch
+		l := NewLimit(p, 30)
+		l.BatchSize = batch
+		return NewBatchToRow(l)
+	}
+	want, err := Collect(build(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 30 {
+		t.Fatalf("row-mode baseline: %d rows, want 30", len(want))
+	}
+	for _, batch := range []int{2, 3, 7, 1024} {
+		got, err := Collect(build(batch))
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d rows, want %d", batch, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Tuple.Values[0].Int != want[i].Tuple.Values[0].Int {
+				t.Fatalf("batch=%d row %d: got %d, want %d", batch, i,
+					got[i].Tuple.Values[0].Int, want[i].Tuple.Values[0].Int)
+			}
+		}
+	}
+}
+
+// cancelAfterIter produces rows and fires cancel after k of them,
+// mid-batch. It deliberately ignores the query context itself, so the
+// only thing that can stop the pipeline is the batch-boundary poll.
+type cancelAfterIter struct {
+	schema *model.Schema
+	rows   []*Row
+	k      int
+	cancel context.CancelFunc
+	pos    int
+}
+
+func (c *cancelAfterIter) Open() error { c.pos = 0; return nil }
+func (c *cancelAfterIter) Next() (*Row, error) {
+	if c.pos >= len(c.rows) {
+		return nil, nil
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	if c.pos == c.k {
+		c.cancel()
+	}
+	return r, nil
+}
+func (c *cancelAfterIter) Close() error          { return nil }
+func (c *cancelAfterIter) Schema() *model.Schema { return c.schema }
+
+// TestMidBatchCancellationStopsWithinOneBatch is the regression test
+// for the batch-mode cancellation cadence: converted operators poll
+// once per batch, so a context cancelled mid-batch must abort the query
+// no later than the next batch boundary — the in-flight batch may
+// complete, but not one more.
+func TestMidBatchCancellationStopsWithinOneBatch(t *testing.T) {
+	const total, cancelAt, batch = 500, 10, 64
+	schema, rows := intRows(total)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancelAfterIter{schema: schema, rows: rows, k: cancelAt, cancel: cancel}
+	f := NewFilter(src, mustExpr(t, "v > 0"), nil)
+	f.BatchSize = batch
+	it := NewBatchToRow(f)
+	SetIterContext(it, NewQueryCtx(ctx, nil))
+
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	delivered := 0
+	var err error
+	for {
+		var r *Row
+		r, err = it.Next()
+		if r == nil || err != nil {
+			break
+		}
+		delivered++
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (delivered %d rows)", err, delivered)
+	}
+	if delivered > batch {
+		t.Fatalf("cancel at row %d leaked past one batch boundary: %d rows delivered (batch=%d)",
+			cancelAt, delivered, batch)
+	}
+}

@@ -1,0 +1,288 @@
+package exec
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// boundExpr is a pre-compiled expression evaluator produced by Bind:
+// the per-row work left after name resolution and tree dispatch have
+// been paid once per query instead of once per row.
+type boundExpr func(row *Row) (result, error)
+
+// boundPred is the boolean specialization produced by BindPred: filters
+// only need SQL truth, and threading a bare bool through the conjunct
+// closures avoids materializing (and copying) a full result struct per
+// sub-expression per row — the dominant cost of a bound multi-predicate
+// filter.
+type boundPred func(row *Row) (bool, error)
+
+// Bind pre-compiles an expression against the evaluator's schema.
+// Column references resolve their ordinal once (the row interpreter
+// performs a name lookup per row), literals become constants, and the
+// boolean / comparison / arithmetic structure is lowered to closures
+// sharing applyBinary and negValue with the interpreter, so the two
+// paths cannot drift semantically. Summary-method calls, $ references,
+// and scalar functions fall back to the tree interpreter per row.
+// Binding never fails: an unresolvable column yields a closure that
+// returns the error, matching the row path's per-row error.
+func (ev *Evaluator) Bind(e sql.Expr) boundExpr {
+	switch n := e.(type) {
+	case *sql.Literal:
+		r := valueResult(n.Value)
+		return func(*Row) (result, error) { return r, nil }
+
+	case *sql.ColumnRef:
+		i, err := ev.Schema.ColIndex(n.Qualifier, n.Name)
+		if err != nil {
+			return func(*Row) (result, error) { return result{}, err }
+		}
+		return func(row *Row) (result, error) {
+			return valueResult(row.Tuple.Values[i]), nil
+		}
+
+	case *sql.Not:
+		inner := ev.BindPred(n.Expr)
+		return func(row *Row) (result, error) {
+			b, err := inner(row)
+			if err != nil {
+				return result{}, err
+			}
+			return valueResult(model.NewBool(!b)), nil
+		}
+
+	case *sql.Neg:
+		inner := ev.Bind(n.Expr)
+		expr := n.Expr
+		return func(row *Row) (result, error) {
+			r, err := inner(row)
+			if err != nil {
+				return result{}, err
+			}
+			v, err := resolveValue(expr, r)
+			if err != nil {
+				return result{}, err
+			}
+			return negValue(v)
+		}
+
+	case *sql.Binary:
+		switch n.Op {
+		case sql.OpAnd, sql.OpOr:
+			p := ev.BindPred(n)
+			return func(row *Row) (result, error) {
+				b, err := p(row)
+				if err != nil {
+					return result{}, err
+				}
+				return valueResult(model.NewBool(b)), nil
+			}
+		default:
+			lb, rb := ev.Bind(n.L), ev.Bind(n.R)
+			le, re := n.L, n.R
+			op := n.Op
+			return func(row *Row) (result, error) {
+				lr, err := lb(row)
+				if err != nil {
+					return result{}, err
+				}
+				l, err := resolveValue(le, lr)
+				if err != nil {
+					return result{}, err
+				}
+				rr, err := rb(row)
+				if err != nil {
+					return result{}, err
+				}
+				r, err := resolveValue(re, rr)
+				if err != nil {
+					return result{}, err
+				}
+				return applyBinary(op, l, r)
+			}
+		}
+
+	default:
+		// DollarRef, MethodCall, FuncCall, and anything new: per-row
+		// tree interpretation (summary-set navigation is pointer
+		// chasing, not name resolution, so there is little to hoist).
+		return func(row *Row) (result, error) { return ev.eval(e, row) }
+	}
+}
+
+// BindPred pre-compiles an expression as a predicate: the closure
+// chain passes SQL truth (NULL is false) directly instead of boxing
+// every sub-result in a value struct. AND/OR keep the interpreter's
+// short-circuit order, NOT takes the complement of its operand's
+// truth, and comparisons between column references and literals lower
+// to direct compares against the pre-resolved ordinal and constant.
+// Everything else evaluates through Bind and takes Truth of the
+// result, so the two paths share one semantics.
+func (ev *Evaluator) BindPred(e sql.Expr) boundPred {
+	switch n := e.(type) {
+	case *sql.Not:
+		inner := ev.BindPred(n.Expr)
+		return func(row *Row) (bool, error) {
+			b, err := inner(row)
+			if err != nil {
+				return false, err
+			}
+			return !b, nil
+		}
+
+	case *sql.Binary:
+		switch n.Op {
+		case sql.OpAnd:
+			lp, rp := ev.BindPred(n.L), ev.BindPred(n.R)
+			return func(row *Row) (bool, error) {
+				ok, err := lp(row)
+				if err != nil || !ok {
+					return false, err
+				}
+				return rp(row)
+			}
+		case sql.OpOr:
+			lp, rp := ev.BindPred(n.L), ev.BindPred(n.R)
+			return func(row *Row) (bool, error) {
+				ok, err := lp(row)
+				if err != nil || ok {
+					return ok, err
+				}
+				return rp(row)
+			}
+		default:
+			if n.Op.IsComparison() && n.Op != sql.OpLike {
+				if p := ev.bindComparePred(n); p != nil {
+					return p
+				}
+			}
+		}
+	}
+	be := ev.Bind(e)
+	return func(row *Row) (bool, error) { return boundBool(e, be, row) }
+}
+
+// bindComparePred lowers a comparison whose operands are both column
+// references or literals to a direct compare: no result structs, no
+// value copies, and an inline int64 compare for the overwhelmingly
+// common integer-column-vs-integer-constant conjunct. Returns nil when
+// an operand is any other shape (caller falls back to the generic
+// bound path). Semantics mirror applyBinary exactly: either side NULL
+// is false, mixed-kind comparisons report the same model.Value.Compare
+// error.
+func (ev *Evaluator) bindComparePred(n *sql.Binary) boundPred {
+	lg := ev.bindValueRef(n.L)
+	rg := ev.bindValueRef(n.R)
+	if lg == nil || rg == nil {
+		return nil
+	}
+	op := n.Op
+	return func(row *Row) (bool, error) {
+		l, r := lg(row), rg(row)
+		if l.Kind == model.KindNull || r.Kind == model.KindNull {
+			return false, nil
+		}
+		var c int
+		switch {
+		case l.Kind == model.KindInt && r.Kind == model.KindInt:
+			switch {
+			case l.Int < r.Int:
+				c = -1
+			case l.Int > r.Int:
+				c = 1
+			}
+		case l.Kind == model.KindText && r.Kind == model.KindText:
+			c = strings.Compare(l.Text, r.Text)
+		default:
+			var err error
+			c, err = l.Compare(*r)
+			if err != nil {
+				return false, err
+			}
+		}
+		switch op {
+		case sql.OpEq:
+			return c == 0, nil
+		case sql.OpNe:
+			return c != 0, nil
+		case sql.OpLt:
+			return c < 0, nil
+		case sql.OpLe:
+			return c <= 0, nil
+		case sql.OpGt:
+			return c > 0, nil
+		default: // sql.OpGe — the only comparison left
+			return c >= 0, nil
+		}
+	}
+}
+
+// bindValueRef resolves a simple operand — column reference or literal
+// — to a pointer-returning accessor, so the comparison reads values in
+// place instead of copying them through closure returns. Any other
+// shape (or an unresolvable column, which must keep its per-row error)
+// returns nil.
+func (ev *Evaluator) bindValueRef(e sql.Expr) func(*Row) *model.Value {
+	switch n := e.(type) {
+	case *sql.Literal:
+		v := n.Value
+		return func(*Row) *model.Value { return &v }
+	case *sql.ColumnRef:
+		i, err := ev.Schema.ColIndex(n.Qualifier, n.Name)
+		if err != nil {
+			return nil
+		}
+		return func(row *Row) *model.Value { return &row.Tuple.Values[i] }
+	}
+	return nil
+}
+
+// boundBool mirrors EvalBool over a bound expression: resolve to a
+// value, then take SQL truth (NULL is false).
+func boundBool(e sql.Expr, be boundExpr, row *Row) (bool, error) {
+	r, err := be(row)
+	if err != nil {
+		return false, err
+	}
+	v, err := resolveValue(e, r)
+	if err != nil {
+		return false, err
+	}
+	return v.Truth(), nil
+}
+
+// FilterBatch evaluates a bound predicate over every live row of b and
+// compacts the batch's selection vector in place to the qualifying
+// rows. Rows are neither copied nor moved: a filter costs one int32
+// write per surviving row. The in-place compaction is safe because the
+// write position never passes the read position.
+func FilterBatch(pred boundPred, b *Batch) error {
+	if b.sel == nil {
+		sel := b.selStorage(len(b.rows))
+		for i, row := range b.rows {
+			ok, err := pred(row)
+			if err != nil {
+				return err
+			}
+			if ok {
+				sel = append(sel, int32(i))
+			}
+		}
+		b.sel = sel
+		return nil
+	}
+	out := b.sel[:0]
+	for _, phys := range b.sel {
+		ok, err := pred(b.rows[phys])
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, phys)
+		}
+	}
+	b.sel = out
+	return nil
+}

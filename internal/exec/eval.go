@@ -37,6 +37,13 @@ func (ev *Evaluator) Eval(e sql.Expr, row *Row) (model.Value, error) {
 	if err != nil {
 		return model.Value{}, err
 	}
+	return resolveValue(e, r)
+}
+
+// resolveValue narrows an evaluator result to a relational value,
+// shared between the tree interpreter and bound expressions so both
+// report the identical error for summary-valued expressions.
+func resolveValue(e sql.Expr, r result) (model.Value, error) {
 	switch r.kind {
 	case 0:
 		return r.val, nil
@@ -89,16 +96,7 @@ func (ev *Evaluator) eval(e sql.Expr, row *Row) (result, error) {
 		if err != nil {
 			return result{}, err
 		}
-		switch v.Kind {
-		case model.KindInt:
-			return valueResult(model.NewInt(-v.Int)), nil
-		case model.KindFloat:
-			return valueResult(model.NewFloat(-v.Float)), nil
-		case model.KindNull:
-			return valueResult(model.Null()), nil
-		default:
-			return result{}, fmt.Errorf("exec: cannot negate %s", v.Kind)
-		}
+		return negValue(v)
 
 	case *sql.Binary:
 		return ev.evalBinary(n, row)
@@ -150,12 +148,35 @@ func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
+	return applyBinary(n.Op, l, r)
+}
 
-	if n.Op.IsComparison() {
+// negValue applies unary minus, shared between the interpreter and
+// bound expressions.
+func negValue(v model.Value) (result, error) {
+	switch v.Kind {
+	case model.KindInt:
+		return valueResult(model.NewInt(-v.Int)), nil
+	case model.KindFloat:
+		return valueResult(model.NewFloat(-v.Float)), nil
+	case model.KindNull:
+		return valueResult(model.Null()), nil
+	default:
+		return result{}, fmt.Errorf("exec: cannot negate %s", v.Kind)
+	}
+}
+
+// applyBinary applies a non-boolean binary operator to two already
+// evaluated operands. One body shared between the tree interpreter and
+// bound expressions keeps the two paths semantically identical
+// (NULL-comparisons collapse to false, division by zero yields NULL,
+// text + text concatenates, LIKE is case-insensitive).
+func applyBinary(op sql.BinaryOp, l, r model.Value) (result, error) {
+	if op.IsComparison() {
 		if l.IsNull() || r.IsNull() {
 			return valueResult(model.NewBool(false)), nil
 		}
-		if n.Op == sql.OpLike {
+		if op == sql.OpLike {
 			if l.Kind != model.KindText || r.Kind != model.KindText {
 				return result{}, fmt.Errorf("exec: LIKE requires text operands")
 			}
@@ -166,7 +187,7 @@ func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
 			return result{}, err
 		}
 		var b bool
-		switch n.Op {
+		switch op {
 		case sql.OpEq:
 			b = c == 0
 		case sql.OpNe:
@@ -187,15 +208,15 @@ func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
 	if l.IsNull() || r.IsNull() {
 		return valueResult(model.Null()), nil
 	}
-	if n.Op == sql.OpAdd && l.Kind == model.KindText && r.Kind == model.KindText {
+	if op == sql.OpAdd && l.Kind == model.KindText && r.Kind == model.KindText {
 		return valueResult(model.NewText(l.Text + r.Text)), nil
 	}
 	if !l.IsNumeric() || !r.IsNumeric() {
-		return result{}, fmt.Errorf("exec: %s requires numeric operands, got %s and %s", n.Op, l.Kind, r.Kind)
+		return result{}, fmt.Errorf("exec: %s requires numeric operands, got %s and %s", op, l.Kind, r.Kind)
 	}
 	if l.Kind == model.KindInt && r.Kind == model.KindInt {
 		a, b := l.Int, r.Int
-		switch n.Op {
+		switch op {
 		case sql.OpAdd:
 			return valueResult(model.NewInt(a + b)), nil
 		case sql.OpSub:
@@ -210,7 +231,7 @@ func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
 		}
 	}
 	a, b := l.AsFloat(), r.AsFloat()
-	switch n.Op {
+	switch op {
 	case sql.OpAdd:
 		return valueResult(model.NewFloat(a + b)), nil
 	case sql.OpSub:
@@ -223,7 +244,7 @@ func (ev *Evaluator) evalBinary(n *sql.Binary, row *Row) (result, error) {
 		}
 		return valueResult(model.NewFloat(a / b)), nil
 	}
-	return result{}, fmt.Errorf("exec: unsupported binary op %s", n.Op)
+	return result{}, fmt.Errorf("exec: unsupported binary op %s", op)
 }
 
 // evalMethod dispatches the Section 3.1 manipulation functions.

@@ -20,9 +20,14 @@ type PredicateFilter struct {
 	// Summary marks this node as the S operator (for EXPLAIN output).
 	Summary bool
 	Lookup  model.AnnotationLookup
+	// BatchSize > 1 means the compiler drives this filter through
+	// NextBatch; Next() is unaffected either way.
+	BatchSize int
 
-	ev *Evaluator
-	qc *QueryCtx
+	ev    *Evaluator
+	bin   BatchOperator
+	bound boundPred
+	qc    *QueryCtx
 }
 
 // NewFilter builds a σ node.
@@ -45,6 +50,10 @@ func (f *PredicateFilter) SetContext(qc *QueryCtx) {
 func (f *PredicateFilter) Open() (err error) {
 	defer recoverOp("Filter", &err)
 	f.ev = &Evaluator{Schema: f.Input.Schema(), Lookup: f.Lookup}
+	if f.BatchSize > 1 {
+		f.bin = ToBatch(f.Input, f.BatchSize)
+		f.bound = f.ev.BindPred(f.Pred)
+	}
 	return f.Input.Open()
 }
 
@@ -66,6 +75,27 @@ func (f *PredicateFilter) Next() (row *Row, err error) {
 	}
 }
 
+// NextBatch filters input batches with the bound predicate, compacting
+// each batch's selection vector in place (no row copies) and skipping
+// batches the predicate empties.
+func (f *PredicateFilter) NextBatch(qc *QueryCtx) (b *Batch, err error) {
+	defer recoverOp("Filter", &err)
+	for {
+		b, err := f.bin.NextBatch(qc)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if err := FilterBatch(f.bound, b); err != nil {
+			b.Release()
+			return nil, err
+		}
+		if b.Len() > 0 {
+			return b, nil
+		}
+		b.Release()
+	}
+}
+
 // Close closes the input.
 func (f *PredicateFilter) Close() error { return f.Input.Close() }
 
@@ -81,8 +111,12 @@ type SummaryFilter struct {
 	Instances []string
 	// Types keeps objects whose type is listed (empty = any).
 	Types []model.SummaryType
+	// BatchSize > 1 means the compiler drives this filter through
+	// NextBatch; Next() is unaffected either way.
+	BatchSize int
 
-	qc *QueryCtx
+	bin BatchOperator
+	qc  *QueryCtx
 }
 
 // SetContext installs the per-query lifecycle and forwards it below.
@@ -126,18 +160,19 @@ func (f *SummaryFilter) Keep(o *model.SummaryObject) bool {
 }
 
 // Open opens the input.
-func (f *SummaryFilter) Open() error { return f.Input.Open() }
-
-// Next filters the next row's summary set.
-func (f *SummaryFilter) Next() (res *Row, err error) {
-	defer recoverOp("SummaryFilter", &err)
-	row, err := f.Input.Next()
-	if err != nil || row == nil {
-		return nil, err
+func (f *SummaryFilter) Open() error {
+	if f.BatchSize > 1 {
+		f.bin = ToBatch(f.Input, f.BatchSize)
 	}
+	return f.Input.Open()
+}
+
+// apply filters one row's summary set, returning the input row
+// unchanged when it carries no summaries.
+func (f *SummaryFilter) apply(row *Row) *Row {
 	set := row.Tuple.Summaries
 	if set == nil {
-		return row, nil
+		return row
 	}
 	kept := make(model.SummarySet, 0, len(set))
 	for _, o := range set {
@@ -153,7 +188,29 @@ func (f *SummaryFilter) Next() (res *Row, err error) {
 			out.AliasSets[alias] = kept
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Next filters the next row's summary set.
+func (f *SummaryFilter) Next() (res *Row, err error) {
+	defer recoverOp("SummaryFilter", &err)
+	row, err := f.Input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return f.apply(row), nil
+}
+
+// NextBatch filters each live row's summary set in place in the
+// consumed batch's container.
+func (f *SummaryFilter) NextBatch(qc *QueryCtx) (b *Batch, err error) {
+	defer recoverOp("SummaryFilter", &err)
+	b, err = f.bin.NextBatch(qc)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	transformBatch(b, f.apply)
+	return b, nil
 }
 
 // Close closes the input.

@@ -58,6 +58,10 @@ type SummaryIndexScan struct {
 	// concatenating the shares in partition order reproduces the serial
 	// sorted run exactly. Ignored (whole hit list) in ordered mode.
 	Part PartitionSpec
+	// BatchSize > 1 means the compiler drives this scan through
+	// NextBatch; Next() is unaffected either way. Batching preserves the
+	// fetch order of both modes (it only groups consecutive rows).
+	BatchSize int
 
 	schema *model.Schema
 	hits   []heap.RID
@@ -175,33 +179,77 @@ func (s *SummaryIndexScan) Next() (row *Row, err error) {
 			s.fillRun()
 			continue
 		}
-		rid := s.hits[s.pos]
-		s.pos++
-		s.pagesPinned++
-		if s.ConventionalPointers {
-			// Conventional pointers address the summary object in
-			// R_SummaryStorage: read it there, then join back to the data
-			// table through the OID index — the extra join the backward
-			// pointers avoid. Sorted mode still helps here (the storage
-			// detour follows data-page order), but every hit pays its own
-			// page accesses.
-			oid, _, ok := s.Table.SummaryStorage.Get(storageRIDFor(s.Table, rid))
-			if !ok {
-				continue
-			}
-			dataRID, ok := s.Table.DiskTupleLoc(oid)
-			if !ok {
-				continue
-			}
-			if row, ok := fetchRow(s.Table, s.Alias, dataRID, s.Propagate); ok {
-				return row, nil
-			}
-			continue
-		}
-		if row, ok := fetchRow(s.Table, s.Alias, rid, s.Propagate); ok {
+		if row, ok := s.nextHit(); ok {
 			return row, nil
 		}
 	}
+}
+
+// nextHit dereferences hits[pos] in the per-RID modes (ordered fetch,
+// or any fetch with conventional pointers), advancing the cursor; ok is
+// false for a stale hit the caller should skip.
+func (s *SummaryIndexScan) nextHit() (*Row, bool) {
+	rid := s.hits[s.pos]
+	s.pos++
+	s.pagesPinned++
+	if s.ConventionalPointers {
+		// Conventional pointers address the summary object in
+		// R_SummaryStorage: read it there, then join back to the data
+		// table through the OID index — the extra join the backward
+		// pointers avoid. Sorted mode still helps here (the storage
+		// detour follows data-page order), but every hit pays its own
+		// page accesses.
+		oid, _, ok := s.Table.SummaryStorage.Get(storageRIDFor(s.Table, rid))
+		if !ok {
+			return nil, false
+		}
+		dataRID, ok := s.Table.DiskTupleLoc(oid)
+		if !ok {
+			return nil, false
+		}
+		return fetchRow(s.Table, s.Alias, dataRID, s.Propagate)
+	}
+	return fetchRow(s.Table, s.Alias, rid, s.Propagate)
+}
+
+// NextBatch fills a row vector from the hit list, draining page runs in
+// sorted mode and dereferencing hit by hit otherwise. Row order within
+// and across batches equals the row-at-a-time order exactly; only the
+// cancellation cadence changes (one poll per batch).
+func (s *SummaryIndexScan) NextBatch(qc *QueryCtx) (b *Batch, err error) {
+	defer recoverOp("SummaryIndexScan", &err)
+	if err := qc.check(); err != nil {
+		return nil, err
+	}
+	size := s.BatchSize
+	if size <= 1 {
+		size = DefaultBatchSize
+	}
+	b = GetBatch(size)
+	for b.Len() < size {
+		if s.bufPos < len(s.buf) {
+			row := s.buf[s.bufPos]
+			s.buf[s.bufPos] = nil
+			s.bufPos++
+			b.Append(row)
+			continue
+		}
+		if s.pos >= len(s.hits) {
+			break
+		}
+		if s.SortedFetch && !s.ConventionalPointers {
+			s.fillRun()
+			continue
+		}
+		if row, ok := s.nextHit(); ok {
+			b.Append(row)
+		}
+	}
+	if b.Len() == 0 {
+		b.Release()
+		return nil, nil
+	}
+	return b, nil
 }
 
 // fillRun dereferences the next page run of the sorted hit list with a

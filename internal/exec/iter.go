@@ -4,6 +4,15 @@ import "repro/internal/model"
 
 // Iterator is the Volcano operator interface: Open, a stream of Next
 // calls returning (nil, nil) at end-of-stream, and Close.
+//
+// Ownership rule: a row returned by Next (or inside a Batch returned by
+// NextBatch) belongs to the caller and stays valid indefinitely — the
+// producer never writes to it again, even across Close. Producers may
+// therefore carve row storage from amortizing slabs (SeqScan batches,
+// Project's output slab), but must hand each slot out exactly once.
+// Rows are shared structurally up the pipeline (a filter forwards its
+// input's rows; joins point into both sides), so a consumer that wants
+// to mutate a row must copy it first (Row.Clone).
 type Iterator interface {
 	Open() error
 	Next() (*Row, error)

@@ -10,8 +10,13 @@ import (
 type Limit struct {
 	Input Iterator
 	N     int
-	seen  int
-	qc    *QueryCtx
+	// BatchSize > 1 means the compiler drives this node through
+	// NextBatch; Next() is unaffected either way.
+	BatchSize int
+
+	seen int
+	bin  BatchOperator
+	qc   *QueryCtx
 }
 
 // NewLimit builds a LIMIT node.
@@ -24,7 +29,30 @@ func (l *Limit) SetContext(qc *QueryCtx) {
 }
 
 // Open opens the input.
-func (l *Limit) Open() error { l.seen = 0; return l.Input.Open() }
+func (l *Limit) Open() error {
+	l.seen = 0
+	if l.BatchSize > 1 {
+		l.bin = ToBatch(l.Input, l.BatchSize)
+	}
+	return l.Input.Open()
+}
+
+// NextBatch passes batches through, truncating the one that crosses the
+// limit.
+func (l *Limit) NextBatch(qc *QueryCtx) (*Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.bin.NextBatch(qc)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if rem := l.N - l.seen; b.Len() > rem {
+		b.Truncate(rem)
+	}
+	l.seen += b.Len()
+	return b, nil
+}
 
 // Next returns the next row while under the limit.
 func (l *Limit) Next() (*Row, error) {

@@ -26,6 +26,9 @@ type SeqScan struct {
 	Alias     string
 	Propagate bool
 	Part      PartitionSpec
+	// BatchSize > 1 means the compiler drives this scan through
+	// NextBatch; Next() is unaffected either way.
+	BatchSize int
 
 	schema *model.Schema
 	cursor *heap.Cursor[[]model.Value]
@@ -76,6 +79,54 @@ func (s *SeqScan) Next() (row *Row, err error) {
 		t.Summaries = s.Table.GetSummaries(oid)
 	}
 	return &Row{Tuple: t, AliasSets: aliasSet(s.Alias, t.Summaries)}, nil
+}
+
+// NextBatch fills a row vector from the cursor. Row and Tuple storage
+// is carved from two per-batch slabs (two allocations per batch instead
+// of two per row), and the per-alias summary map is skipped entirely
+// for rows without summaries — SetFor falls back to Tuple.Summaries,
+// which is observationally identical. Cancellation is polled once per
+// batch; the deferred panic trap is likewise paid once per batch.
+func (s *SeqScan) NextBatch(qc *QueryCtx) (b *Batch, err error) {
+	defer recoverOp("SeqScan", &err)
+	if err := qc.check(); err != nil {
+		return nil, err
+	}
+	size := s.BatchSize
+	if size <= 1 {
+		size = DefaultBatchSize
+	}
+	b = GetBatch(size)
+	var rows []Row
+	var tuples []model.Tuple
+	n := 0
+	for n < size {
+		_, oid, values, ok := s.cursor.Next()
+		if !ok {
+			break
+		}
+		if rows == nil {
+			// Lazily carve the slabs so the terminal empty batch costs
+			// nothing.
+			rows = make([]Row, size)
+			tuples = make([]model.Tuple, size)
+		}
+		t := &tuples[n]
+		t.OID, t.Values = oid, values
+		r := &rows[n]
+		r.Tuple = t
+		if s.Propagate {
+			t.Summaries = s.Table.GetSummaries(oid)
+			r.AliasSets = aliasSet(s.Alias, t.Summaries)
+		}
+		b.Append(r)
+		n++
+	}
+	if n == 0 {
+		b.Release()
+		return nil, nil
+	}
+	return b, nil
 }
 
 // Close releases the cursor (unpinning its buffer-pool frame when the

@@ -268,6 +268,28 @@ func (w *statsIter) Next() (*Row, error) {
 	return row, err
 }
 
+// NextBatch instruments the batch path: one measurement window per
+// batch (that amortization is much of the vectorized win). Rows counts
+// every live row, so EXPLAIN ANALYZE "rows" is identical to row mode;
+// "nexts" counts batch calls.
+func (w *statsIter) NextBatch(qc *QueryCtx) (*Batch, error) {
+	bo, ok := w.child.(BatchOperator)
+	if !ok {
+		// Never reached for compiler-built plans (statsIter only exposes
+		// NextBatch when its child is batch-native); fail loudly for
+		// hand-built trees.
+		panic("exec: NextBatch through stats wrapper on a row-only operator")
+	}
+	start, io0, b0 := w.sample()
+	b, err := bo.NextBatch(qc)
+	w.acc.NextCalls++
+	if b != nil {
+		w.acc.Rows += int64(b.Len())
+	}
+	w.commit(&w.acc.NextWall, start, io0, b0)
+	return b, err
+}
+
 func (w *statsIter) Close() error {
 	start, io0, b0 := w.sample()
 	err := w.child.Close()
@@ -339,6 +361,10 @@ func OpName(it Iterator) string {
 		return "Limit"
 	case *sliceIter:
 		return "Materialize"
+	case *batchToRow:
+		return OpName(op.input)
+	case *rowToBatch:
+		return OpName(op.input)
 	default:
 		return fmt.Sprintf("%T", it)
 	}

@@ -41,13 +41,24 @@ func usesDollar(exprs ...sql.Expr) bool {
 // calls merge into one OpStats per node.
 func compile(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
 	it, err := compileNode(n, env, opts, need)
-	if err != nil || opts.Collector == nil {
+	if err != nil {
 		return it, err
 	}
-	if opts.inWorker {
-		return opts.Collector.WrapWorker(n, it), nil
+	if opts.Collector != nil {
+		if opts.inWorker {
+			it = opts.Collector.WrapWorker(n, it)
+		} else {
+			it = opts.Collector.Wrap(n, it)
+		}
 	}
-	return opts.Collector.Wrap(n, it), nil
+	if planBatchSize(n) > 1 && !opts.batchParent {
+		// Top of a vectorized segment: cap it with the batch-to-row shim
+		// so everything above (sorts, joins, Gather workers, result
+		// collection) keeps speaking rows. The shim sits outside the
+		// stats recorder, so EXPLAIN ANALYZE observes the batch cadence.
+		it = exec.NewBatchToRow(it)
+	}
+	return it, nil
 }
 
 // compileWorkers lowers a Gather fragment's child once per partition.
@@ -73,11 +84,20 @@ func compileWorkers(g *plan.GatherNode, env *Env, opts Options, need bool, wrapT
 	return workers, nil
 }
 
+// childBatchOpts threads the batchParent flag to a marked node's child:
+// a batched operator drives its (equally marked) child through
+// NextBatch, so the child must not be capped with its own shim.
+func childBatchOpts(opts Options, batch int) Options {
+	opts.batchParent = batch > 1
+	return opts
+}
+
 func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
 		s := exec.NewSeqScan(node.Table, node.Alias, need)
 		s.Part = opts.part
+		s.BatchSize = node.Batch
 		return s, nil
 
 	case *plan.GatherNode:
@@ -96,6 +116,7 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 		s.Descending = node.Descending
 		s.SortedFetch = node.FetchSorted
 		s.Part = opts.part
+		s.BatchSize = node.Batch
 		return s, nil
 
 	case *plan.BaselineIndexScanNode:
@@ -107,35 +128,45 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 	case *plan.SummaryProject:
 		if !need {
 			// Effect projection only transforms summaries; skip it when
-			// nothing above reads them.
+			// nothing above reads them. The batchParent flag passes
+			// through untouched: the marked child takes over as the
+			// segment member the parent drives.
 			return compile(node.Child, env, opts, false)
 		}
-		child, err := compile(node.Child, env, opts, true)
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), true)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSummaryEffectProject(child, node.Kept, env.Annotations, env.Lookup), nil
+		p := exec.NewSummaryEffectProject(child, node.Kept, env.Annotations, env.Lookup)
+		p.BatchSize = node.Batch
+		return p, nil
 
 	case *plan.Select:
-		child, err := compile(node.Child, env, opts, need || usesDollar(node.Pred))
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), need || usesDollar(node.Pred))
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewFilter(child, node.Pred, env.Lookup), nil
+		f := exec.NewFilter(child, node.Pred, env.Lookup)
+		f.BatchSize = node.Batch
+		return f, nil
 
 	case *plan.SummarySelect:
-		child, err := compile(node.Child, env, opts, true)
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), true)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSummarySelect(child, node.Pred, env.Lookup), nil
+		f := exec.NewSummarySelect(child, node.Pred, env.Lookup)
+		f.BatchSize = node.Batch
+		return f, nil
 
 	case *plan.SummaryFilterNode:
-		child, err := compile(node.Child, env, opts, need)
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), need)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSummaryFilter(child, node.Instances, node.Types), nil
+		f := exec.NewSummaryFilter(child, node.Instances, node.Types)
+		f.BatchSize = node.Batch
+		return f, nil
 
 	case *plan.Join:
 		childNeed := need || usesDollar(node.On, node.Residual)
@@ -242,11 +273,13 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 		return exec.NewGroupBy(child, node.Keys, node.Aggs, env.Lookup), nil
 
 	case *plan.ProjectNode:
-		child, err := compile(node.Child, env, opts, need || usesDollar(node.Exprs...))
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), need || usesDollar(node.Exprs...))
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewProject(child, node.Exprs, node.Out, env.Lookup), nil
+		p := exec.NewProject(child, node.Exprs, node.Out, env.Lookup)
+		p.BatchSize = node.Batch
+		return p, nil
 
 	case *plan.DistinctNode:
 		child, err := compile(node.Child, env, opts, need)
@@ -256,11 +289,13 @@ func compileNode(n plan.Node, env *Env, opts Options, need bool) (exec.Iterator,
 		return exec.NewDistinct(child, env.Lookup), nil
 
 	case *plan.LimitNode:
-		child, err := compile(node.Child, env, opts, need)
+		child, err := compile(node.Child, env, childBatchOpts(opts, node.Batch), need)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewLimit(child, node.N), nil
+		l := exec.NewLimit(child, node.N)
+		l.BatchSize = node.Batch
+		return l, nil
 
 	default:
 		return nil, fmt.Errorf("optimizer: cannot compile %T", n)

@@ -60,6 +60,13 @@ type Options struct {
 	// the exact serial plans. The planned DOP is cost-based and never
 	// exceeds the table's page count, so small tables stay serial.
 	MaxParallelWorkers int
+	// MaxBatchSize caps the row-batch capacity of vectorized pipeline
+	// segments (scan → filter → project chains exchanging row vectors
+	// instead of single rows). 0 means the engine default; 1 (or a zero
+	// engine default) disables vectorization entirely — pure
+	// row-at-a-time plans, byte-identical to the pre-vectorized engine.
+	// Values above exec.MaxBatchSize are clamped.
+	MaxBatchSize int
 	// Budget is a per-query resource-limit template overriding the DB
 	// default: pipeline breakers (Sort, HashJoin, GroupBy, Distinct)
 	// charge buffered rows/bytes and spill bytes against it. The engine
@@ -79,6 +86,10 @@ type Options struct {
 	// concurrency-safe worker recorders. Internal to the compiler.
 	part     exec.PartitionSpec
 	inWorker bool
+	// batchParent marks that the node being compiled has a batch-marked
+	// parent that will drive it through NextBatch, so the compiler must
+	// not cap it with a batch-to-row shim. Internal to the compiler.
+	batchParent bool
 }
 
 // Env supplies the optimizer and compiler with catalog context.
@@ -119,6 +130,7 @@ func Optimize(root plan.Node, r *plan.AliasResolver, env *Env, opts Options) pla
 	root = rw.eliminateSorts(root)
 	root = rw.applyForceFetch(root)
 	root = rw.parallelize(root)
+	root = rw.vectorize(root)
 	return root
 }
 

@@ -140,10 +140,11 @@ func (c *PlanCache) Stats() PlanCacheStats {
 // Execution-only fields (Budget, Collector) are deliberately excluded:
 // they are applied at compile/run time, which happens per execution.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("%t|%t|%t|%t|%t|%t|%s|%s|%s|%d|%d",
+	return fmt.Sprintf("%t|%t|%t|%t|%t|%t|%s|%s|%s|%d|%d|%d",
 		o.Disable, o.DisableRules, o.NoSummaryIndex, o.UseBaseline,
 		o.BaselineReconstruct, o.ConventionalPointers,
-		o.ForceJoin, o.ForceFetch, o.ForceSort, o.SortRunLen, o.MaxParallelWorkers)
+		o.ForceJoin, o.ForceFetch, o.ForceSort, o.SortRunLen, o.MaxParallelWorkers,
+		o.MaxBatchSize)
 }
 
 // Rebind re-anchors a cached plan skeleton in the caller's current

@@ -88,6 +88,7 @@ func TestOptionsFingerprint(t *testing.T) {
 		{ForceJoin: "index"},
 		{ForceFetch: "ordered"},
 		{MaxParallelWorkers: 4},
+		{MaxBatchSize: 1024},
 	}
 	seen := map[string]string{base.Fingerprint(): "zero"}
 	for i, v := range variants {

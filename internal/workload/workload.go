@@ -45,6 +45,10 @@ type Config struct {
 	// the built database caches optimized plans for the prepared /
 	// QueryCached paths (0 = no cache, classic behavior everywhere).
 	PlanCacheSize int
+	// MaxBatchSize passes through engine.Config.MaxBatchSize: when > 1
+	// the built database plans vectorized pipeline segments by default
+	// (0 or 1 = row-at-a-time planning).
+	MaxBatchSize int
 	// SkipSynonyms omits the Synonyms table for single-table workloads.
 	SkipSynonyms bool
 }
@@ -169,7 +173,8 @@ func SynonymsSchema() *model.Schema {
 func Build(cfg Config) (*Dataset, error) {
 	cfg = cfg.WithDefaults()
 	db := engine.New(engine.Config{PageCap: cfg.PageCap, BufferPoolPages: cfg.BufferPoolPages,
-		IngestFlushOps: cfg.IngestFlushOps, PlanCacheSize: cfg.PlanCacheSize})
+		IngestFlushOps: cfg.IngestFlushOps, PlanCacheSize: cfg.PlanCacheSize,
+		MaxBatchSize: cfg.MaxBatchSize})
 	ds := &Dataset{DB: db, Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
